@@ -1,0 +1,44 @@
+GO ?= go
+
+.PHONY: all build test test-short vet bench bench-experiments report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Every paper table/figure as a benchmark, plus the store micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Only the paper-experiment benchmarks at the repository root.
+bench-experiments:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the whole evaluation as text and as an HTML report.
+evaluation:
+	$(GO) run ./cmd/holmes-bench -o out all
+	$(GO) run ./cmd/holmes-bench -o out report
+
+report:
+	$(GO) run ./cmd/holmes-bench report
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/diagnosis
+	$(GO) run ./examples/colocation
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/multitenant
+	$(GO) run ./examples/kubernetes
+
+clean:
+	rm -rf out holmes-report.html test_output.txt bench_output.txt

@@ -1,0 +1,115 @@
+// Command holmes-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	holmes-bench list
+//	holmes-bench [-full] [-seed N] <experiment-id>...
+//	holmes-bench [-full] [-seed N] all
+//
+// Experiment ids follow the paper: fig2, fig3, table1, fig4, fig5,
+// fig7..fig14, table3, table4, overhead. The default profile runs
+// time-compressed windows that finish in seconds to minutes; -full uses
+// the paper-faithful windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/holmes-colocation/holmes/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-faithful (longer) measurement windows")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	save := func(id, out string) {
+		if *outDir == "" {
+			return
+		}
+		path := filepath.Join(*outDir, id+".txt")
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "warning:", err)
+		}
+	}
+
+	opts := experiments.Options{Full: *full, Seed: *seed}
+	reg := experiments.Registry()
+
+	if args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-10s %s\n", id, reg[id].Title)
+		}
+		return
+	}
+	if args[0] == "report" {
+		path := "holmes-report.html"
+		if *outDir != "" {
+			path = filepath.Join(*outDir, "holmes-report.html")
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteHTMLReport(f, opts); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("wrote", path)
+		return
+	}
+
+	ids := args
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		e, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try 'holmes-bench list'\n", id)
+			os.Exit(2)
+		}
+		out, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("############ %s: %s ############\n%s\n", e.ID, e.Title, out)
+		save(id, out)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `holmes-bench regenerates the tables and figures of
+"Holmes: SMT Interference Diagnosis and CPU Scheduling for Job Co-location" (HPDC'22).
+
+Usage:
+  holmes-bench list                     show available experiments
+  holmes-bench [flags] <id>...          run specific experiments
+  holmes-bench [flags] all              run everything in paper order
+  holmes-bench [flags] report           write an HTML report with SVG figures
+
+Flags:
+  -full      paper-faithful measurement windows (minutes of simulated time)
+  -seed N    simulation seed (default 1)
+`)
+}

@@ -1,0 +1,78 @@
+// Command holmes-sim runs a declarative co-location scenario from a JSON
+// file (or stdin with "-") and prints the per-service latency report.
+//
+//	holmes-sim scenario.json
+//	holmes-sim -example > my.json && holmes-sim my.json
+//
+// Scenarios describe the machine, one or more latency-critical services
+// with their YCSB workloads and traffic shapes, a batch job stream, and
+// the scheduling policy (holmes, perfiso, none). See internal/scenario
+// for the full schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/holmes-colocation/holmes/internal/scenario"
+)
+
+const exampleScenario = `{
+  "name": "two-tenant server",
+  "machine": {"cores": 16},
+  "scheduler": "holmes",
+  "holmes": {"e": 40, "interval_us": 100, "reserved_cpus": 4},
+  "services": [
+    {"store": "redis", "workload": "a", "rps": 10000,
+     "burst_seconds": [6, 9], "gap_seconds": [0.5, 1]},
+    {"store": "rocksdb", "workload": "b", "rps": 20000}
+  ],
+  "batch": {"continuous": true, "concurrent_jobs": 3,
+            "kinds": ["kmeans", "sort", "pagerank"]},
+  "warmup_seconds": 2,
+  "duration_seconds": 15,
+  "seed": 1
+}
+`
+
+func main() {
+	example := flag.Bool("example", false, "print an example scenario and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Print(exampleScenario)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: holmes-sim [-example] <scenario.json | ->")
+		os.Exit(2)
+	}
+
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	spec, err := scenario.Load(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("running scenario %q...\n\n", spec.Name)
+	rep, err := scenario.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+}

@@ -1,0 +1,73 @@
+// Command holmesd runs the Holmes daemon on a live simulated server and
+// narrates what it does: a latency-critical service receives bursty YCSB
+// traffic while batch jobs stream through Yarn, and Holmes evicts and
+// restores their access to the service's hyperthread siblings based on
+// the VPI metric.
+//
+// Usage:
+//
+//	holmesd [-store redis|memcached|rocksdb|wiredtiger] [-workload a|b|e]
+//	        [-duration 20s] [-E 40] [-interval 100us] [-seed 1] [-perfiso]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/holmes-colocation/holmes/internal/core"
+	"github.com/holmes-colocation/holmes/internal/experiments"
+)
+
+func main() {
+	store := flag.String("store", "redis", "latency-critical service")
+	wl := flag.String("workload", "a", "YCSB workload (a|b|e)")
+	duration := flag.Duration("duration", 20*time.Second, "measured simulated duration")
+	e := flag.Float64("E", 40, "VPI deallocation threshold")
+	interval := flag.Duration("interval", 100*time.Microsecond, "monitor/scheduler interval")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	perfiso := flag.Bool("perfiso", false, "run the PerfIso baseline instead of Holmes")
+	flag.Parse()
+
+	setting := experiments.Holmes
+	if *perfiso {
+		setting = experiments.PerfIso
+	}
+	cfg := experiments.DefaultColocation(*store, *wl, setting)
+	cfg.DurationNs = duration.Nanoseconds()
+	cfg.Seed = *seed
+	if setting == experiments.Holmes {
+		hc := core.DefaultConfig()
+		hc.E = *e
+		hc.IntervalNs = interval.Nanoseconds()
+		hc.SNs = 500_000_000
+		cfg.HolmesConfig = &hc
+	}
+	cfg.VPISampleNs = 100_000_000
+
+	fmt.Printf("holmesd: %s + %s workload-%s for %v of simulated time (seed %d)\n",
+		setting, *store, *wl, *duration, *seed)
+	res, err := experiments.RunColocation(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	sum := res.Latency.Summarize()
+	fmt.Printf("\nquery latency: mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus (%d queries)\n",
+		sum.Mean/1e3, sum.P50/1e3, sum.P90/1e3, sum.P99/1e3, sum.Count)
+	fmt.Printf("machine utilization: %.1f%%  (LC CPUs: %.1f%%)\n",
+		100*res.AvgCPUUtil, 100*res.LCUtil)
+	fmt.Printf("batch jobs completed: %d\n", res.CompletedJobs)
+	if setting == experiments.Holmes {
+		fmt.Printf("scheduler actions: %d sibling evictions, %d restorations, %d pool expansions\n",
+			res.Deallocations, res.Reallocations, res.Expansions)
+		fmt.Printf("daemon overhead: %.2f%% of one core\n", 100*res.DaemonUtil)
+	}
+	if res.VPISeries.Len() > 0 {
+		fmt.Printf("\nVPI on LC CPUs over time (mean %.1f, max %.1f):\n",
+			res.VPISeries.Mean(), res.VPISeries.Max())
+		fmt.Print(res.VPISeries.Downsample(20).TSV())
+	}
+}

@@ -1,0 +1,118 @@
+// Command smtsim runs the SMT machine simulator on a declarative workload
+// spec and reports per-CPU utilization, HPE counters and VPI — a direct
+// window into the substrate the Holmes reproduction is built on.
+//
+// Usage:
+//
+//	smtsim [-duration 1s] [-cores 16] [-seed 1] <placement>...
+//
+// Each placement is lcpu:kind where kind is one of
+//
+//	mem      a closed-loop DRAM reader (the paper's m-thread)
+//	compute  a floating-point kernel (the paper's c-thread)
+//	mixed    a service-like mix of compute and memory accesses
+//
+// Example — reproduce the paper's core interference experiment:
+//
+//	smtsim 0:mem 16:mem    # two m-threads on hyperthread siblings
+//	smtsim 0:mem 1:mem     # two m-threads on separate physical cores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/hpe"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+type pinned map[int]*machine.Thread
+
+func (p pinned) Assign(nowNs int64, assign []*machine.Thread) {
+	for cpu, t := range p {
+		assign[cpu] = t
+	}
+}
+
+func kindCost(kind string) (workload.Cost, error) {
+	switch kind {
+	case "mem":
+		return workload.ReadBytes(workload.DRAM, 1<<20), nil
+	case "compute":
+		return workload.Compute(2_000_000), nil
+	case "mixed":
+		c := workload.Compute(500_000)
+		c.Add(workload.MemRead(workload.DRAM, 2_000))
+		c.Add(workload.MemRead(workload.L3, 4_000))
+		c.Add(workload.MemWrite(workload.L2, 1_000))
+		return c, nil
+	}
+	return workload.Cost{}, fmt.Errorf("unknown kind %q", kind)
+}
+
+func main() {
+	duration := flag.Duration("duration", time.Second, "simulated duration")
+	cores := flag.Int("cores", 16, "physical cores (2 hardware threads each)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: smtsim [flags] lcpu:kind...  (e.g. smtsim 0:mem 16:mem)")
+		os.Exit(2)
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: *cores}
+	cfg.Seed = *seed
+	m := machine.New(cfg)
+	p := pinned{}
+	m.SetScheduler(p)
+
+	used := []int{}
+	for _, arg := range flag.Args() {
+		lcpuStr, kind, ok := strings.Cut(arg, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad placement %q (want lcpu:kind)\n", arg)
+			os.Exit(2)
+		}
+		lcpu, err := strconv.Atoi(lcpuStr)
+		if err != nil || lcpu < 0 || lcpu >= cfg.Topology.LogicalCPUs() {
+			fmt.Fprintf(os.Stderr, "bad lcpu in %q (machine has %d logical CPUs)\n",
+				arg, cfg.Topology.LogicalCPUs())
+			os.Exit(2)
+		}
+		cost, err := kindCost(kind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		th := m.NewThread(arg, nil)
+		var push func(int64)
+		push = func(int64) {
+			th.Push(workload.Item{Cost: cost, OnComplete: push})
+		}
+		push(0)
+		p[lcpu] = th
+		used = append(used, lcpu)
+	}
+
+	fmt.Printf("simulating %v on %s\n\n", *duration, m.Describe())
+	m.RunFor(duration.Nanoseconds())
+
+	fmt.Printf("%-6s %-8s %-6s %-12s %-12s %-12s %-10s\n",
+		"lcpu", "sibling", "util", "instructions", "stalls_mem", "loads+stores", "VPI(0x14a3)")
+	for _, lcpu := range used {
+		c := m.Counters(lcpu)
+		util := m.BusyCycles(lcpu) / (cfg.FreqGHz * float64(duration.Nanoseconds()))
+		fmt.Printf("%-6d %-8d %-6.2f %-12.3g %-12.3g %-12.3g %-10.1f\n",
+			lcpu, m.Sibling(lcpu), util,
+			c.Instructions, c.StallsMemAny, c.Loads+c.Stores,
+			c.VPI(hpe.StallsMemAny))
+	}
+}

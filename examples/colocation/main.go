@@ -1,0 +1,48 @@
+// Colocation: the paper's headline scenario end to end. A Redis-like
+// service receives bursty YCSB traffic while HiBench-style batch jobs
+// stream through a Yarn node manager; the run is repeated under the three
+// evaluation settings (Alone, Holmes, PerfIso) and the resulting query
+// latency, utilization and batch throughput are compared — the content of
+// Figs. 7 and 12 and Table 3.
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/holmes-colocation/holmes/internal/experiments"
+	"github.com/holmes-colocation/holmes/internal/trace"
+)
+
+func main() {
+	tb := trace.NewTable("Redis + batch jobs under three settings (workload-a, 8 s window)",
+		"setting", "mean us", "p90 us", "p99 us", "CPU util", "batch jobs", "evictions")
+	for _, setting := range experiments.Settings() {
+		cfg := experiments.DefaultColocation("redis", "a", setting)
+		cfg.DurationNs = 8_000_000_000
+		fmt.Printf("running %s...\n", setting)
+		res, err := experiments.RunColocation(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		s := res.Latency.Summarize()
+		tb.AddRow(string(setting),
+			fmt.Sprintf("%.1f", s.Mean/1e3),
+			fmt.Sprintf("%.1f", s.P90/1e3),
+			fmt.Sprintf("%.1f", s.P99/1e3),
+			fmt.Sprintf("%.1f%%", 100*res.AvgCPUUtil),
+			res.CompletedJobs,
+			res.Deallocations)
+	}
+	fmt.Println()
+	fmt.Println(tb.String())
+	fmt.Println(`Reading the table:
+  - Alone is the latency ideal but wastes the server (single-digit util).
+  - PerfIso fills the machine but its HT-oblivious isolation lets batch
+    land on the service's hyperthread siblings, inflating the tail.
+  - Holmes matches Alone's latency at co-location utilization by evicting
+    batch from LC siblings whenever the VPI metric crosses E=40.`)
+}

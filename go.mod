@@ -1,0 +1,3 @@
+module github.com/holmes-colocation/holmes
+
+go 1.22

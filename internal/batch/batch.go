@@ -1,0 +1,133 @@
+// Package batch models the best-effort analytics jobs of the evaluation:
+// HiBench workloads (the paper uses Spark KMeans and friends) running as
+// multi-container jobs. Each container executes an iterative kernel whose
+// compute/memory profile matches its HiBench namesake — what matters to
+// Holmes is that batch work is CPU-hungry and memory-intensive enough to
+// create SMT interference on sibling hyperthreads.
+package batch
+
+import (
+	"fmt"
+
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// Kind identifies a batch workload profile.
+type Kind int
+
+// HiBench-style workloads with distinct compute/memory mixes.
+const (
+	// KMeans: distance computations over cached feature vectors —
+	// compute heavy with steady DRAM streaming. The paper's §2.2 batch
+	// job.
+	KMeans Kind = iota
+	// Sort: shuffle-dominated, memory bound.
+	Sort
+	// WordCount: balanced scan + hash updates.
+	WordCount
+	// PageRank: pointer-chasing over the graph, DRAM-latency bound.
+	PageRank
+	// Bayes: training passes, compute leaning.
+	Bayes
+	numKinds
+)
+
+// String returns the workload name.
+func (k Kind) String() string {
+	switch k {
+	case KMeans:
+		return "kmeans"
+	case Sort:
+		return "sort"
+	case WordCount:
+		return "wordcount"
+	case PageRank:
+		return "pagerank"
+	case Bayes:
+		return "bayes"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists all workload kinds.
+func Kinds() []Kind { return []Kind{KMeans, Sort, WordCount, PageRank, Bayes} }
+
+// profile is the per-iteration cost shape of a kind, per work unit.
+type profile struct {
+	computeCycles float64
+	dramLines     int64
+	l3Lines       int64
+	dramStores    int64
+}
+
+// profiles are scaled so one work unit is roughly 1 ms of single-thread
+// time on the simulated 2 GHz core when uncontended.
+func (k Kind) profile() profile {
+	switch k {
+	case KMeans:
+		// Spark KMeans streams feature vectors from the heap every
+		// iteration; on the paper's testbed it is distinctly
+		// memory-bound (it is the §2.2 interference aggressor).
+		return profile{computeCycles: 600_000, dramLines: 6_000, l3Lines: 3_000, dramStores: 500}
+	case Sort:
+		return profile{computeCycles: 300_000, dramLines: 8_000, l3Lines: 2_000, dramStores: 3_000}
+	case WordCount:
+		return profile{computeCycles: 800_000, dramLines: 5_000, l3Lines: 3_000, dramStores: 1_000}
+	case PageRank:
+		return profile{computeCycles: 250_000, dramLines: 9_500, l3Lines: 1_500, dramStores: 500}
+	case Bayes:
+		return profile{computeCycles: 1_500_000, dramLines: 2_200, l3Lines: 3_500, dramStores: 200}
+	}
+	return profile{computeCycles: 1_000_000, dramLines: 4_000}
+}
+
+// UnitCost returns the cost of one work unit of kind k.
+func (k Kind) UnitCost() workload.Cost {
+	p := k.profile()
+	c := workload.Compute(p.computeCycles)
+	c.Add(workload.MemRead(workload.DRAM, p.dramLines))
+	c.Add(workload.MemRead(workload.L3, p.l3Lines))
+	c.Add(workload.MemWrite(workload.DRAM, p.dramStores))
+	return c
+}
+
+// Spec describes a batch job submission.
+type Spec struct {
+	Kind Kind
+	// Containers is the number of Yarn containers.
+	Containers int
+	// ThreadsPerContainer is the executor parallelism per container.
+	ThreadsPerContainer int
+	// WorkUnitsPerThread is the total work per thread, in ~1 ms units.
+	// The paper's jobs run ~3 minutes; time-compressed experiments use
+	// proportionally fewer units.
+	WorkUnitsPerThread int
+	// MemoryBytes is the per-container memory limit (cgroup).
+	MemoryBytes int64
+}
+
+// Validate reports spec errors.
+func (s Spec) Validate() error {
+	if s.Containers <= 0 || s.ThreadsPerContainer <= 0 || s.WorkUnitsPerThread <= 0 {
+		return fmt.Errorf("batch: invalid spec %+v", s)
+	}
+	return nil
+}
+
+// TotalWorkUnits returns the job's aggregate work.
+func (s Spec) TotalWorkUnits() int {
+	return s.Containers * s.ThreadsPerContainer * s.WorkUnitsPerThread
+}
+
+// DefaultSpec returns the evaluation's standard job shape: a KMeans job
+// of 4 containers x 2 threads sized to last roughly durationUnits
+// milliseconds of single-thread work per thread.
+func DefaultSpec(kind Kind, workUnitsPerThread int) Spec {
+	return Spec{
+		Kind:                kind,
+		Containers:          4,
+		ThreadsPerContainer: 2,
+		WorkUnitsPerThread:  workUnitsPerThread,
+		MemoryBytes:         4 << 30,
+	}
+}

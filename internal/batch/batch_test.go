@@ -1,0 +1,59 @@
+package batch
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestUnitCostsAreRealistic(t *testing.T) {
+	for _, k := range Kinds() {
+		c := k.UnitCost()
+		if c.ComputeCycles <= 0 {
+			t.Fatalf("%v has no compute", k)
+		}
+		if c.Acc[3].Loads == 0 { // DRAM loads
+			t.Fatalf("%v generates no DRAM traffic; it could not interfere", k)
+		}
+		// One unit is roughly 1 ms at 2 GHz: effective cycles within
+		// [0.3 ms, 3 ms] uncontended (compute + 85ns/line DRAM).
+		eff := c.ComputeCycles + float64(c.Acc[3].Loads)*170 + float64(c.Acc[2].Loads)*30
+		ns := eff / 2.0
+		if ns < 300_000 || ns > 3_000_000 {
+			t.Fatalf("%v unit ~%.0f ns, outside the ~1 ms design point", k, ns)
+		}
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec(KMeans, 100)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalWorkUnits() != 4*2*100 {
+		t.Fatalf("TotalWorkUnits = %d", s.TotalWorkUnits())
+	}
+}
+
+func TestValidateRejectsZeroFields(t *testing.T) {
+	cases := []Spec{
+		{Kind: KMeans, Containers: 0, ThreadsPerContainer: 1, WorkUnitsPerThread: 1},
+		{Kind: KMeans, Containers: 1, ThreadsPerContainer: 0, WorkUnitsPerThread: 1},
+		{Kind: KMeans, Containers: 1, ThreadsPerContainer: 1, WorkUnitsPerThread: 0},
+	}
+	for i, s := range cases {
+		if s.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

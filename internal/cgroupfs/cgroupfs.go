@@ -1,0 +1,241 @@
+// Package cgroupfs emulates the slice of the Linux cgroup v1 filesystem
+// that the paper's deployment relies on: Yarn's NodeManager creates one
+// cgroup directory per batch-job container, writes its cpuset and memory
+// limit, and registers the container PIDs; Holmes discovers batch jobs by
+// watching these directories appear and disappear (paper §4.2, §5).
+//
+// The emulation is a passive in-memory tree with watch events. Applying a
+// cpuset to actual threads is the job of whoever writes it (the Yarn node
+// manager or the Holmes scheduler) through kernel.SetAffinity — exactly as
+// in the paper, where Holmes adjusts cores with sched_setaffinity rather
+// than through the cgroup controller.
+package cgroupfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+)
+
+// EventType identifies a change in the cgroup tree.
+type EventType int
+
+// Event types delivered to watchers.
+const (
+	GroupCreated EventType = iota
+	GroupRemoved
+	PidsChanged
+	CpusetChanged
+)
+
+// String returns the event type name.
+func (e EventType) String() string {
+	switch e {
+	case GroupCreated:
+		return "created"
+	case GroupRemoved:
+		return "removed"
+	case PidsChanged:
+		return "pids-changed"
+	case CpusetChanged:
+		return "cpuset-changed"
+	}
+	return fmt.Sprintf("EventType(%d)", int(e))
+}
+
+// Event is a cgroup tree change notification.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// Watcher receives cgroup tree events, in the role of Holmes's directory
+// scanner (inotify on the real system).
+type Watcher func(ev Event)
+
+// FS is the in-memory cgroup filesystem.
+type FS struct {
+	root     *Group
+	watchers []Watcher
+}
+
+// Group is one cgroup directory.
+type Group struct {
+	fs       *FS
+	name     string
+	parent   *Group
+	children map[string]*Group
+
+	cpuset   cpuid.Mask
+	memLimit int64
+	pids     map[int]bool
+	removed  bool
+}
+
+// NewFS creates an empty cgroup filesystem with a root group at "/".
+func NewFS() *FS {
+	fs := &FS{}
+	fs.root = &Group{fs: fs, name: "", children: map[string]*Group{}, pids: map[int]bool{}}
+	return fs
+}
+
+// Watch registers a watcher for all tree events.
+func (fs *FS) Watch(w Watcher) { fs.watchers = append(fs.watchers, w) }
+
+func (fs *FS) emit(ev Event) {
+	for _, w := range fs.watchers {
+		w(ev)
+	}
+}
+
+// Root returns the root group.
+func (fs *FS) Root() *Group { return fs.root }
+
+// splitPath normalizes "/a/b/" into ["a","b"].
+func splitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mkdir creates a group at path, creating parents as needed (mkdir -p).
+// Creating an existing path returns the existing group without events.
+func (fs *FS) Mkdir(path string) (*Group, error) {
+	g := fs.root
+	for _, name := range splitPath(path) {
+		child, ok := g.children[name]
+		if !ok {
+			child = &Group{
+				fs:       fs,
+				name:     name,
+				parent:   g,
+				children: map[string]*Group{},
+				pids:     map[int]bool{},
+				cpuset:   g.cpuset, // inherit parent's cpuset
+			}
+			g.children[name] = child
+			fs.emit(Event{Type: GroupCreated, Path: child.Path()})
+		}
+		g = child
+	}
+	return g, nil
+}
+
+// Lookup returns the group at path, or nil.
+func (fs *FS) Lookup(path string) *Group {
+	g := fs.root
+	for _, name := range splitPath(path) {
+		child, ok := g.children[name]
+		if !ok {
+			return nil
+		}
+		g = child
+	}
+	return g
+}
+
+// Rmdir removes the group at path. Like the real cgroupfs it refuses to
+// remove a group that still has children or attached PIDs.
+func (fs *FS) Rmdir(path string) error {
+	g := fs.Lookup(path)
+	if g == nil {
+		return fmt.Errorf("cgroupfs: %s: no such group", path)
+	}
+	if g == fs.root {
+		return fmt.Errorf("cgroupfs: cannot remove root")
+	}
+	if len(g.children) > 0 {
+		return fmt.Errorf("cgroupfs: %s: group has children (EBUSY)", path)
+	}
+	if len(g.pids) > 0 {
+		return fmt.Errorf("cgroupfs: %s: group has %d attached pids (EBUSY)", path, len(g.pids))
+	}
+	delete(g.parent.children, g.name)
+	g.removed = true
+	fs.emit(Event{Type: GroupRemoved, Path: path})
+	return nil
+}
+
+// Path returns the absolute path of the group.
+func (g *Group) Path() string {
+	if g.parent == nil {
+		return "/"
+	}
+	parentPath := g.parent.Path()
+	if parentPath == "/" {
+		return "/" + g.name
+	}
+	return parentPath + "/" + g.name
+}
+
+// Children returns the child groups sorted by name.
+func (g *Group) Children() []*Group {
+	out := make([]*Group, 0, len(g.children))
+	for _, c := range g.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// SetCpuset writes the group's cpuset.cpus file.
+func (g *Group) SetCpuset(mask cpuid.Mask) {
+	if g.cpuset.Equal(mask) {
+		return
+	}
+	g.cpuset = mask
+	g.fs.emit(Event{Type: CpusetChanged, Path: g.Path()})
+}
+
+// Cpuset reads the group's cpuset.cpus file.
+func (g *Group) Cpuset() cpuid.Mask { return g.cpuset }
+
+// SetMemoryLimit writes memory.limit_in_bytes.
+func (g *Group) SetMemoryLimit(bytes int64) { g.memLimit = bytes }
+
+// MemoryLimit reads memory.limit_in_bytes (0 = unlimited).
+func (g *Group) MemoryLimit() int64 { return g.memLimit }
+
+// AddPid attaches a process to the group (writing cgroup.procs).
+func (g *Group) AddPid(pid int) {
+	if g.removed {
+		return
+	}
+	if !g.pids[pid] {
+		g.pids[pid] = true
+		g.fs.emit(Event{Type: PidsChanged, Path: g.Path()})
+	}
+}
+
+// RemovePid detaches a process.
+func (g *Group) RemovePid(pid int) {
+	if g.pids[pid] {
+		delete(g.pids, pid)
+		g.fs.emit(Event{Type: PidsChanged, Path: g.Path()})
+	}
+}
+
+// Pids returns the attached PIDs in ascending order.
+func (g *Group) Pids() []int {
+	out := make([]int, 0, len(g.pids))
+	for pid := range g.pids {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Walk visits g and all descendants depth-first in sorted order.
+func (g *Group) Walk(fn func(*Group)) {
+	fn(g)
+	for _, c := range g.Children() {
+		c.Walk(fn)
+	}
+}

@@ -1,0 +1,182 @@
+package cgroupfs
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+)
+
+func TestMkdirLookup(t *testing.T) {
+	fs := NewFS()
+	g, err := fs.Mkdir("/yarn/container_01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Path() != "/yarn/container_01" {
+		t.Fatalf("Path = %q", g.Path())
+	}
+	if fs.Lookup("/yarn/container_01") != g {
+		t.Fatal("Lookup failed")
+	}
+	if fs.Lookup("/yarn") == nil {
+		t.Fatal("intermediate group not created")
+	}
+	if fs.Lookup("/nope") != nil {
+		t.Fatal("Lookup of missing path should be nil")
+	}
+}
+
+func TestMkdirIdempotent(t *testing.T) {
+	fs := NewFS()
+	a, _ := fs.Mkdir("/a/b")
+	b, _ := fs.Mkdir("/a/b")
+	if a != b {
+		t.Fatal("mkdir of existing path should return same group")
+	}
+}
+
+func TestWatchCreateRemove(t *testing.T) {
+	fs := NewFS()
+	var events []Event
+	fs.Watch(func(ev Event) { events = append(events, ev) })
+	fs.Mkdir("/yarn/c1")
+	if len(events) != 2 || events[0].Type != GroupCreated || events[1].Path != "/yarn/c1" {
+		t.Fatalf("events = %+v", events)
+	}
+	events = nil
+	if err := fs.Rmdir("/yarn/c1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != GroupRemoved {
+		t.Fatalf("remove events = %+v", events)
+	}
+}
+
+func TestRmdirGuards(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/a/b")
+	if err := fs.Rmdir("/a"); err == nil {
+		t.Fatal("removing group with children should fail")
+	}
+	g := fs.Lookup("/a/b")
+	g.AddPid(42)
+	if err := fs.Rmdir("/a/b"); err == nil {
+		t.Fatal("removing group with pids should fail")
+	}
+	g.RemovePid(42)
+	if err := fs.Rmdir("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/a/b"); err == nil {
+		t.Fatal("double remove should fail")
+	}
+	if err := fs.Rmdir("/"); err == nil {
+		t.Fatal("removing root should fail")
+	}
+}
+
+func TestPids(t *testing.T) {
+	fs := NewFS()
+	g, _ := fs.Mkdir("/c")
+	changes := 0
+	fs.Watch(func(ev Event) {
+		if ev.Type == PidsChanged {
+			changes++
+		}
+	})
+	g.AddPid(3)
+	g.AddPid(1)
+	g.AddPid(3) // duplicate: no event
+	pids := g.Pids()
+	if len(pids) != 2 || pids[0] != 1 || pids[1] != 3 {
+		t.Fatalf("Pids = %v", pids)
+	}
+	if changes != 2 {
+		t.Fatalf("PidsChanged events = %d", changes)
+	}
+	g.RemovePid(1)
+	g.RemovePid(99) // absent: no event
+	if len(g.Pids()) != 1 || changes != 3 {
+		t.Fatalf("after remove: pids=%v changes=%d", g.Pids(), changes)
+	}
+}
+
+func TestCpusetInheritanceAndEvents(t *testing.T) {
+	fs := NewFS()
+	parent, _ := fs.Mkdir("/yarn")
+	parent.SetCpuset(cpuid.MaskOf(4, 5, 6, 7))
+	child, _ := fs.Mkdir("/yarn/c1")
+	if !child.Cpuset().Equal(cpuid.MaskOf(4, 5, 6, 7)) {
+		t.Fatalf("child cpuset = %v", child.Cpuset())
+	}
+	cnt := 0
+	fs.Watch(func(ev Event) {
+		if ev.Type == CpusetChanged {
+			cnt++
+		}
+	})
+	child.SetCpuset(cpuid.MaskOf(4))
+	child.SetCpuset(cpuid.MaskOf(4)) // no-op: no event
+	if cnt != 1 {
+		t.Fatalf("CpusetChanged events = %d", cnt)
+	}
+}
+
+func TestMemoryLimit(t *testing.T) {
+	fs := NewFS()
+	g, _ := fs.Mkdir("/c")
+	if g.MemoryLimit() != 0 {
+		t.Fatal("default limit should be 0 (unlimited)")
+	}
+	g.SetMemoryLimit(4 << 30)
+	if g.MemoryLimit() != 4<<30 {
+		t.Fatal("limit not stored")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/b/x")
+	fs.Mkdir("/a")
+	fs.Mkdir("/b/y")
+	var paths []string
+	fs.Root().Walk(func(g *Group) { paths = append(paths, g.Path()) })
+	want := []string{"/", "/a", "/b", "/b/x", "/b/y"}
+	if len(paths) != len(want) {
+		t.Fatalf("Walk = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Walk = %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/z")
+	fs.Mkdir("/a")
+	fs.Mkdir("/m")
+	kids := fs.Root().Children()
+	if len(kids) != 3 || kids[0].name != "a" || kids[2].name != "z" {
+		t.Fatalf("Children order wrong")
+	}
+}
+
+func TestAddPidToRemovedGroupIgnored(t *testing.T) {
+	fs := NewFS()
+	g, _ := fs.Mkdir("/c")
+	_ = fs.Rmdir("/c")
+	g.AddPid(7)
+	if len(g.Pids()) != 0 {
+		t.Fatal("pid added to removed group")
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	for _, e := range []EventType{GroupCreated, GroupRemoved, PidsChanged, CpusetChanged, EventType(42)} {
+		if e.String() == "" {
+			t.Fatalf("empty string for %d", int(e))
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package core implements Holmes, the paper's primary contribution: a
+// user-space daemon that diagnoses SMT interference on memory access with
+// the VPI metric (counter value per LOAD+STORE instruction, Equation 1,
+// using HPE STALLS_MEM_ANY 0x14A3) and schedules CPUs so that best-effort
+// batch jobs borrow the hyperthread siblings of latency-critical cores
+// only while that metric says they are harmless.
+//
+// The daemon talks to the system through exactly the interfaces the real
+// implementation uses: perf_event_open-style counters (internal/perf),
+// sched_setaffinity (internal/kernel), and the cgroup filesystem
+// (internal/cgroupfs) for batch-job discovery. Algorithms 1-3 of the
+// paper map onto the daemon's launch (RegisterLC, cgroup discovery),
+// running (tick) and exit (reapExitedLC, cgroup removal) paths.
+package core
+
+import (
+	"fmt"
+
+	"github.com/holmes-colocation/holmes/internal/hpe"
+)
+
+// Metric selects the interference signal the scheduler keys on.
+type Metric string
+
+// Trigger metrics. MetricVPI is Holmes; MetricUsage is the naive
+// alternative the paper's Challenge I dismisses ("CPU usage might be an
+// indicator... however, a high CPU usage does not necessarily incur a
+// large number of memory accesses"), kept as an ablation.
+const (
+	MetricVPI   Metric = "vpi"
+	MetricUsage Metric = "usage"
+)
+
+// Config holds Holmes's tunables. Defaults are the paper's §5 settings.
+type Config struct {
+	// ReservedCPUs is the number of logical CPUs initially reserved for
+	// latency-critical services (paper: 4 on a 32-logical-CPU server).
+	ReservedCPUs int
+	// Event is the HPE used for the VPI metric. The paper selects
+	// STALLS_MEM_ANY (0x14A3) via the Table 1 correlation study.
+	Event hpe.Event
+	// E is the VPI deallocation threshold (paper: 40). When the VPI of
+	// an LC CPU reaches E, batch jobs are evicted from its sibling.
+	E float64
+	// T is the reserved-CPU usage fraction that triggers expansion
+	// (paper: 0.8).
+	T float64
+	// SNs is how long an LC CPU's VPI must stay below E before its
+	// sibling is re-offered to batch jobs (paper: S seconds).
+	SNs int64
+	// IntervalNs is the monitor/scheduler invocation interval (paper:
+	// 50 µs in §5, 100 µs in the evaluation discussion).
+	IntervalNs int64
+	// YarnRoot is the cgroup directory watched for batch containers.
+	YarnRoot string
+	// DaemonCPU pins the Holmes daemon thread (paper §6.6 suggests a
+	// separate core). -1 disables overhead modeling.
+	DaemonCPU int
+	// ServingUsageThreshold is the per-LC-CPU busy fraction above which
+	// the service counts as serving traffic (§4.2 determines serving
+	// status from CPU usage).
+	ServingUsageThreshold float64
+	// TriggerMetric selects the eviction signal: MetricVPI (Holmes) or
+	// MetricUsage (the naive ablation: evict the sibling whenever the
+	// LC CPU's own usage exceeds UsageEvictThreshold, blind to whether
+	// the load actually touches memory).
+	TriggerMetric Metric
+	// UsageEvictThreshold applies under MetricUsage.
+	UsageEvictThreshold float64
+	// EnableShrink releases CPUs acquired by pool expansion once the
+	// reserved pool's smoothed usage would fit comfortably in a smaller
+	// pool (an extension; the paper only describes expansion). The pool
+	// never shrinks below ReservedCPUs.
+	EnableShrink bool
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		ReservedCPUs:          4,
+		Event:                 hpe.StallsMemAny,
+		E:                     40,
+		T:                     0.8,
+		SNs:                   1_000_000_000, // 1 s
+		IntervalNs:            100_000,       // 100 µs
+		YarnRoot:              "/yarn",
+		DaemonCPU:             -1,
+		ServingUsageThreshold: 0.05,
+		TriggerMetric:         MetricVPI,
+		UsageEvictThreshold:   0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ReservedCPUs <= 0 {
+		return fmt.Errorf("core: ReservedCPUs must be positive")
+	}
+	if c.E <= 0 {
+		return fmt.Errorf("core: threshold E must be positive")
+	}
+	if c.T <= 0 || c.T >= 1 {
+		return fmt.Errorf("core: threshold T must be in (0,1)")
+	}
+	if c.SNs < 0 || c.IntervalNs <= 0 {
+		return fmt.Errorf("core: invalid timing parameters")
+	}
+	switch c.TriggerMetric {
+	case "", MetricVPI, MetricUsage:
+	default:
+		return fmt.Errorf("core: unknown trigger metric %q", c.TriggerMetric)
+	}
+	return nil
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/cgroupfs"
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// Daemon is the Holmes user-space daemon: the metric monitor plus the
+// interference-aware CPU scheduler, invoked every Config.IntervalNs of
+// simulated time.
+type Daemon struct {
+	cfg Config
+	m   *machine.Machine
+	k   *kernel.Kernel
+	fs  *cgroupfs.FS
+	mon *Monitor
+
+	// reserved is the LC CPU set (Table 2: reserved CPUs host
+	// latency-critical services; batch jobs may never run there).
+	reserved cpuid.Mask
+	// lcPids are the registered latency-critical service processes.
+	lcPids map[int]*kernel.Process
+	// containers tracks live batch containers by cgroup path.
+	containers map[string]*kernel.Process
+
+	// siblingAllowed[p], for an LC CPU p, reports whether batch jobs may
+	// currently use p's hyperthread sibling.
+	siblingAllowed map[int]bool
+	// quietSince[p] is when VPI(p) last dropped below E; -1 while >= E.
+	quietSince map[int]int64
+
+	stop    func()
+	stopped bool
+
+	// Overhead modeling: the daemon's own work runs on this process.
+	daemonProc *kernel.Process
+
+	// expansionOrder records CPUs acquired by pool expansion, newest
+	// last, so shrinking releases them in reverse order.
+	expansionOrder []int
+
+	// Statistics.
+	invocations   int64
+	deallocations int64
+	reallocations int64
+	expansions    int64
+	shrinks       int64
+	// lastDeallocNs records when the most recent sibling eviction was
+	// applied (used by the convergence experiment).
+	lastDeallocNs int64
+}
+
+// Start launches Holmes on a machine. The kernel and cgroup filesystem
+// are the daemon's only interfaces to the system.
+func Start(k *kernel.Kernel, fs *cgroupfs.FS, cfg Config) (*Daemon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := k.Machine()
+	if cfg.ReservedCPUs > m.Topology().PhysicalCores() {
+		return nil, fmt.Errorf("core: %d reserved CPUs exceed the %d physical cores",
+			cfg.ReservedCPUs, m.Topology().PhysicalCores())
+	}
+	mon, err := NewMonitor(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:            cfg,
+		m:              m,
+		k:              k,
+		fs:             fs,
+		mon:            mon,
+		lcPids:         map[int]*kernel.Process{},
+		containers:     map[string]*kernel.Process{},
+		siblingAllowed: map[int]bool{},
+		quietSince:     map[int]int64{},
+		lastDeallocNs:  -1,
+	}
+	// Reserve the first ReservedCPUs logical CPUs, one per physical core
+	// (thread 0 of cores 0..n-1 in the Linux enumeration), so their
+	// siblings are distinct CPUs Holmes can lend out.
+	for i := 0; i < cfg.ReservedCPUs; i++ {
+		d.reserved.Set(i)
+		d.siblingAllowed[i] = true
+		d.quietSince[i] = m.Now()
+	}
+
+	// Discover batch containers through the cgroup tree (paper §4.2:
+	// "Holmes monitors directories in the cgroup file system to detect
+	// batch jobs").
+	fs.Watch(d.onCgroupEvent)
+	d.adoptExistingContainers()
+
+	// Overhead modeling: the daemon runs as a process whose thread
+	// executes a small work item per invocation.
+	if cfg.DaemonCPU >= 0 {
+		d.daemonProc = k.Spawn("holmesd", 1)
+		_ = d.daemonProc.SetAffinity(cpuid.MaskOf(cfg.DaemonCPU))
+	}
+
+	d.stop = m.SchedulePeriodic(cfg.IntervalNs, d.tick)
+	return d, nil
+}
+
+// Stop halts the daemon; affinities keep their last values.
+func (d *Daemon) Stop() {
+	if !d.stopped {
+		d.stopped = true
+		d.stop()
+	}
+}
+
+// ReservedCPUs returns the current reserved (LC) CPU mask.
+func (d *Daemon) ReservedCPUs() cpuid.Mask { return d.reserved }
+
+// Monitor exposes the metric monitor (read-only use).
+func (d *Daemon) Monitor() *Monitor { return d.mon }
+
+// Stats returns (invocations, deallocations, reallocations, expansions).
+func (d *Daemon) Stats() (inv, dealloc, realloc, expand int64) {
+	return d.invocations, d.deallocations, d.reallocations, d.expansions
+}
+
+// Shrinks returns the number of pool contractions (EnableShrink only).
+func (d *Daemon) Shrinks() int64 { return d.shrinks }
+
+// LastDeallocNs returns the time of the most recent sibling eviction, or
+// -1 if none happened yet.
+func (d *Daemon) LastDeallocNs() int64 { return d.lastDeallocNs }
+
+// CPUTimeNs returns the daemon's own accumulated CPU time (§6.6 overhead
+// accounting), or 0 when overhead modeling is disabled.
+func (d *Daemon) CPUTimeNs() float64 {
+	if d.daemonProc == nil {
+		return 0
+	}
+	return d.daemonProc.CPUTimeNs()
+}
+
+// SiblingAllowed reports whether batch may use the sibling of LC CPU p.
+func (d *Daemon) SiblingAllowed(p int) bool { return d.siblingAllowed[p] }
+
+// RegisterLC registers a latency-critical service by PID (paper §5: the
+// administrator specifies the PID at service launch) and applies
+// Algorithm 1: the service is allocated the reserved CPUs.
+func (d *Daemon) RegisterLC(pid int) error {
+	p := d.k.Process(pid)
+	if p == nil {
+		return fmt.Errorf("core: no such process %d", pid)
+	}
+	d.lcPids[pid] = p
+	return p.SetAffinity(d.reserved)
+}
+
+// BatchMask returns the CPUs batch jobs may currently use: every
+// non-reserved CPU whose LC sibling (if any) permits it.
+func (d *Daemon) BatchMask() cpuid.Mask {
+	topo := d.m.Topology()
+	all := cpuid.FullMask(topo.LogicalCPUs())
+	mask := all.Subtract(d.reserved)
+	for _, lc := range d.reserved.CPUs() {
+		if !d.siblingAllowed[lc] {
+			mask.Clear(topo.SiblingOf(lc))
+		}
+	}
+	return mask
+}
+
+// onCgroupEvent implements batch-job discovery (Algorithm 1 for batch)
+// and the batch-exit half of Algorithm 3.
+func (d *Daemon) onCgroupEvent(ev cgroupfs.Event) {
+	if d.stopped || !strings.HasPrefix(ev.Path, d.cfg.YarnRoot+"/") {
+		return
+	}
+	switch ev.Type {
+	case cgroupfs.PidsChanged:
+		g := d.fs.Lookup(ev.Path)
+		if g == nil {
+			return
+		}
+		for _, pid := range g.Pids() {
+			if _, known := d.containers[ev.Path]; known {
+				continue
+			}
+			proc := d.k.Process(pid)
+			if proc == nil {
+				continue
+			}
+			d.containers[ev.Path] = proc
+			// Launching allocation: non-reserved CPUs, with LC siblings
+			// only as currently permitted. The kernel's placement
+			// prefers the least-loaded allowed CPU, which fills
+			// non-sibling CPUs before contended siblings.
+			_ = proc.SetAffinity(d.BatchMask())
+		}
+	case cgroupfs.GroupRemoved:
+		if _, ok := d.containers[ev.Path]; ok {
+			delete(d.containers, ev.Path)
+			// Algorithm 3: when batch work on non-sibling CPUs exits,
+			// remaining containers spread back onto the freed CPUs.
+			// Affinity masks already include them; the kernel's idle
+			// stealing performs the migration.
+		}
+	}
+}
+
+// adoptExistingContainers picks up containers created before Holmes
+// started.
+func (d *Daemon) adoptExistingContainers() {
+	root := d.fs.Lookup(d.cfg.YarnRoot)
+	if root == nil {
+		return
+	}
+	root.Walk(func(g *cgroupfs.Group) {
+		for _, pid := range g.Pids() {
+			proc := d.k.Process(pid)
+			if proc == nil {
+				continue
+			}
+			d.containers[g.Path()] = proc
+			_ = proc.SetAffinity(d.BatchMask())
+		}
+	})
+}
+
+// tick is one monitor + scheduler invocation.
+func (d *Daemon) tick(nowNs int64) {
+	if d.stopped {
+		return
+	}
+	d.invocations++
+	d.mon.Sample(nowNs)
+	d.reapExitedLC()
+
+	changed := false
+
+	// Algorithm 2, lines 1-16: per-LC-CPU sibling control by the
+	// interference signal (VPI for Holmes; raw usage for the ablation).
+	for _, lc := range d.reserved.CPUs() {
+		interfered := false
+		if d.cfg.TriggerMetric == MetricUsage {
+			interfered = d.mon.Usage(lc) >= d.cfg.UsageEvictThreshold
+		} else {
+			interfered = d.mon.VPI(lc) >= d.cfg.E
+		}
+		if interfered {
+			d.quietSince[lc] = -1
+			if d.siblingAllowed[lc] {
+				d.siblingAllowed[lc] = false
+				d.deallocations++
+				d.lastDeallocNs = nowNs
+				changed = true
+			}
+			continue
+		}
+		if d.quietSince[lc] < 0 {
+			d.quietSince[lc] = nowNs
+		}
+		if !d.siblingAllowed[lc] && nowNs-d.quietSince[lc] >= d.cfg.SNs {
+			d.siblingAllowed[lc] = true
+			d.reallocations++
+			changed = true
+		}
+	}
+
+	// Algorithm 2, lines 17-20: reserved-pool expansion when usage
+	// exceeds T of capacity.
+	if d.expandIfNeeded(nowNs) {
+		changed = true
+	}
+	if d.cfg.EnableShrink && d.shrinkIfIdle() {
+		changed = true
+	}
+
+	if changed {
+		d.applyBatchMask()
+	}
+
+	// Overhead modeling: the invocation's own CPU cost.
+	if d.daemonProc != nil && !d.daemonProc.Exited() {
+		n := int64(d.m.Topology().LogicalCPUs())
+		c := workload.Compute(float64(60*n) + 800)
+		c.Add(workload.MemRead(workload.L2, n/4+2))
+		d.daemonProc.Threads()[0].HW.Push(workload.Work(c))
+	}
+}
+
+// reapExitedLC implements the LC half of Algorithm 3: when a registered
+// service exits, its siblings return to batch jobs.
+func (d *Daemon) reapExitedLC() {
+	changed := false
+	for pid, p := range d.lcPids {
+		if p.Exited() {
+			delete(d.lcPids, pid)
+			changed = true
+		}
+	}
+	if changed && len(d.lcPids) == 0 {
+		for _, lc := range d.reserved.CPUs() {
+			if !d.siblingAllowed[lc] {
+				d.siblingAllowed[lc] = true
+				d.reallocations++
+			}
+		}
+		d.applyBatchMask()
+	}
+}
+
+// expandIfNeeded grows the reserved pool by one CPU when average reserved
+// usage exceeds T. The chosen CPU is never a sibling of a current LC CPU;
+// batch jobs are evicted from it (and its sibling starts blocked).
+func (d *Daemon) expandIfNeeded(nowNs int64) bool {
+	cpus := d.reserved.CPUs()
+	var usage float64
+	for _, lc := range cpus {
+		usage += d.mon.SmoothedUsage(lc)
+	}
+	if usage <= d.cfg.T*float64(len(cpus)) {
+		return false
+	}
+	// Capacity beyond the services' live thread count serves nothing:
+	// §4.2's thread-to-processor monitoring bounds useful growth (the
+	// paper expands "until the capacity is enough to serve the
+	// latency-critical service").
+	lcThreads := 0
+	for _, p := range d.lcPids {
+		lcThreads += len(p.Threads())
+	}
+	if len(cpus) >= lcThreads {
+		return false
+	}
+	topo := d.m.Topology()
+	// Candidates: not reserved, not a sibling of a reserved CPU.
+	forbidden := d.reserved
+	for _, lc := range cpus {
+		forbidden.Set(topo.SiblingOf(lc))
+	}
+	best, bestUsage := -1, 2.0
+	for p := 0; p < topo.LogicalCPUs(); p++ {
+		if forbidden.Has(p) {
+			continue
+		}
+		if u := d.mon.Usage(p); u < bestUsage {
+			best, bestUsage = p, u
+		}
+	}
+	if best < 0 {
+		return false // nothing left to take
+	}
+	d.reserved.Set(best)
+	d.siblingAllowed[best] = false // deallocate batch from the sibling
+	d.quietSince[best] = -1
+	d.expansionOrder = append(d.expansionOrder, best)
+	d.expansions++
+	// Extend every LC service onto the grown pool.
+	for _, p := range d.lcPids {
+		_ = p.SetAffinity(d.reserved)
+	}
+	return true
+}
+
+// shrinkIfIdle releases the most recently expanded CPU when the reserved
+// pool's smoothed usage would fit in a pool one CPU smaller with headroom
+// (the inverse of the expansion rule, with hysteresis from the EWMA).
+func (d *Daemon) shrinkIfIdle() bool {
+	if len(d.expansionOrder) == 0 {
+		return false
+	}
+	cpus := d.reserved.CPUs()
+	var usage float64
+	for _, lc := range cpus {
+		usage += d.mon.SmoothedUsage(lc)
+	}
+	// Shrink only if the load would keep the smaller pool below T/2 —
+	// well away from the expansion trigger, so the pool cannot flap.
+	if usage >= d.cfg.T*float64(len(cpus)-1)/2 {
+		return false
+	}
+	last := d.expansionOrder[len(d.expansionOrder)-1]
+	d.expansionOrder = d.expansionOrder[:len(d.expansionOrder)-1]
+	d.reserved.Clear(last)
+	d.siblingAllowed[last] = true // the CPU and its sibling return to batch
+	delete(d.quietSince, last)
+	d.shrinks++
+	for _, p := range d.lcPids {
+		_ = p.SetAffinity(d.reserved)
+	}
+	return true
+}
+
+// applyBatchMask pushes the current batch CPU set to every container.
+func (d *Daemon) applyBatchMask() {
+	mask := d.BatchMask()
+	for path, proc := range d.containers {
+		if proc.Exited() {
+			delete(d.containers, path)
+			continue
+		}
+		_ = proc.SetAffinity(mask)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/perf"
+)
+
+// Monitor is Holmes's metric monitor (§4.2): each invocation it samples,
+// for every logical CPU, the VPI of the configured event over the last
+// interval and the CPU usage, and aggregates both per physical core.
+type Monitor struct {
+	m   *machine.Machine
+	cfg Config
+
+	vpiGroups []*perf.VPIGroup
+	prevBusy  []float64
+	lastNs    int64
+
+	// Latest samples, per logical CPU.
+	vpi   []float64
+	usage []float64
+	// smoothed is an exponentially weighted usage average (~10 ms time
+	// constant). Instantaneous 100 µs windows flip between 0 and 1 on a
+	// bursty service; expansion decisions need the sustained level.
+	smoothed []float64
+	// Per-physical-core aggregates (both hardware threads accumulated,
+	// §4.2 "aggregated per core").
+	coreVPI   []float64
+	coreUsage []float64
+}
+
+// NewMonitor opens the counters and takes the initial snapshot.
+func NewMonitor(m *machine.Machine, cfg Config) (*Monitor, error) {
+	n := m.Topology().LogicalCPUs()
+	mon := &Monitor{
+		m:         m,
+		cfg:       cfg,
+		vpiGroups: make([]*perf.VPIGroup, n),
+		prevBusy:  make([]float64, n),
+		vpi:       make([]float64, n),
+		usage:     make([]float64, n),
+		smoothed:  make([]float64, n),
+		coreVPI:   make([]float64, m.Topology().PhysicalCores()),
+		coreUsage: make([]float64, m.Topology().PhysicalCores()),
+		lastNs:    m.Now(),
+	}
+	for p := 0; p < n; p++ {
+		g, err := perf.OpenVPI(m, cfg.Event, p)
+		if err != nil {
+			return nil, err
+		}
+		mon.vpiGroups[p] = g
+		mon.prevBusy[p] = m.BusyCycles(p)
+	}
+	return mon, nil
+}
+
+// Sample refreshes all metrics for the interval since the last call.
+func (mon *Monitor) Sample(nowNs int64) {
+	window := nowNs - mon.lastNs
+	mon.lastNs = nowNs
+	for i := range mon.coreVPI {
+		mon.coreVPI[i] = 0
+		mon.coreUsage[i] = 0
+	}
+	topo := mon.m.Topology()
+	for p := range mon.vpiGroups {
+		mon.vpi[p] = mon.vpiGroups[p].Sample()
+		busy := mon.m.BusyCycles(p)
+		if window > 0 {
+			mon.usage[p] = clamp01((busy - mon.prevBusy[p]) /
+				(mon.m.Config().FreqGHz * float64(window)))
+		}
+		mon.prevBusy[p] = busy
+		alpha := float64(window) / 10e6 // ~10 ms time constant
+		if alpha > 1 {
+			alpha = 1
+		}
+		mon.smoothed[p] += alpha * (mon.usage[p] - mon.smoothed[p])
+		c := topo.CoreOf(p)
+		mon.coreVPI[c] += mon.vpi[p]
+		mon.coreUsage[c] += mon.usage[p]
+	}
+}
+
+// VPI returns the last sampled VPI of logical CPU p.
+func (mon *Monitor) VPI(p int) float64 { return mon.vpi[p] }
+
+// Usage returns the last sampled busy fraction of logical CPU p.
+func (mon *Monitor) Usage(p int) float64 { return mon.usage[p] }
+
+// SmoothedUsage returns the EWMA busy fraction of logical CPU p.
+func (mon *Monitor) SmoothedUsage(p int) float64 { return mon.smoothed[p] }
+
+// CoreVPI returns the last sampled per-core VPI sum for physical core c.
+func (mon *Monitor) CoreVPI(c int) float64 { return mon.coreVPI[c] }
+
+// CoreUsage returns the per-core busy sum (0..2) for physical core c.
+func (mon *Monitor) CoreUsage(c int) float64 { return mon.coreUsage[c] }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

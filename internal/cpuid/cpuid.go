@@ -1,0 +1,84 @@
+// Package cpuid describes the simulated machine topology: physical cores
+// with two hardware threads each (Intel Hyper-Threading style), and the
+// Linux-style logical CPU enumeration Holmes relies on to map logical
+// processors to cores and find hyperthread siblings.
+//
+// The enumeration follows the common Linux x86 layout for a single socket:
+// logical CPU c is thread 0 of physical core c, and logical CPU c+Cores is
+// thread 1 of the same core. With two sockets the cores are concatenated.
+package cpuid
+
+import "fmt"
+
+// SMTWays is the number of hardware threads per physical core. Holmes
+// targets Intel HT, which is 2-way; the whole reproduction assumes this.
+const SMTWays = 2
+
+// Topology describes a simulated server's CPU layout.
+type Topology struct {
+	Sockets int // number of CPU packages
+	Cores   int // physical cores per socket
+}
+
+// DefaultTopology mirrors the paper's evaluation server at the scale used
+// throughout §2 and §3: 16 physical cores exposing 32 logical CPUs.
+func DefaultTopology() Topology { return Topology{Sockets: 1, Cores: 16} }
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.Sockets <= 0 || t.Cores <= 0 {
+		return fmt.Errorf("cpuid: invalid topology %+v", t)
+	}
+	return nil
+}
+
+// PhysicalCores returns the total number of physical cores.
+func (t Topology) PhysicalCores() int { return t.Sockets * t.Cores }
+
+// LogicalCPUs returns the total number of logical CPUs.
+func (t Topology) LogicalCPUs() int { return t.PhysicalCores() * SMTWays }
+
+// CoreOf returns the physical core index hosting logical CPU lcpu.
+func (t Topology) CoreOf(lcpu int) int {
+	t.check(lcpu)
+	return lcpu % t.PhysicalCores()
+}
+
+// ThreadOf returns the hardware thread index (0 or 1) of logical CPU lcpu
+// within its physical core.
+func (t Topology) ThreadOf(lcpu int) int {
+	t.check(lcpu)
+	return lcpu / t.PhysicalCores()
+}
+
+// SiblingOf returns the logical CPU sharing a physical core with lcpu.
+func (t Topology) SiblingOf(lcpu int) int {
+	t.check(lcpu)
+	n := t.PhysicalCores()
+	return (lcpu + n) % (2 * n)
+}
+
+// ThreadsOfCore returns the two logical CPUs of physical core c.
+func (t Topology) ThreadsOfCore(c int) (int, int) {
+	if c < 0 || c >= t.PhysicalCores() {
+		panic(fmt.Sprintf("cpuid: core %d out of range", c))
+	}
+	return c, c + t.PhysicalCores()
+}
+
+// SocketOf returns the socket hosting logical CPU lcpu.
+func (t Topology) SocketOf(lcpu int) int {
+	return t.CoreOf(lcpu) / t.Cores
+}
+
+func (t Topology) check(lcpu int) {
+	if lcpu < 0 || lcpu >= t.LogicalCPUs() {
+		panic(fmt.Sprintf("cpuid: logical CPU %d out of range [0,%d)", lcpu, t.LogicalCPUs()))
+	}
+}
+
+// String renders the topology compactly.
+func (t Topology) String() string {
+	return fmt.Sprintf("%d socket(s) x %d cores x %d threads = %d logical CPUs",
+		t.Sockets, t.Cores, SMTWays, t.LogicalCPUs())
+}

@@ -1,0 +1,36 @@
+package cpuid_test
+
+import (
+	"fmt"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+)
+
+// Masks use the Linux cpuset list syntax, so they read like taskset
+// arguments.
+func ExampleMask_String() {
+	m := cpuid.MaskOf(0, 1, 2, 3, 8, 10, 11)
+	fmt.Println(m)
+	// Output: 0-3,8,10-11
+}
+
+// Hyperthread siblings follow the common Linux x86 enumeration: logical
+// CPU c and c+cores share physical core c.
+func ExampleTopology_SiblingOf() {
+	topo := cpuid.Topology{Sockets: 1, Cores: 16}
+	fmt.Println(topo.SiblingOf(3), topo.SiblingOf(19))
+	// Output: 19 3
+}
+
+// Holmes's batch mask is reserved-and-sibling subtraction.
+func ExampleMask_Subtract() {
+	topo := cpuid.Topology{Sockets: 1, Cores: 8}
+	all := cpuid.FullMask(topo.LogicalCPUs())
+	reserved := cpuid.MaskOf(0, 1)
+	batch := all.Subtract(reserved)
+	for _, lc := range reserved.CPUs() {
+		batch.Clear(topo.SiblingOf(lc))
+	}
+	fmt.Println(batch)
+	// Output: 2-7,10-15
+}

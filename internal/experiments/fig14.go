@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/core"
+	"github.com/holmes-colocation/holmes/internal/stats"
+)
+
+// Fig14Point is one (service, E) measurement: Holmes latency normalized
+// to Alone at several percentiles.
+type Fig14Point struct {
+	Store string
+	E     float64
+	Avg   float64 // holmes/alone ratios
+	P50   float64
+	P90   float64
+	P95   float64
+	P99   float64
+}
+
+// Fig14Result holds the threshold sensitivity sweep.
+type Fig14Result struct {
+	Points []Fig14Point
+}
+
+// RunFig14 sweeps the deallocation threshold E from 40 to 80 (step 10)
+// for every service under workload-a, as in §6.4.
+func RunFig14(durationNs int64, seed uint64, stores []string) (Fig14Result, error) {
+	var out Fig14Result
+	if stores == nil {
+		stores = StoreNames()
+	}
+	for _, store := range stores {
+		aloneCfg := DefaultColocation(store, "a", Alone)
+		aloneCfg.DurationNs = durationNs
+		aloneCfg.Seed = seed
+		alone, err := RunColocation(aloneCfg)
+		if err != nil {
+			return out, err
+		}
+		aSum := alone.Latency.Summarize()
+		for e := 40.0; e <= 80; e += 10 {
+			hc := core.DefaultConfig()
+			hc.E = e
+			hc.SNs = 500_000_000
+			cfg := DefaultColocation(store, "a", Holmes)
+			cfg.DurationNs = durationNs
+			cfg.Seed = seed
+			cfg.HolmesConfig = &hc
+			r, err := RunColocation(cfg)
+			if err != nil {
+				return out, err
+			}
+			sum := r.Latency.Summarize()
+			out.Points = append(out.Points, Fig14Point{
+				Store: store,
+				E:     e,
+				Avg:   ratio(sum.Mean, aSum.Mean),
+				P50:   ratio(sum.P50, aSum.P50),
+				P90:   ratio(sum.P90, aSum.P90),
+				P95:   ratio(sum.P95, aSum.P95),
+				P99:   ratio(sum.P99, aSum.P99),
+			})
+		}
+	}
+	return out, nil
+}
+
+func ratio(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return v / base
+}
+
+// Render prints the sensitivity sweep.
+func (r Fig14Result) Render() string {
+	var b strings.Builder
+	b.WriteString("== Fig 14: Holmes latency normalized to Alone vs threshold E ==\n")
+	fmt.Fprintf(&b, "%-12s %-6s %-8s %-8s %-8s %-8s %-8s\n",
+		"service", "E", "avg", "p50", "p90", "p95", "p99")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %-6.0f %-8.3f %-8.3f %-8.3f %-8.3f %-8.3f\n",
+			p.Store, p.E, p.Avg, p.P50, p.P90, p.P95, p.P99)
+	}
+	b.WriteString("\n(Paper: E=40 yields latency closest to Alone; larger E values\ntolerate more interference before evicting batch siblings.)\n")
+	return b.String()
+}
+
+// BestE returns the threshold with the lowest mean normalized average
+// latency across services — the selection the paper's tuning makes.
+func (r Fig14Result) BestE() float64 {
+	byE := map[float64][]float64{}
+	for _, p := range r.Points {
+		byE[p.E] = append(byE[p.E], p.Avg)
+	}
+	best, bestAvg := 0.0, 1e18
+	for e, vals := range byE {
+		s := stats.NewSample(len(vals))
+		s.AddAll(vals)
+		if m := s.Mean(); m < bestAvg {
+			best, bestAvg = e, m
+		}
+	}
+	return best
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options scales the registry's runs: Full uses paper-faithful windows
+// (minutes of simulated time); otherwise a quick profile runs in seconds.
+type Options struct {
+	Full bool
+	Seed uint64
+	// Scale multiplies every measurement window (0 = 1.0). Values below
+	// one shrink runs further than the quick profile; tests use ~0.2.
+	Scale float64
+}
+
+func (o Options) scaled(ns int64) int64 {
+	if o.Scale > 0 {
+		ns = int64(float64(ns) * o.Scale)
+	}
+	if ns < 100_000_000 {
+		ns = 100_000_000
+	}
+	return ns
+}
+
+func (o Options) colocDuration() int64 {
+	if o.Full {
+		return o.scaled(30_000_000_000) // 30 s measured window
+	}
+	return o.scaled(8_000_000_000)
+}
+
+func (o Options) microDuration() int64 {
+	if o.Full {
+		return o.scaled(2_000_000_000)
+	}
+	return o.scaled(400_000_000)
+}
+
+func (o Options) sweepWindow() int64 {
+	if o.Full {
+		return o.scaled(1_000_000_000)
+	}
+	return o.scaled(150_000_000)
+}
+
+// Experiment is a runnable table or figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) (string, error)
+}
+
+// Registry returns every experiment keyed by id. Co-location figures
+// share a per-invocation Suite so `all` does not re-run combinations.
+func Registry() map[string]Experiment {
+	var suite *Suite
+	getSuite := func(o Options) *Suite {
+		if suite == nil || suite.DurationNs != o.colocDuration() || suite.Seed != o.Seed {
+			suite = NewSuite(o.colocDuration(), o.Seed)
+		}
+		return suite
+	}
+	var sweep *SweepResult
+	getSweep := func(o Options) SweepResult {
+		if sweep == nil {
+			s := RunSweep(o.sweepWindow(), o.Seed)
+			sweep = &s
+		}
+		return *sweep
+	}
+
+	exps := []Experiment{
+		{"fig2", "Memory access latency from different sources", func(o Options) (string, error) {
+			return RunFig2(o.microDuration(), o.Seed).Render(), nil
+		}},
+		{"fig3", "Redis latency: Alone / Co-separate / Co-hyper", func(o Options) (string, error) {
+			r, err := RunFig3(o.microDuration()*4, o.Seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"table1", "Candidate HPE correlation study", func(o Options) (string, error) {
+			return getSweep(o).RenderTable1(), nil
+		}},
+		{"fig4", "Normalized latency and VPIs vs request rate", func(o Options) (string, error) {
+			return getSweep(o).RenderFig4(), nil
+		}},
+		{"fig5", "VPI effectiveness on four services", func(o Options) (string, error) {
+			r, err := RunFig5(o.microDuration()*4, o.Seed, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig11", "SLO violation ratios", func(o Options) (string, error) {
+			return getSuite(o).RenderSLOViolations()
+		}},
+		{"fig12", "Average CPU utilization", func(o Options) (string, error) {
+			return getSuite(o).RenderCPUUtilization()
+		}},
+		{"fig13", "VPI timeline under three settings (RocksDB)", func(o Options) (string, error) {
+			return RenderFig13(o.colocDuration(), o.Seed)
+		}},
+		{"table3", "Throughput comparison", func(o Options) (string, error) {
+			return getSuite(o).RenderTable3()
+		}},
+		{"fig14", "Threshold E sensitivity", func(o Options) (string, error) {
+			stores := StoreNames()
+			if !o.Full {
+				stores = []string{"redis", "rocksdb"}
+			}
+			r, err := RunFig14(o.colocDuration()/2, o.Seed, stores)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"table4", "Convergence speed comparison", func(o Options) (string, error) {
+			r, err := RunTable4(o.Seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"overhead", "Holmes daemon overhead", func(o Options) (string, error) {
+			r, err := RunOverhead(o.colocDuration(), o.Seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ablations", "Design-choice ablations (CPS metric, usage trigger, interval)", renderAblations},
+	}
+	// Per-service latency CDF figures.
+	for _, store := range StoreNames() {
+		store := store
+		exps = append(exps, Experiment{
+			ID:    fmt.Sprintf("fig%d", figNumber(store)),
+			Title: fmt.Sprintf("Query latency CDFs: %s", store),
+			Run: func(o Options) (string, error) {
+				return getSuite(o).RenderLatencyCDFs(store)
+			},
+		})
+	}
+
+	out := map[string]Experiment{}
+	for _, e := range exps {
+		out[e.ID] = e
+	}
+	return out
+}
+
+// IDs returns the experiment ids in a stable, paper order.
+func IDs() []string {
+	ids := make([]string, 0)
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	return ids
+}
+
+func orderKey(id string) string {
+	// figN and tableN sort numerically within their kind; tables
+	// interleave where the paper places them.
+	order := map[string]string{
+		"fig2": "02", "fig3": "03", "table1": "04", "fig4": "05", "fig5": "06",
+		"fig7": "07", "fig8": "08", "fig9": "09", "fig10": "10", "fig11": "11",
+		"fig12": "12", "fig13": "13", "table3": "14", "fig14": "15",
+		"table4": "16", "overhead": "17", "ablations": "18",
+	}
+	if k, ok := order[id]; ok {
+		return k
+	}
+	return "99" + id
+}
+
+// RunAll executes every experiment and concatenates the output.
+func RunAll(o Options) (string, error) {
+	reg := Registry()
+	var b strings.Builder
+	for _, id := range IDs() {
+		e := reg[id]
+		out, err := e.Run(o)
+		if err != nil {
+			return b.String(), fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintf(&b, "############ %s: %s ############\n%s\n", e.ID, e.Title, out)
+	}
+	return b.String(), nil
+}

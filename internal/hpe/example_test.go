@@ -1,0 +1,30 @@
+package hpe_test
+
+import (
+	"fmt"
+
+	"github.com/holmes-colocation/holmes/internal/hpe"
+)
+
+// The VPI metric is the paper's Equation 1: a counter value divided by
+// the retired LOAD+STORE instructions of the same interval.
+func ExampleCounters_VPI() {
+	interval := hpe.Counters{
+		Loads:        800,
+		Stores:       200,
+		StallsMemAny: 40_000,
+	}
+	fmt.Printf("VPI(%s) = %.0f\n", hpe.StallsMemAny.Name(), interval.VPI(hpe.StallsMemAny))
+	// Output: VPI(STALLS_MEM_ANY) = 40
+}
+
+// Deltas between two cumulative snapshots give per-interval readings,
+// the way the Holmes monitor samples each invocation.
+func ExampleCounters_Sub() {
+	var prev, now hpe.Counters
+	now.Loads, now.StallsMemAny = 1000, 30_000
+	prev.Loads, prev.StallsMemAny = 400, 6_000
+	d := now.Sub(prev)
+	fmt.Printf("loads=%.0f stalls=%.0f\n", d.Loads, d.StallsMemAny)
+	// Output: loads=600 stalls=24000
+}

@@ -1,0 +1,174 @@
+// Package hpe models the Intel hardware performance events (HPEs) Holmes
+// uses to diagnose SMT interference on memory access. The four candidate
+// events of the paper's Table 1 are defined here together with the
+// architectural counters (cycles, instructions, loads, stores) that the
+// VPI metric needs as its denominator.
+//
+// The counter *semantics* follow the Intel SDM descriptions:
+//
+//   - CYCLES_L3_MISS  (0x02A3): cycles while an L3-miss demand load is
+//     outstanding — an occupancy count, not a stall count.
+//   - STALLS_L3_MISS  (0x06A3): execution stall cycles while an L3-miss
+//     demand load is outstanding.
+//   - CYCLES_MEM_ANY  (0x10A3): cycles when the memory subsystem has any
+//     outstanding load.
+//   - STALLS_MEM_ANY  (0x14A3): execution stall cycles while the memory
+//     subsystem has an outstanding load. This is the event Holmes selects.
+//
+// The machine simulator attributes cycles to these counters each tick; the
+// distinction between occupancy and stall counting is what makes the
+// Table 1 correlation study come out the way the paper reports (occupancy
+// per instruction flattens — and slightly drops — under interference as
+// miss-level parallelism degrades, while stall cycles per instruction track
+// the inflated access latency almost perfectly).
+package hpe
+
+import "fmt"
+
+// Event identifies a hardware performance event by its Intel event number
+// (umask<<8 | event code), as listed in the paper's Table 1.
+type Event uint16
+
+// The four candidate HPEs from Table 1, plus the architectural events the
+// VPI computation requires.
+const (
+	// CyclesL3Miss is CYCLE_ACTIVITY.CYCLES_L3_MISS (0x02A3).
+	CyclesL3Miss Event = 0x02A3
+	// StallsL3Miss is CYCLE_ACTIVITY.STALLS_L3_MISS (0x06A3).
+	StallsL3Miss Event = 0x06A3
+	// CyclesMemAny is CYCLE_ACTIVITY.CYCLES_MEM_ANY (0x10A3).
+	CyclesMemAny Event = 0x10A3
+	// StallsMemAny is CYCLE_ACTIVITY.STALLS_MEM_ANY (0x14A3). Holmes's pick.
+	StallsMemAny Event = 0x14A3
+
+	// Cycles counts unhalted core cycles (architectural).
+	Cycles Event = 0x003C
+	// Instructions counts retired instructions (architectural).
+	Instructions Event = 0x00C0
+	// Loads counts retired load instructions (MEM_INST_RETIRED.ALL_LOADS).
+	Loads Event = 0x81D0
+	// Stores counts retired store instructions (MEM_INST_RETIRED.ALL_STORES).
+	Stores Event = 0x82D0
+)
+
+// Candidates lists the four Table 1 candidate events in paper order.
+var Candidates = []Event{CyclesL3Miss, StallsL3Miss, CyclesMemAny, StallsMemAny}
+
+// Name returns the short mnemonic used in the paper.
+func (e Event) Name() string {
+	switch e {
+	case CyclesL3Miss:
+		return "CYCLES_L3_MISS"
+	case StallsL3Miss:
+		return "STALLS_L3_MISS"
+	case CyclesMemAny:
+		return "CYCLES_MEM_ANY"
+	case StallsMemAny:
+		return "STALLS_MEM_ANY"
+	case Cycles:
+		return "CPU_CLK_UNHALTED"
+	case Instructions:
+		return "INST_RETIRED"
+	case Loads:
+		return "MEM_INST_RETIRED.ALL_LOADS"
+	case Stores:
+		return "MEM_INST_RETIRED.ALL_STORES"
+	}
+	return fmt.Sprintf("EVENT_%#04x", uint16(e))
+}
+
+// Description returns the Table 1 description of the event.
+func (e Event) Description() string {
+	switch e {
+	case CyclesL3Miss:
+		return "Cycles while L3 cache miss demand load is outstanding."
+	case StallsL3Miss:
+		return "Execution stalls while L3 cache miss demand load is outstanding."
+	case CyclesMemAny:
+		return "Cycles when memory subsystem has an outstanding load."
+	case StallsMemAny:
+		return "Execution stalls when memory subsystem has outstanding load."
+	}
+	return e.Name()
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("%s(%#04x)", e.Name(), uint16(e))
+}
+
+// Counters holds the cumulative counter state of one logical CPU. All
+// values are monotonically nondecreasing, mirroring real PMU counters; a
+// reader computes deltas between two samples.
+type Counters struct {
+	Cycles       float64 // unhalted cycles
+	Instructions float64 // retired instructions
+	Loads        float64 // retired loads
+	Stores       float64 // retired stores
+
+	CyclesL3Miss float64 // occupancy: >=1 L3-miss demand load outstanding
+	StallsL3Miss float64 // stalls with L3-miss outstanding
+	CyclesMemAny float64 // occupancy: >=1 memory load outstanding
+	StallsMemAny float64 // stalls with any memory load outstanding
+}
+
+// Read returns the cumulative value of event e.
+func (c Counters) Read(e Event) float64 {
+	switch e {
+	case Cycles:
+		return c.Cycles
+	case Instructions:
+		return c.Instructions
+	case Loads:
+		return c.Loads
+	case Stores:
+		return c.Stores
+	case CyclesL3Miss:
+		return c.CyclesL3Miss
+	case StallsL3Miss:
+		return c.StallsL3Miss
+	case CyclesMemAny:
+		return c.CyclesMemAny
+	case StallsMemAny:
+		return c.StallsMemAny
+	}
+	panic(fmt.Sprintf("hpe: unknown event %v", e))
+}
+
+// Sub returns c - o, the delta between two cumulative snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Cycles:       c.Cycles - o.Cycles,
+		Instructions: c.Instructions - o.Instructions,
+		Loads:        c.Loads - o.Loads,
+		Stores:       c.Stores - o.Stores,
+		CyclesL3Miss: c.CyclesL3Miss - o.CyclesL3Miss,
+		StallsL3Miss: c.StallsL3Miss - o.StallsL3Miss,
+		CyclesMemAny: c.CyclesMemAny - o.CyclesMemAny,
+		StallsMemAny: c.StallsMemAny - o.StallsMemAny,
+	}
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Cycles += o.Cycles
+	c.Instructions += o.Instructions
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.CyclesL3Miss += o.CyclesL3Miss
+	c.StallsL3Miss += o.StallsL3Miss
+	c.CyclesMemAny += o.CyclesMemAny
+	c.StallsMemAny += o.StallsMemAny
+}
+
+// VPI computes the paper's Equation 1 for event e over this delta:
+// counter value divided by retired LOAD+STORE instructions. It returns 0
+// when no memory instructions retired, so idle CPUs read as
+// interference-free rather than producing NaNs.
+func (c Counters) VPI(e Event) float64 {
+	den := c.Loads + c.Stores
+	if den <= 0 {
+		return 0
+	}
+	return c.Read(e) / den
+}

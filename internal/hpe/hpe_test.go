@@ -1,0 +1,98 @@
+package hpe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventNumbers(t *testing.T) {
+	// The event numbers must match the paper's Table 1.
+	if CyclesL3Miss != 0x02A3 || StallsL3Miss != 0x06A3 ||
+		CyclesMemAny != 0x10A3 || StallsMemAny != 0x14A3 {
+		t.Fatal("candidate HPE event numbers diverge from Table 1")
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	if StallsMemAny.Name() != "STALLS_MEM_ANY" {
+		t.Fatalf("Name = %q", StallsMemAny.Name())
+	}
+	if !strings.Contains(StallsMemAny.String(), "0x14a3") {
+		t.Fatalf("String = %q", StallsMemAny.String())
+	}
+	if Event(0x9999).Name() == "" {
+		t.Fatal("unknown event should still have a name")
+	}
+	for _, e := range Candidates {
+		if e.Description() == "" {
+			t.Fatalf("empty description for %v", e)
+		}
+	}
+}
+
+func TestCountersReadAddSub(t *testing.T) {
+	a := Counters{Cycles: 100, Instructions: 50, Loads: 30, Stores: 10, StallsMemAny: 400}
+	b := Counters{Cycles: 40, Instructions: 20, Loads: 10, Stores: 5, StallsMemAny: 100}
+	d := a.Sub(b)
+	if d.Cycles != 60 || d.Loads != 20 || d.StallsMemAny != 300 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	b.Add(d)
+	if b != a {
+		t.Fatalf("Add(Sub) != original: %+v vs %+v", b, a)
+	}
+	if got := a.Read(StallsMemAny); got != 400 {
+		t.Fatalf("Read = %v", got)
+	}
+	if got := a.Read(Loads); got != 30 {
+		t.Fatalf("Read(Loads) = %v", got)
+	}
+}
+
+func TestReadPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c Counters
+	c.Read(Event(0x1234))
+}
+
+func TestVPIEquation(t *testing.T) {
+	// Equation 1: VPI = counter / (loads + stores).
+	c := Counters{Loads: 80, Stores: 20, StallsMemAny: 4000}
+	if got := c.VPI(StallsMemAny); got != 40 {
+		t.Fatalf("VPI = %v, want 40", got)
+	}
+}
+
+func TestVPIZeroDenominator(t *testing.T) {
+	c := Counters{StallsMemAny: 500}
+	if got := c.VPI(StallsMemAny); got != 0 {
+		t.Fatalf("VPI with no memory instructions = %v, want 0", got)
+	}
+}
+
+func TestCandidatesOrder(t *testing.T) {
+	want := []Event{0x02A3, 0x06A3, 0x10A3, 0x14A3}
+	for i, e := range Candidates {
+		if e != want[i] {
+			t.Fatalf("Candidates[%d] = %v", i, e)
+		}
+	}
+}
+
+func TestAllEventsReadable(t *testing.T) {
+	c := Counters{
+		Cycles: 1, Instructions: 2, Loads: 3, Stores: 4,
+		CyclesL3Miss: 5, StallsL3Miss: 6, CyclesMemAny: 7, StallsMemAny: 8,
+	}
+	events := []Event{Cycles, Instructions, Loads, Stores,
+		CyclesL3Miss, StallsL3Miss, CyclesMemAny, StallsMemAny}
+	for i, e := range events {
+		if got := c.Read(e); got != float64(i+1) {
+			t.Fatalf("Read(%v) = %v, want %d", e, got, i+1)
+		}
+	}
+}

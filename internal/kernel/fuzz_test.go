@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// Randomized scheduling churn: spawn/exit processes, flip affinities and
+// push work in random order, then verify the kernel's invariants hold.
+
+type fuzzOp struct {
+	Kind uint8 // spawn, exit, setAffinity, push, run
+	Arg  uint8
+	Mask uint16
+}
+
+func TestKernelFuzzInvariants(t *testing.T) {
+	err := quick.Check(func(ops []fuzzOp, seed uint64) bool {
+		cfg := machine.DefaultConfig()
+		cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 4}
+		cfg.Seed = seed
+		m := machine.New(cfg)
+		k := New(m)
+		src := rng.New(seed)
+		var procs []*Process
+
+		for _, op := range ops {
+			switch op.Kind % 5 {
+			case 0: // spawn
+				if len(procs) < 12 {
+					procs = append(procs, k.Spawn("p", int(op.Arg%3)+1))
+				}
+			case 1: // exit a random process
+				if len(procs) > 0 {
+					i := int(op.Arg) % len(procs)
+					procs[i].Exit()
+					procs = append(procs[:i], procs[i+1:]...)
+				}
+			case 2: // random affinity on a random thread
+				if len(procs) > 0 {
+					pr := procs[int(op.Arg)%len(procs)]
+					ths := pr.Threads()
+					if len(ths) > 0 {
+						var mask cpuid.Mask
+						for b := 0; b < 8; b++ {
+							if op.Mask&(1<<b) != 0 {
+								mask.Set(b)
+							}
+						}
+						if mask.Empty() {
+							mask.Set(int(op.Arg) % 8)
+						}
+						_ = k.SetAffinity(ths[int(op.Arg)%len(ths)].TID, mask)
+					}
+				}
+			case 3: // push work
+				if len(procs) > 0 {
+					pr := procs[int(op.Arg)%len(procs)]
+					ths := pr.Threads()
+					if len(ths) > 0 {
+						c := workload.Compute(float64(src.Intn(100_000) + 1))
+						c.Add(workload.MemRead(workload.DRAM, int64(src.Intn(500))))
+						ths[int(op.Arg)%len(ths)].HW.Push(workload.Work(c))
+					}
+				}
+			case 4: // advance time
+				m.RunFor(int64(op.Arg%10+1) * 100_000)
+			}
+
+			// Invariants after every operation:
+			seen := map[int]int{}
+			for c := 0; c < 8; c++ {
+				for _, tid := range k.RunnableOn(c) {
+					seen[tid]++
+					th := k.Thread(tid)
+					if th == nil {
+						return false // enqueued thread not registered
+					}
+					if !th.Affinity().Has(c) {
+						return false // thread on a disallowed CPU
+					}
+					if th.CPU() != c {
+						return false // placement bookkeeping inconsistent
+					}
+				}
+			}
+			for _, n := range seen {
+				if n != 1 {
+					return false // thread on two runqueues
+				}
+			}
+		}
+		// Drain: all work eventually completes and queues empty out.
+		m.RunFor(5_000_000_000)
+		for c := 0; c < 8; c++ {
+			for _, tid := range k.RunnableOn(c) {
+				th := k.Thread(tid)
+				if th.HW.State() == machine.Runnable && th.HW.QueueLen() > 0 {
+					return false // work never drained
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExitedProcessThreadsNeverRun(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 4}
+	m := machine.New(cfg)
+	k := New(m)
+	p := k.Spawn("victim", 4)
+	for _, th := range p.Threads() {
+		th.HW.Push(workload.Work(workload.Compute(1e12)))
+	}
+	m.RunFor(1_000_000)
+	consumed := p.CPUTimeNs()
+	p.Exit()
+	m.RunFor(10_000_000)
+	if p.CPUTimeNs() != consumed {
+		t.Fatal("exited process consumed CPU")
+	}
+}
+
+func TestAffinityChurnDoesNotLoseWork(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 4}
+	m := machine.New(cfg)
+	k := New(m)
+	p := k.Spawn("w", 1)
+	th := p.Threads()[0]
+	completed := 0
+	const items = 200
+	for i := 0; i < items; i++ {
+		th.HW.Push(workload.Item{
+			Cost:       workload.Compute(20_000),
+			OnComplete: func(int64) { completed++ },
+		})
+	}
+	// Violently migrate the thread while it works.
+	for i := 0; i < 50; i++ {
+		_ = k.SetAffinity(th.TID, cpuid.MaskOf(i%8))
+		m.RunFor(100_000)
+	}
+	m.RunFor(1_000_000_000)
+	if completed != items {
+		t.Fatalf("completed %d of %d items under churn", completed, items)
+	}
+}

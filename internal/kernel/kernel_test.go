@@ -1,0 +1,268 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+func newKernel() (*machine.Machine, *Kernel) {
+	cfg := machine.DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 4} // 8 logical CPUs
+	m := machine.New(cfg)
+	return m, New(m)
+}
+
+func TestSpawnAndLookup(t *testing.T) {
+	_, k := newKernel()
+	p := k.Spawn("svc", 3)
+	if p.PID <= 0 || len(p.Threads()) != 3 {
+		t.Fatalf("spawn: pid=%d threads=%d", p.PID, len(p.Threads()))
+	}
+	if k.Process(p.PID) != p {
+		t.Fatal("Process lookup failed")
+	}
+	tid := p.Threads()[0].TID
+	if k.Thread(tid) == nil {
+		t.Fatal("Thread lookup failed")
+	}
+	if len(k.Processes()) != 1 {
+		t.Fatal("Processes listing wrong")
+	}
+}
+
+func TestThreadRunsAndAccountsTime(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("w", 1)
+	th := p.Threads()[0]
+	th.HW.Push(workload.Work(workload.Compute(2e6))) // 1 ms at 2 GHz
+	m.RunFor(2_000_000)
+	if got := p.CPUTimeNs(); got < 900_000 || got > 1_100_000 {
+		t.Fatalf("CPUTimeNs = %v, want ~1e6", got)
+	}
+	if th.HW.State() != machine.Idle {
+		t.Fatalf("thread state = %v", th.HW.State())
+	}
+}
+
+func TestAffinityPinning(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("w", 1)
+	th := p.Threads()[0]
+	if err := k.SetAffinity(th.TID, cpuid.MaskOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	th.HW.Push(workload.Work(workload.Compute(1e6)))
+	m.RunFor(100_000)
+	if th.CPU() != 3 {
+		t.Fatalf("thread on CPU %d, want 3", th.CPU())
+	}
+	// Only CPU 3 accumulated busy cycles.
+	for c := 0; c < 8; c++ {
+		busy := m.BusyCycles(c)
+		if c == 3 && busy == 0 {
+			t.Fatal("pinned CPU did no work")
+		}
+		if c != 3 && busy != 0 {
+			t.Fatalf("CPU %d worked despite pinning: %v", c, busy)
+		}
+	}
+}
+
+func TestSetAffinityMigratesImmediately(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("w", 1)
+	th := p.Threads()[0]
+	_ = k.SetAffinity(th.TID, cpuid.MaskOf(0))
+	th.HW.Push(workload.Work(workload.Compute(1e9)))
+	m.RunFor(100_000)
+	if th.CPU() != 0 {
+		t.Fatalf("on CPU %d", th.CPU())
+	}
+	_ = k.SetAffinity(th.TID, cpuid.MaskOf(5))
+	if th.CPU() != 5 {
+		t.Fatalf("after migration on CPU %d, want 5", th.CPU())
+	}
+	before := m.BusyCycles(5)
+	m.RunFor(100_000)
+	if m.BusyCycles(5) == before {
+		t.Fatal("migrated thread not running on new CPU")
+	}
+}
+
+func TestSetAffinityErrors(t *testing.T) {
+	_, k := newKernel()
+	if err := k.SetAffinity(9999, cpuid.MaskOf(0)); err == nil {
+		t.Fatal("expected ESRCH-style error")
+	}
+	p := k.Spawn("w", 1)
+	if err := k.SetAffinity(p.Threads()[0].TID, cpuid.Mask{}); err == nil {
+		t.Fatal("expected EINVAL-style error")
+	}
+	// Mask outside the topology must be rejected, not truncated to empty.
+	if err := k.SetAffinity(p.Threads()[0].TID, cpuid.MaskOf(200)); err == nil {
+		t.Fatal("out-of-range-only mask should error")
+	}
+}
+
+func TestProcessAffinity(t *testing.T) {
+	_, k := newKernel()
+	p := k.Spawn("batch", 4)
+	if err := p.SetAffinity(cpuid.MaskOf(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range p.Threads() {
+		if !th.Affinity().Equal(cpuid.MaskOf(1, 2)) {
+			t.Fatalf("thread affinity = %v", th.Affinity())
+		}
+	}
+}
+
+func TestTimesliceSharing(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("shared", 2)
+	for _, th := range p.Threads() {
+		_ = k.SetAffinity(th.TID, cpuid.MaskOf(0))
+		th.HW.Push(workload.Work(workload.Compute(1e9)))
+	}
+	m.RunFor(10_000_000) // 10 ms
+	c0 := p.Threads()[0].HW.ConsumedCycles
+	c1 := p.Threads()[1].HW.ConsumedCycles
+	total := c0 + c1
+	if total == 0 {
+		t.Fatal("no progress")
+	}
+	// Round-robin should split CPU 0 roughly evenly.
+	if c0/total < 0.35 || c0/total > 0.65 {
+		t.Fatalf("unfair timeslicing: %.0f vs %.0f", c0, c1)
+	}
+}
+
+func TestLoadSpreading(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("batch", 4)
+	mask := cpuid.MaskOf(0, 1, 2, 3)
+	for _, th := range p.Threads() {
+		_ = k.SetAffinity(th.TID, mask)
+		th.HW.Push(workload.Work(workload.Compute(1e9)))
+	}
+	m.RunFor(1_000_000)
+	// Four always-runnable threads on four allowed CPUs must spread 1:1.
+	for c := 0; c < 4; c++ {
+		if k.QueueLen(c) != 1 {
+			t.Fatalf("queue length on CPU %d = %d, want 1", c, k.QueueLen(c))
+		}
+	}
+}
+
+func TestWorkStealingAfterMaskExpansion(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("batch", 4)
+	// Squeeze all four threads onto CPU 0.
+	for _, th := range p.Threads() {
+		_ = k.SetAffinity(th.TID, cpuid.MaskOf(0))
+		th.HW.Push(workload.Work(workload.Compute(1e10)))
+	}
+	m.RunFor(200_000)
+	if k.QueueLen(0) != 4 {
+		t.Fatalf("expected 4 threads on CPU 0, got %d", k.QueueLen(0))
+	}
+	// Expand the mask; stealing should spread them out.
+	for _, th := range p.Threads() {
+		_ = k.SetAffinity(th.TID, cpuid.MaskOf(0, 1, 2, 3))
+	}
+	m.RunFor(2_000_000)
+	for c := 0; c < 4; c++ {
+		if k.QueueLen(c) != 1 {
+			t.Fatalf("after expansion queue on CPU %d = %d, want 1", c, k.QueueLen(c))
+		}
+	}
+}
+
+func TestProcessExit(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("w", 2)
+	for _, th := range p.Threads() {
+		th.HW.Push(workload.Work(workload.Compute(1e9)))
+	}
+	m.RunFor(100_000)
+	p.Exit()
+	if !p.Exited() {
+		t.Fatal("not exited")
+	}
+	if k.Process(p.PID) != nil {
+		t.Fatal("process still registered")
+	}
+	// Runqueues must be clean.
+	for c := 0; c < 8; c++ {
+		if k.QueueLen(c) != 0 {
+			t.Fatalf("CPU %d queue not empty after exit", c)
+		}
+	}
+	// No further CPU consumption.
+	before := p.CPUTimeNs()
+	m.RunFor(1_000_000)
+	if p.CPUTimeNs() != before {
+		t.Fatal("exited process still consuming CPU")
+	}
+	p.Exit() // idempotent
+}
+
+func TestIdleThreadOffRunqueue(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("w", 1)
+	th := p.Threads()[0]
+	th.HW.Push(workload.Work(workload.Compute(1000)))
+	m.RunFor(100_000)
+	if th.CPU() != -1 {
+		t.Fatalf("idle thread still enqueued on %d", th.CPU())
+	}
+	// Waking re-enqueues.
+	th.HW.Push(workload.Work(workload.Compute(1e9)))
+	m.RunFor(50_000)
+	if th.CPU() == -1 {
+		t.Fatal("woken thread not enqueued")
+	}
+}
+
+func TestRunnableOn(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("w", 2)
+	for _, th := range p.Threads() {
+		_ = k.SetAffinity(th.TID, cpuid.MaskOf(2))
+		th.HW.Push(workload.Work(workload.Compute(1e9)))
+	}
+	m.RunFor(50_000)
+	tids := k.RunnableOn(2)
+	if len(tids) != 2 {
+		t.Fatalf("RunnableOn(2) = %v", tids)
+	}
+}
+
+func TestSleepingThreadYieldsCPU(t *testing.T) {
+	m, k := newKernel()
+	p := k.Spawn("io", 1)
+	th := p.Threads()[0]
+	_ = k.SetAffinity(th.TID, cpuid.MaskOf(0))
+	th.HW.Push(workload.Sleep(500_000))
+	m.RunFor(100_000)
+	if th.CPU() != -1 {
+		t.Fatal("sleeping thread still on runqueue")
+	}
+	m.RunFor(1_000_000)
+	if th.HW.State() != machine.Idle {
+		t.Fatalf("state after wake+drain = %v", th.HW.State())
+	}
+}
+
+func TestAddThreadInheritsAffinity(t *testing.T) {
+	_, k := newKernel()
+	p := k.Spawn("w", 1)
+	_ = p.SetAffinity(cpuid.MaskOf(4, 5))
+	th := p.AddThread("extra")
+	if !th.Affinity().Equal(cpuid.MaskOf(4, 5)) {
+		t.Fatalf("inherited affinity = %v", th.Affinity())
+	}
+}

@@ -1,0 +1,225 @@
+package kubelite
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/batch"
+	"github.com/holmes-colocation/holmes/internal/cgroupfs"
+	"github.com/holmes-colocation/holmes/internal/core"
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+func newNode(t *testing.T) (*machine.Machine, *kernel.Kernel, *cgroupfs.FS, *Kubelet) {
+	t.Helper()
+	mcfg := machine.DefaultConfig()
+	mcfg.Topology = cpuid.Topology{Sockets: 1, Cores: 8}
+	m := machine.New(mcfg)
+	k := kernel.New(m)
+	fs := cgroupfs.NewFS()
+	cfg := DefaultConfig()
+	cfg.Holmes.ReservedCPUs = 2
+	cfg.Holmes.SNs = 5_000_000
+	kl, err := Start(k, fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, k, fs, kl
+}
+
+func chain(th *kernel.Thread, c workload.Cost) {
+	var push func(int64)
+	push = func(int64) {
+		th.HW.Push(workload.Item{Cost: c, OnComplete: push})
+	}
+	push(0)
+}
+
+// lcCost mirrors the core tests' calibrated service mix.
+func lcCost() workload.Cost {
+	c := workload.MemRead(workload.DRAM, 100)
+	c.Add(workload.MemRead(workload.L1, 466))
+	c.Add(workload.Compute(2000))
+	return c
+}
+
+func TestCgroupLayoutCreated(t *testing.T) {
+	_, _, fs, kl := newNode(t)
+	defer kl.Stop()
+	for _, p := range []string{"/kubepods/guaranteed", "/kubepods/burstable", "/kubepods/besteffort"} {
+		if fs.Lookup(p) == nil {
+			t.Fatalf("missing cgroup %s", p)
+		}
+	}
+}
+
+func TestGuaranteedPodRegistersWithHolmes(t *testing.T) {
+	_, k, _, kl := newNode(t)
+	defer kl.Stop()
+	svc := k.Spawn("redis", 2)
+	pod, err := kl.RunServicePod("cache", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pod.Cgroup.Path() != "/kubepods/guaranteed/pod-cache" {
+		t.Fatalf("pod cgroup = %s", pod.Cgroup.Path())
+	}
+	// Registration pins the service to the reserved CPUs (Algorithm 1).
+	for _, th := range svc.Threads() {
+		if !th.Affinity().Equal(kl.Holmes().ReservedCPUs()) {
+			t.Fatalf("service affinity %v != reserved %v",
+				th.Affinity(), kl.Holmes().ReservedCPUs().CPUs())
+		}
+	}
+}
+
+func TestBestEffortPodDiscoveredAndManaged(t *testing.T) {
+	m, k, _, kl := newNode(t)
+	defer kl.Stop()
+
+	// The latency-critical tenant.
+	svc := k.Spawn("redis", 2)
+	if _, err := kl.RunServicePod("cache", svc); err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range svc.Threads() {
+		chain(th, lcCost())
+	}
+
+	// A best-effort analytics pod.
+	pod, err := kl.RunPod(PodSpec{
+		Name: "analytics", QoS: BestEffort, Containers: 2,
+		ThreadsPerContainer: 4, Kind: batch.KMeans, MemoryBytes: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pod starts off the reserved CPUs.
+	for _, proc := range pod.Procs {
+		for _, th := range proc.Threads() {
+			if th.Affinity().Has(0) || th.Affinity().Has(1) {
+				t.Fatalf("best-effort pod on reserved CPUs: %v", th.Affinity())
+			}
+		}
+	}
+	// Under interference Holmes evicts it from the LC siblings.
+	m.RunFor(20_000_000)
+	_, dealloc, _, _ := kl.Holmes().Stats()
+	if dealloc == 0 {
+		t.Fatal("Holmes never evicted the best-effort pod from LC siblings")
+	}
+}
+
+func TestBurstablePodUnmanaged(t *testing.T) {
+	m, _, _, kl := newNode(t)
+	defer kl.Stop()
+	pod, err := kl.RunPod(PodSpec{
+		Name: "web", QoS: Burstable, Containers: 1,
+		ThreadsPerContainer: 2, Kind: batch.WordCount,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(5_000_000)
+	// Burstable pods live outside the best-effort subtree, so Holmes
+	// does not track them as batch containers.
+	if pod.Cgroup.Path() != "/kubepods/burstable/pod-web" {
+		t.Fatalf("cgroup = %s", pod.Cgroup.Path())
+	}
+	bm := kl.Holmes().BatchMask()
+	for _, proc := range pod.Procs {
+		for _, th := range proc.Threads() {
+			// Its affinity is the launch mask, not Holmes's batch mask
+			// (no equality requirement, but it must exclude reserved).
+			if th.Affinity().Has(0) {
+				t.Fatal("burstable pod on reserved CPU")
+			}
+		}
+	}
+	_ = bm
+}
+
+func TestFinitePodCompletes(t *testing.T) {
+	m, _, _, kl := newNode(t)
+	defer kl.Stop()
+	pod, err := kl.RunPod(PodSpec{
+		Name: "job", QoS: BestEffort, Containers: 1,
+		ThreadsPerContainer: 2, Kind: batch.Sort, WorkUnitsPerThread: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(2_000_000_000)
+	for _, proc := range pod.Procs {
+		for _, th := range proc.Threads() {
+			if th.HW.State() == machine.Runnable {
+				t.Fatal("finite pod still running after its work units")
+			}
+		}
+	}
+}
+
+func TestDeletePodCleansUp(t *testing.T) {
+	m, _, fs, kl := newNode(t)
+	defer kl.Stop()
+	_, err := kl.RunPod(PodSpec{
+		Name: "doomed", QoS: BestEffort, Containers: 2,
+		ThreadsPerContainer: 2, Kind: batch.PageRank,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(5_000_000)
+	if err := kl.DeletePod("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Lookup("/kubepods/besteffort/pod-doomed") != nil {
+		t.Fatal("pod cgroup survived deletion")
+	}
+	if kl.Pods() != 0 || kl.Pod("doomed") != nil {
+		t.Fatal("pod still tracked")
+	}
+	if err := kl.DeletePod("doomed"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestPodValidation(t *testing.T) {
+	_, k, _, kl := newNode(t)
+	defer kl.Stop()
+	if _, err := kl.RunPod(PodSpec{Name: "g", QoS: Guaranteed}); err == nil {
+		t.Fatal("guaranteed pods need RunServicePod")
+	}
+	if _, err := kl.RunPod(PodSpec{QoS: BestEffort}); err == nil {
+		t.Fatal("unnamed pod accepted")
+	}
+	if _, err := kl.RunPod(PodSpec{Name: "x", QoS: "platinum"}); err == nil {
+		t.Fatal("bogus QoS accepted")
+	}
+	if _, err := kl.RunServicePod("dead", nil); err == nil {
+		t.Fatal("nil process accepted")
+	}
+	// Duplicate names rejected.
+	svc := k.Spawn("svc", 1)
+	if _, err := kl.RunServicePod("dup", svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kl.RunServicePod("dup", svc); err == nil {
+		t.Fatal("duplicate pod accepted")
+	}
+}
+
+func TestStartPropagatesHolmesConfigErrors(t *testing.T) {
+	mcfg := machine.DefaultConfig()
+	mcfg.Topology = cpuid.Topology{Sockets: 1, Cores: 8}
+	m := machine.New(mcfg)
+	k := kernel.New(m)
+	fs := cgroupfs.NewFS()
+	cfg := DefaultConfig()
+	cfg.Holmes = core.Config{} // invalid
+	if _, err := Start(k, fs, cfg); err == nil {
+		t.Fatal("invalid Holmes config accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package kvstore
+
+import (
+	"container/list"
+
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// LRU is a byte-capacity LRU used in two roles:
+//
+//   - as a CPU-cache residency model (capacity = last-level cache size):
+//     whether the lines of a record are still in L3 decides if touching it
+//     costs L3 or DRAM accesses;
+//   - as an application cache (RocksDB block cache, WiredTiger page cache):
+//     whether a block is resident decides if a read needs the device.
+//
+// It is deterministic and not safe for concurrent use; the simulation is
+// single-threaded.
+type LRU struct {
+	capacity int64
+	used     int64
+	order    *list.List               // front = most recent
+	entries  map[string]*list.Element // key -> element holding *lruEntry
+	hits     int64
+	misses   int64
+	evicted  int64
+	// OnEvict, if set, observes evictions (used by WiredTiger to write
+	// back dirty pages).
+	OnEvict func(key string, size int64)
+}
+
+type lruEntry struct {
+	key  string
+	size int64
+}
+
+// NewLRU creates an LRU with the given byte capacity. A non-positive
+// capacity yields a cache that never holds anything.
+func NewLRU(capacity int64) *LRU {
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  map[string]*list.Element{},
+	}
+}
+
+// Touch records an access to key with the given size and reports whether
+// it was resident. Missing keys are inserted (which may evict).
+func (c *LRU) Touch(key string, size int64) (hit bool) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.order.MoveToFront(el) // refresh before any eviction scan
+		if e.size != size {
+			c.used += size - e.size
+			e.size = size
+			c.evictIfNeeded()
+		}
+		c.hits++
+		return true
+	}
+	c.misses++
+	c.insert(key, size)
+	return false
+}
+
+// Contains reports residency without updating recency or stats.
+func (c *LRU) Contains(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Remove evicts key explicitly (invalidation), without OnEvict.
+func (c *LRU) Remove(key string) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.used -= e.size
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+func (c *LRU) insert(key string, size int64) {
+	if c.capacity <= 0 || size > c.capacity {
+		return // uncacheable
+	}
+	el := c.order.PushFront(&lruEntry{key: key, size: size})
+	c.entries[key] = el
+	c.used += size
+	c.evictIfNeeded()
+}
+
+func (c *LRU) evictIfNeeded() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*lruEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.size
+		c.evicted++
+		if c.OnEvict != nil {
+			c.OnEvict(e.key, e.size)
+		}
+	}
+}
+
+// Used returns the bytes currently cached.
+func (c *LRU) Used() int64 { return c.used }
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int { return len(c.entries) }
+
+// Stats returns (hits, misses, evictions).
+func (c *LRU) Stats() (hits, misses, evicted int64) {
+	return c.hits, c.misses, c.evicted
+}
+
+// Residency is the CPU-cache residency model shared by the stores: a
+// last-level-cache-sized LRU over record keys. Touching a resident record
+// costs L3 accesses; a non-resident one costs DRAM accesses. Hot metadata
+// (hashtable heads, skiplist towers, inner B-tree pages) is charged at L2.
+type Residency struct {
+	llc *LRU
+}
+
+// DefaultLLCBytes approximates the evaluation server's shared L3 slice
+// available to a service (32 MB package L3, shared with co-runners).
+const DefaultLLCBytes = 24 << 20
+
+// NewResidency creates a residency model with the given LLC capacity.
+func NewResidency(llcBytes int64) *Residency {
+	return &Residency{llc: NewLRU(llcBytes)}
+}
+
+// TouchRecord charges an access of size bytes to the record identified by
+// key, returning the access cost at the appropriate hierarchy level.
+func (r *Residency) TouchRecord(key string, size int64, write bool) workload.Cost {
+	if r.llc.Touch(key, size) {
+		return touchCost(workload.L3, size, write)
+	}
+	return touchCost(workload.DRAM, size, write)
+}
+
+// Invalidate removes a record from the residency model (e.g. on delete).
+func (r *Residency) Invalidate(key string) { r.llc.Remove(key) }
+
+// HitRate returns the residency hit fraction so far (0 when untouched).
+func (r *Residency) HitRate() float64 {
+	h, m, _ := r.llc.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -1,0 +1,42 @@
+package memcached
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(n int) *Store {
+	s := New(DefaultConfig())
+	for i := 0; i < n; i++ {
+		s.Insert(fmt.Sprintf("user%09d", i), make([]byte, 1024))
+	}
+	return s
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := benchStore(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Read(fmt.Sprintf("user%09d", i%100_000))
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	s := benchStore(100_000)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(fmt.Sprintf("user%09d", i%100_000), val)
+	}
+}
+
+func BenchmarkSetWithEviction(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MemoryLimit = 16 << 20 // force constant LRU eviction
+	s := New(cfg)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(fmt.Sprintf("user%09d", i), val)
+	}
+}

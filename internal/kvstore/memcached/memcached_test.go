@@ -1,0 +1,253 @@
+package memcached
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlabClassLadder(t *testing.T) {
+	a := newSlabAllocator(1 << 30)
+	if len(a.classes) == 0 {
+		t.Fatal("no classes")
+	}
+	prev := int64(0)
+	for _, c := range a.classes {
+		if c.chunkSize <= prev {
+			t.Fatalf("classes not strictly growing: %d after %d", c.chunkSize, prev)
+		}
+		if c.chunkSize%8 != 0 {
+			t.Fatalf("chunk %d not 8-aligned", c.chunkSize)
+		}
+		prev = c.chunkSize
+	}
+	if a.classes[0].chunkSize != slabMinChunk {
+		t.Fatalf("min chunk = %d", a.classes[0].chunkSize)
+	}
+}
+
+func TestSlabClassFor(t *testing.T) {
+	a := newSlabAllocator(1 << 30)
+	ci := a.classFor(100)
+	if ci < 0 || a.classes[ci].chunkSize < 100 {
+		t.Fatalf("classFor(100) = %d", ci)
+	}
+	if ci > 0 && a.classes[ci-1].chunkSize >= 100 {
+		t.Fatal("not the smallest fitting class")
+	}
+	if a.classFor(slabPageSize*2) != -1 {
+		t.Fatal("oversized item should have no class")
+	}
+}
+
+func TestSlabAllocFreeCycle(t *testing.T) {
+	a := newSlabAllocator(slabPageSize) // exactly one page
+	ci := a.classFor(1000)
+	chunks := int64(0)
+	for a.alloc(ci) {
+		chunks++
+	}
+	want := slabPageSize / a.classes[ci].chunkSize
+	if chunks != want {
+		t.Fatalf("allocated %d chunks, want %d", chunks, want)
+	}
+	a.free(ci)
+	if !a.alloc(ci) {
+		t.Fatal("freed chunk not reusable")
+	}
+}
+
+func TestSlabDoubleFreePanics(t *testing.T) {
+	a := newSlabAllocator(slabPageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.free(0)
+}
+
+func newStore(limit int64) *Store {
+	cfg := DefaultConfig()
+	cfg.MemoryLimit = limit
+	cfg.LLCBytes = 1 << 20
+	cfg.HashPower = 8
+	return New(cfg)
+}
+
+func TestStoreGetSet(t *testing.T) {
+	s := newStore(1 << 30)
+	if s.Read("missing").Found {
+		t.Fatal("missing found")
+	}
+	if !s.Insert("k", []byte("hello")).Found {
+		t.Fatal("insert failed")
+	}
+	r := s.Read("k")
+	if !r.Found || string(r.Value) != "hello" {
+		t.Fatalf("read back %q", r.Value)
+	}
+	s.Update("k", []byte("world"))
+	if r := s.Read("k"); string(r.Value) != "world" {
+		t.Fatalf("after update %q", r.Value)
+	}
+	if s.Len() != 1 || s.Name() != "memcached" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestScanUnsupported(t *testing.T) {
+	s := newStore(1 << 30)
+	s.Insert("a", []byte("1"))
+	if s.Scan("a", 10).Found {
+		t.Fatal("memcached scan should be unsupported")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err should describe unsupported scan")
+	}
+}
+
+func TestLRUEvictionUnderMemoryPressure(t *testing.T) {
+	// Two pages of ~1KB chunks: inserting far more than capacity forces
+	// eviction of the least recently used items.
+	s := newStore(2 * slabPageSize)
+	val := make([]byte, 900)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !s.Insert(fmt.Sprintf("key%05d", i), val).Found {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if s.Evictions() == 0 {
+		t.Fatal("no evictions despite memory pressure")
+	}
+	if s.Read(fmt.Sprintf("key%05d", 0)).Found {
+		t.Fatal("oldest key survived; LRU not evicting from tail")
+	}
+	if !s.Read(fmt.Sprintf("key%05d", n-1)).Found {
+		t.Fatal("newest key evicted")
+	}
+	// Live bytes stay within the budget.
+	if s.UsedBytes() > 2*slabPageSize {
+		t.Fatalf("used %d bytes > limit", s.UsedBytes())
+	}
+}
+
+func TestRecentlyReadSurvivesEviction(t *testing.T) {
+	s := newStore(2 * slabPageSize)
+	val := make([]byte, 900)
+	s.Insert("precious", val)
+	for i := 0; i < 4000; i++ {
+		s.Insert(fmt.Sprintf("filler%05d", i), val)
+		// Keep touching the precious key so it stays at the LRU front.
+		s.Read("precious")
+	}
+	if !s.Read("precious").Found {
+		t.Fatal("hot key evicted despite constant access")
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	s := newStore(1 << 30)
+	r := s.Insert("big", make([]byte, slabPageSize*2))
+	if r.Found {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newStore(1 << 30)
+	s.Insert("k", []byte("v"))
+	if !s.Delete("k").Found || s.Delete("k").Found {
+		t.Fatal("delete semantics")
+	}
+	if s.Read("k").Found || s.Len() != 0 {
+		t.Fatal("key survived delete")
+	}
+}
+
+func TestUpdateAcrossSizeClasses(t *testing.T) {
+	s := newStore(1 << 30)
+	s.Insert("k", make([]byte, 64))
+	s.Update("k", make([]byte, 4096)) // forces a different slab class
+	r := s.Read("k")
+	if !r.Found || len(r.Value) != 4096 {
+		t.Fatalf("cross-class update: found=%v len=%d", r.Found, len(r.Value))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestTableGrowthPreservesKeys(t *testing.T) {
+	s := New(Config{MemoryLimit: 1 << 30, LLCBytes: 1 << 20, HashPower: 4}) // 16 buckets
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s.Insert(fmt.Sprintf("key%05d", i), []byte{byte(i)})
+	}
+	for i := 0; i < n; i++ {
+		r := s.Read(fmt.Sprintf("key%05d", i))
+		if !r.Found || r.Value[0] != byte(i) {
+			t.Fatalf("key %d lost after table growth", i)
+		}
+	}
+}
+
+func TestPropertyMirrorsMap(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Set    bool
+		Delete bool
+	}
+	err := quick.Check(func(ops []op) bool {
+		s := newStore(1 << 30)
+		ref := map[string]byte{}
+		for i, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key)
+			switch {
+			case o.Set:
+				s.Insert(k, []byte{byte(i)})
+				ref[k] = byte(i)
+			case o.Delete:
+				got := s.Delete(k).Found
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			default:
+				r := s.Read(k)
+				want, ok := ref[k]
+				if r.Found != ok {
+					return false
+				}
+				if ok && r.Value[0] != want {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(ref)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossClassUpdateFreesOldChunk(t *testing.T) {
+	s := newStore(1 << 30)
+	s.Insert("k", make([]byte, 64))
+	small := s.UsedBytes()
+	s.Update("k", make([]byte, 4096))
+	// Used bytes must reflect only the new (larger) chunk, not both.
+	big := s.UsedBytes()
+	need := int64(1 + 4096 + itemOverhead)
+	bigChunk := s.slabs.classes[s.slabs.classFor(need)].chunkSize
+	if big != bigChunk {
+		t.Fatalf("old chunk leaked on cross-class update: used %d, want %d (small was %d)",
+			big, bigChunk, small)
+	}
+	s.Update("k", make([]byte, 64))
+	if s.UsedBytes() >= big {
+		t.Fatalf("shrinking update did not free the large chunk: %d -> %d", big, s.UsedBytes())
+	}
+}

@@ -1,0 +1,91 @@
+package memcached
+
+import "fmt"
+
+// slabAllocator reproduces memcached's memory management: memory is carved
+// into 1 MB pages assigned to size classes; each class chops its pages
+// into fixed-size chunks and keeps a free list. Items are evicted from a
+// class's LRU when the allocator cannot grab a new page.
+type slabAllocator struct {
+	classes   []slabClass
+	limit     int64 // total memory budget
+	allocated int64 // bytes handed out as pages
+}
+
+const (
+	slabPageSize    = 1 << 20 // 1 MB pages
+	slabMinChunk    = 96
+	slabGrowthRatio = 1.25
+	slabMaxChunk    = slabPageSize
+)
+
+type slabClass struct {
+	chunkSize  int64
+	freeChunks int64
+	pages      int64
+	usedChunks int64
+}
+
+// newSlabAllocator builds the size-class ladder for a memory limit.
+func newSlabAllocator(limit int64) *slabAllocator {
+	a := &slabAllocator{limit: limit}
+	size := int64(slabMinChunk)
+	for size < slabMaxChunk {
+		a.classes = append(a.classes, slabClass{chunkSize: size})
+		next := int64(float64(size) * slabGrowthRatio)
+		// Align to 8 bytes like memcached.
+		next = (next + 7) &^ 7
+		if next <= size {
+			next = size + 8
+		}
+		size = next
+	}
+	return a
+}
+
+// classFor returns the index of the smallest class fitting need bytes,
+// or -1 if the item is too large to store.
+func (a *slabAllocator) classFor(need int64) int {
+	for i := range a.classes {
+		if a.classes[i].chunkSize >= need {
+			return i
+		}
+	}
+	return -1
+}
+
+// alloc reserves one chunk in class ci. It returns false when no chunk is
+// free and no new page can be allocated — the caller must evict.
+func (a *slabAllocator) alloc(ci int) bool {
+	c := &a.classes[ci]
+	if c.freeChunks == 0 {
+		if a.allocated+slabPageSize > a.limit {
+			return false
+		}
+		a.allocated += slabPageSize
+		c.pages++
+		c.freeChunks += slabPageSize / c.chunkSize
+	}
+	c.freeChunks--
+	c.usedChunks++
+	return true
+}
+
+// free returns one chunk of class ci to its free list.
+func (a *slabAllocator) free(ci int) {
+	c := &a.classes[ci]
+	if c.usedChunks == 0 {
+		panic(fmt.Sprintf("memcached: double free in class %d", ci))
+	}
+	c.usedChunks--
+	c.freeChunks++
+}
+
+// usedBytes returns bytes held by live chunks.
+func (a *slabAllocator) usedBytes() int64 {
+	var n int64
+	for i := range a.classes {
+		n += a.classes[i].usedChunks * a.classes[i].chunkSize
+	}
+	return n
+}

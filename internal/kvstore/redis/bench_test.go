@@ -1,0 +1,50 @@
+package redis
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(n int) *Store {
+	cfg := DefaultConfig()
+	cfg.SaveEveryWrites = 0
+	s := New(cfg)
+	for i := 0; i < n; i++ {
+		s.Insert(fmt.Sprintf("user%09d", i), make([]byte, 1024))
+	}
+	return s
+}
+
+func BenchmarkRead(b *testing.B) {
+	s := benchStore(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Read(fmt.Sprintf("user%09d", i%100_000))
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	s := benchStore(100_000)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(fmt.Sprintf("user%09d", i%100_000), val)
+	}
+}
+
+func BenchmarkInsertGrowth(b *testing.B) {
+	s := benchStore(0)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(fmt.Sprintf("user%09d", i), val)
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	s := benchStore(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(fmt.Sprintf("user%09d", i%90_000), 100)
+	}
+}

@@ -1,0 +1,290 @@
+package redis
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+func TestDictBasics(t *testing.T) {
+	d := newDict()
+	if _, ok := d.Get("a"); ok {
+		t.Fatal("empty dict hit")
+	}
+	if !d.Set("a", []byte("1")) {
+		t.Fatal("first set not new")
+	}
+	if d.Set("a", []byte("2")) {
+		t.Fatal("overwrite reported new")
+	}
+	v, ok := d.Get("a")
+	if !ok || string(v) != "2" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if !d.Delete("a") || d.Delete("a") {
+		t.Fatal("delete semantics")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDictIncrementalRehash(t *testing.T) {
+	d := newDict()
+	// Force growth well past several rehash generations.
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d.Set(fmt.Sprintf("key%05d", i), []byte{byte(i)})
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Every key must remain reachable mid-rehash and after.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%05d", i)
+		v, ok := d.Get(k)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("lost key %s during rehash", k)
+		}
+	}
+}
+
+func TestDictRehashCompletes(t *testing.T) {
+	d := newDict()
+	for i := 0; i < 100; i++ {
+		d.Set(fmt.Sprintf("k%d", i), nil)
+	}
+	// Drive operations until rehash finishes.
+	for i := 0; i < 10000 && d.rehashing(); i++ {
+		d.Get("k0")
+	}
+	if d.rehashing() {
+		t.Fatal("rehash never completed")
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len after rehash = %d", d.Len())
+	}
+}
+
+func TestDictDeleteDuringRehash(t *testing.T) {
+	d := newDict()
+	for i := 0; i < 64; i++ {
+		d.Set(fmt.Sprintf("k%02d", i), nil)
+	}
+	// Trigger growth, then delete while rehashing.
+	d.Set("trigger", nil)
+	deleted := 0
+	for i := 0; i < 64; i++ {
+		if d.Delete(fmt.Sprintf("k%02d", i)) {
+			deleted++
+		}
+	}
+	if deleted != 64 {
+		t.Fatalf("deleted %d of 64 during rehash", deleted)
+	}
+}
+
+func TestDictPropertyMirrorsMap(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Set    bool
+		Delete bool
+	}
+	err := quick.Check(func(ops []op) bool {
+		d := newDict()
+		ref := map[string][]byte{}
+		for i, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key)
+			switch {
+			case o.Set:
+				v := []byte{byte(i)}
+				d.Set(k, v)
+				ref[k] = v
+			case o.Delete:
+				got := d.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			default:
+				v, ok := d.Get(k)
+				rv, rok := ref[k]
+				if ok != rok {
+					return false
+				}
+				if ok && string(v) != string(rv) {
+					return false
+				}
+			}
+		}
+		return d.Len() == len(ref)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newStore() *Store {
+	cfg := DefaultConfig()
+	cfg.LLCBytes = 1 << 20 // small LLC so cold accesses appear in tests
+	return New(cfg)
+}
+
+func TestStoreReadWrite(t *testing.T) {
+	s := newStore()
+	r := s.Read("missing")
+	if r.Found {
+		t.Fatal("missing key found")
+	}
+	if r.Cost.IsZero() {
+		t.Fatal("even a miss costs work")
+	}
+	val := make([]byte, 1024)
+	w := s.Insert("user1", val)
+	if !w.Found || w.Cost.IsZero() {
+		t.Fatal("insert failed")
+	}
+	r = s.Read("user1")
+	if !r.Found || len(r.Value) != 1024 {
+		t.Fatalf("read back: found=%v len=%d", r.Found, len(r.Value))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Name() != "redis" {
+		t.Fatal("name")
+	}
+}
+
+func TestStoreColdVsWarmCost(t *testing.T) {
+	s := newStore()
+	val := make([]byte, 1024)
+	// Insert enough records to overflow the 1MB residency model.
+	for i := 0; i < 4000; i++ {
+		s.Insert(fmt.Sprintf("user%06d", i), val)
+	}
+	// user0 was evicted from the LLC model: cold read hits DRAM.
+	cold := s.Read("user000000").Cost
+	warm := s.Read("user000000").Cost
+	if cold.Acc[workload.DRAM].Loads <= warm.Acc[workload.DRAM].Loads {
+		t.Fatalf("cold (%d DRAM loads) should exceed warm (%d)",
+			cold.Acc[workload.DRAM].Loads, warm.Acc[workload.DRAM].Loads)
+	}
+}
+
+func TestStoreScan(t *testing.T) {
+	s := newStore()
+	for i := 0; i < 100; i++ {
+		s.Insert(fmt.Sprintf("user%03d", i), []byte("v"))
+	}
+	r := s.Scan("user050", 10)
+	if !r.Found || r.ScanCount != 10 {
+		t.Fatalf("scan: %+v", r)
+	}
+	// Scan cost grows with the range length.
+	long := s.Scan("user000", 90)
+	if long.Cost.ComputeCycles <= r.Cost.ComputeCycles {
+		t.Fatal("longer scan should cost more")
+	}
+	// Scan past the end.
+	empty := s.Scan("zzz", 10)
+	if empty.ScanCount != 0 {
+		t.Fatalf("scan past end visited %d", empty.ScanCount)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := newStore()
+	s.Insert("k", []byte("v"))
+	if !s.Delete("k").Found {
+		t.Fatal("delete existing failed")
+	}
+	if s.Delete("k").Found {
+		t.Fatal("double delete")
+	}
+	if s.Read("k").Found {
+		t.Fatal("key survived delete")
+	}
+	// Deleted keys leave the scan index too.
+	if r := s.Scan("k", 1); r.ScanCount != 0 {
+		t.Fatalf("deleted key still scannable")
+	}
+}
+
+func TestUpdateGrowsMemoryOnlyOnInsert(t *testing.T) {
+	s := newStore()
+	s.Insert("k", make([]byte, 100))
+	m1 := s.ApproxMemory()
+	s.Update("k", make([]byte, 100))
+	if s.ApproxMemory() != m1 {
+		t.Fatal("update of existing key should not grow accounted memory")
+	}
+	s.Insert("k2", make([]byte, 100))
+	if s.ApproxMemory() <= m1 {
+		t.Fatal("insert should grow accounted memory")
+	}
+}
+
+func TestReadCostScalesWithValueSize(t *testing.T) {
+	s := newStore()
+	s.Insert("small", make([]byte, 64))
+	s.Insert("large", make([]byte, 8192))
+	cs := s.Read("small").Cost
+	cl := s.Read("large").Cost
+	if cl.MemInstructions() <= cs.MemInstructions() {
+		t.Fatal("larger values must cost more memory instructions")
+	}
+}
+
+func TestBackgroundSave(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LLCBytes = 1 << 20
+	cfg.SaveEveryWrites = 100
+	s := New(cfg)
+	for i := 0; i < 350; i++ {
+		s.Insert(fmt.Sprintf("k%04d", i), make([]byte, 200))
+	}
+	if s.Saves() != 3 {
+		t.Fatalf("Saves = %d, want 3", s.Saves())
+	}
+	tasks := s.DrainBackground()
+	if len(tasks) != 3 {
+		t.Fatalf("background tasks = %d", len(tasks))
+	}
+	for _, b := range tasks {
+		if b.Cost.IsZero() || b.SSDWrites == 0 {
+			t.Fatalf("empty bgsave task: %+v", b)
+		}
+	}
+	if got := s.DrainBackground(); got != nil {
+		t.Fatal("drain not clearing")
+	}
+}
+
+func TestBackgroundSaveDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LLCBytes = 1 << 20
+	cfg.SaveEveryWrites = 0
+	s := New(cfg)
+	for i := 0; i < 1000; i++ {
+		s.Insert(fmt.Sprintf("k%04d", i), make([]byte, 10))
+	}
+	if s.Saves() != 0 {
+		t.Fatal("persistence disabled but saves happened")
+	}
+}
+
+func TestApproxMemoryGrowsWithData(t *testing.T) {
+	s := newStore()
+	before := s.ApproxMemory()
+	for i := 0; i < 100; i++ {
+		s.Insert(fmt.Sprintf("m%04d", i), make([]byte, 1000))
+	}
+	grown := s.ApproxMemory() - before
+	if grown < 100*1000 {
+		t.Fatalf("memory accounting grew only %d for ~100KB of data", grown)
+	}
+}

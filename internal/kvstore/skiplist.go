@@ -1,0 +1,152 @@
+package kvstore
+
+import (
+	"github.com/holmes-colocation/holmes/internal/rng"
+)
+
+// Skiplist is a deterministic ordered map used as the RocksDB memtable and
+// as the sorted index Redis keeps for range scans (the YCSB Redis binding
+// maintains a ZSET index for exactly this reason). Tower heights come from
+// a seeded generator so simulations replay identically.
+type Skiplist struct {
+	head   *skipNode
+	level  int
+	length int
+	src    *rng.Source
+	// searchSteps counts node visits of the last operation, feeding the
+	// operation's memory-access cost.
+	searchSteps int
+}
+
+const skipMaxLevel = 16
+
+type skipNode struct {
+	key   string
+	value []byte
+	next  []*skipNode
+}
+
+// NewSkiplist creates an empty skiplist seeded deterministically.
+func NewSkiplist(seed uint64) *Skiplist {
+	return &Skiplist{
+		head:  &skipNode{next: make([]*skipNode, skipMaxLevel)},
+		level: 1,
+		src:   rng.New(seed),
+	}
+}
+
+// Len returns the number of entries.
+func (s *Skiplist) Len() int { return s.length }
+
+// LastSearchSteps returns the node visits of the most recent operation.
+func (s *Skiplist) LastSearchSteps() int { return s.searchSteps }
+
+func (s *Skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel && s.src.Float64() < 0.25 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills update with the rightmost node before key at each
+// level and returns the candidate node (which may equal key).
+func (s *Skiplist) findPredecessors(key string, update *[skipMaxLevel]*skipNode) *skipNode {
+	s.searchSteps = 0
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+			s.searchSteps++
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+// Set inserts or overwrites key. It returns true if the key was new.
+func (s *Skiplist) Set(key string, value []byte) bool {
+	var update [skipMaxLevel]*skipNode
+	cand := s.findPredecessors(key, &update)
+	if cand != nil && cand.key == key {
+		cand.value = value
+		return false
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: key, value: value, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.length++
+	return true
+}
+
+// Get returns the value for key.
+func (s *Skiplist) Get(key string) ([]byte, bool) {
+	var update [skipMaxLevel]*skipNode
+	cand := s.findPredecessors(key, &update)
+	if cand != nil && cand.key == key {
+		return cand.value, true
+	}
+	return nil, false
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Skiplist) Delete(key string) bool {
+	var update [skipMaxLevel]*skipNode
+	cand := s.findPredecessors(key, &update)
+	if cand == nil || cand.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == cand {
+			update[i].next[i] = cand.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.length--
+	return true
+}
+
+// Seek positions at the first key >= start and calls fn for up to count
+// entries in order; fn returning false stops early. It returns the number
+// of visited entries.
+func (s *Skiplist) Seek(start string, count int, fn func(key string, value []byte) bool) int {
+	var update [skipMaxLevel]*skipNode
+	node := s.findPredecessors(start, &update)
+	visited := 0
+	for node != nil && visited < count {
+		if !fn(node.key, node.value) {
+			visited++
+			break
+		}
+		visited++
+		node = node.next[0]
+		s.searchSteps++
+	}
+	return visited
+}
+
+// All calls fn for every entry in key order (used by memtable flush).
+func (s *Skiplist) All(fn func(key string, value []byte)) {
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		fn(n.key, n.value)
+	}
+}
+
+// Min returns the smallest key, or "" when empty.
+func (s *Skiplist) Min() string {
+	if s.head.next[0] == nil {
+		return ""
+	}
+	return s.head.next[0].key
+}

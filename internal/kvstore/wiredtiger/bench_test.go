@@ -1,0 +1,48 @@
+package wiredtiger
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(n int) *Store {
+	s := New(DefaultConfig())
+	for i := 0; i < n; i++ {
+		s.Insert(fmt.Sprintf("user%09d", i), make([]byte, 1024))
+	}
+	return s
+}
+
+func BenchmarkRead(b *testing.B) {
+	s := benchStore(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Read(fmt.Sprintf("user%09d", i%100_000))
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	s := benchStore(100_000)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(fmt.Sprintf("user%09d", i%100_000), val)
+		s.DrainBackground()
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	s := benchStore(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(fmt.Sprintf("user%09d", i%90_000), 100)
+	}
+}
+
+func BenchmarkDescend(b *testing.B) {
+	s := benchStore(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.tree.descend(fmt.Sprintf("user%09d", i%100_000))
+	}
+}

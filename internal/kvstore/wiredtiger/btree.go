@@ -1,0 +1,248 @@
+package wiredtiger
+
+import "sort"
+
+// node is a B+tree node. Inner nodes hold separator keys and children;
+// leaf nodes hold the records and are linked for range scans. Keys in an
+// inner node are the minimum keys of children[1:], so a lookup descends
+// into children[i] where i is the number of separators <= key.
+type node struct {
+	leaf bool
+
+	// Inner node state.
+	seps     []string
+	children []*node
+
+	// Leaf node state.
+	keys   []string
+	values [][]byte
+	next   *node
+
+	id    int64
+	bytes int64
+	dirty bool
+}
+
+// descendSteps is the number of inner nodes visited by the last descend.
+type btree struct {
+	root         *node
+	height       int
+	leafMaxBytes int64
+	innerFanout  int
+	nextPageID   int64
+	leaves       int
+}
+
+func newBtree(leafMaxBytes int64, innerFanout int) *btree {
+	t := &btree{leafMaxBytes: leafMaxBytes, innerFanout: innerFanout, height: 1}
+	t.nextPageID++
+	t.root = &node{leaf: true, id: t.nextPageID}
+	t.leaves = 1
+	return t
+}
+
+// descend returns the leaf for key and the path of inner nodes visited.
+func (t *btree) descend(key string) (*node, int) {
+	n := t.root
+	steps := 0
+	for !n.leaf {
+		i := sort.SearchStrings(n.seps, key)
+		// seps[i-1] <= key < seps[i] -> child i... SearchStrings returns
+		// the first separator >= key; keys equal to a separator belong to
+		// the right child.
+		j := i
+		if i < len(n.seps) && n.seps[i] == key {
+			j = i + 1
+		}
+		n = n.children[j]
+		steps++
+	}
+	return n, steps
+}
+
+func recordBytes(key string, value []byte) int64 {
+	return int64(len(key) + len(value) + 24)
+}
+
+// set inserts or overwrites. It returns (leaf, wasNew, splitHappened).
+func (t *btree) set(key string, value []byte) (*node, bool, bool) {
+	leaf, _ := t.descend(key)
+	i := sort.SearchStrings(leaf.keys, key)
+	if i < len(leaf.keys) && leaf.keys[i] == key {
+		leaf.bytes += int64(len(value) - len(leaf.values[i]))
+		leaf.values[i] = value
+		leaf.dirty = true
+		return leaf, false, false
+	}
+	leaf.keys = append(leaf.keys, "")
+	leaf.values = append(leaf.values, nil)
+	copy(leaf.keys[i+1:], leaf.keys[i:])
+	copy(leaf.values[i+1:], leaf.values[i:])
+	leaf.keys[i] = key
+	leaf.values[i] = value
+	leaf.bytes += recordBytes(key, value)
+	leaf.dirty = true
+	split := false
+	if leaf.bytes > t.leafMaxBytes && len(leaf.keys) > 1 {
+		t.splitLeaf(leaf)
+		split = true
+	}
+	return leaf, true, split
+}
+
+// get returns the value and the hosting leaf.
+func (t *btree) get(key string) ([]byte, *node, bool) {
+	leaf, _ := t.descend(key)
+	i := sort.SearchStrings(leaf.keys, key)
+	if i < len(leaf.keys) && leaf.keys[i] == key {
+		return leaf.values[i], leaf, true
+	}
+	return nil, leaf, false
+}
+
+// delete removes key, reporting the leaf and whether it existed. Leaf
+// merging is not implemented (WiredTiger reconciles lazily; YCSB never
+// deletes), so pages may become sparse but never invalid.
+func (t *btree) delete(key string) (*node, bool) {
+	leaf, _ := t.descend(key)
+	i := sort.SearchStrings(leaf.keys, key)
+	if i >= len(leaf.keys) || leaf.keys[i] != key {
+		return leaf, false
+	}
+	leaf.bytes -= recordBytes(key, leaf.values[i])
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.values = append(leaf.values[:i], leaf.values[i+1:]...)
+	leaf.dirty = true
+	return leaf, true
+}
+
+// splitLeaf splits a full leaf in half and inserts the new separator into
+// the parent, splitting inner nodes upward as needed.
+func (t *btree) splitLeaf(leaf *node) {
+	mid := len(leaf.keys) / 2
+	t.nextPageID++
+	right := &node{
+		leaf:   true,
+		id:     t.nextPageID,
+		keys:   append([]string(nil), leaf.keys[mid:]...),
+		values: append([][]byte(nil), leaf.values[mid:]...),
+		next:   leaf.next,
+		dirty:  true,
+	}
+	for i := range right.keys {
+		right.bytes += recordBytes(right.keys[i], right.values[i])
+	}
+	leaf.keys = leaf.keys[:mid]
+	leaf.values = leaf.values[:mid]
+	leaf.bytes -= right.bytes
+	leaf.next = right
+	leaf.dirty = true
+	t.leaves++
+	t.insertIntoParent(leaf, right.keys[0], right)
+}
+
+// insertIntoParent links newChild (with separator sep) to the right of
+// child, growing the tree if child was the root.
+func (t *btree) insertIntoParent(child *node, sep string, newChild *node) {
+	parent := t.findParent(t.root, child)
+	if parent == nil {
+		// child was the root.
+		t.nextPageID++
+		t.root = &node{
+			id:       t.nextPageID,
+			seps:     []string{sep},
+			children: []*node{child, newChild},
+		}
+		t.height++
+		return
+	}
+	// Insert sep/newChild right after child's position.
+	pos := 0
+	for pos < len(parent.children) && parent.children[pos] != child {
+		pos++
+	}
+	parent.seps = append(parent.seps, "")
+	copy(parent.seps[pos+1:], parent.seps[pos:])
+	parent.seps[pos] = sep
+	parent.children = append(parent.children, nil)
+	copy(parent.children[pos+2:], parent.children[pos+1:])
+	parent.children[pos+1] = newChild
+	if len(parent.children) > t.innerFanout {
+		t.splitInner(parent)
+	}
+}
+
+// splitInner splits an over-full inner node.
+func (t *btree) splitInner(n *node) {
+	mid := len(n.seps) / 2
+	promote := n.seps[mid]
+	t.nextPageID++
+	right := &node{
+		id:       t.nextPageID,
+		seps:     append([]string(nil), n.seps[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.seps = n.seps[:mid]
+	n.children = n.children[:mid+1]
+	t.insertIntoParent(n, promote, right)
+}
+
+// findParent locates the parent of target below cur (nil for the root).
+// The tree is shallow (fanout >= 16), so the walk is cheap.
+func (t *btree) findParent(cur, target *node) *node {
+	if cur.leaf {
+		return nil
+	}
+	for _, c := range cur.children {
+		if c == target {
+			return cur
+		}
+	}
+	// Narrow to the child whose range could contain target's first key.
+	key := targetMinKey(target)
+	i := sort.SearchStrings(cur.seps, key)
+	j := i
+	if i < len(cur.seps) && cur.seps[i] == key {
+		j = i + 1
+	}
+	if j >= len(cur.children) {
+		j = len(cur.children) - 1
+	}
+	if cur.children[j].leaf {
+		return nil
+	}
+	return t.findParent(cur.children[j], target)
+}
+
+func targetMinKey(n *node) string {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) > 0 {
+		return n.keys[0]
+	}
+	return ""
+}
+
+// seekLeaf returns the leaf holding the first key >= start and that key's
+// index within it.
+func (t *btree) seekLeaf(start string) (*node, int) {
+	leaf, _ := t.descend(start)
+	i := sort.SearchStrings(leaf.keys, start)
+	for leaf != nil && i >= len(leaf.keys) {
+		leaf = leaf.next
+		i = 0
+	}
+	return leaf, i
+}
+
+// walkLeaves calls fn for every leaf, left to right.
+func (t *btree) walkLeaves(fn func(*node)) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		fn(n)
+	}
+}

@@ -1,0 +1,62 @@
+package machine
+
+import "container/heap"
+
+// event is a scheduled callback in simulated time. Events fire at tick
+// boundaries: an event scheduled for time t runs before the first tick
+// whose start is >= t.
+type event struct {
+	at  int64
+	seq uint64 // tie-breaker preserving schedule order
+	fn  func(nowNs int64)
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue struct {
+	items []event
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x interface{}) { q.items = append(q.items, x.(event)) }
+
+func (q *eventQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// schedule enqueues fn to run at time at.
+func (q *eventQueue) schedule(at int64, fn func(nowNs int64)) {
+	q.seq++
+	heap.Push(q, event{at: at, seq: q.seq, fn: fn})
+}
+
+// peekTime returns the time of the earliest event, or false if empty.
+func (q *eventQueue) peekTime() (int64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].at, true
+}
+
+// popDue removes and returns the earliest event if it is due at or before
+// now, else returns a zero event and false.
+func (q *eventQueue) popDue(now int64) (event, bool) {
+	if len(q.items) == 0 || q.items[0].at > now {
+		return event{}, false
+	}
+	return heap.Pop(q).(event), true
+}

@@ -1,0 +1,201 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/hpe"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// These tests pin down the simulator's conservation laws: counters are
+// monotone, busy time never exceeds capacity, memory-instruction counts
+// are conserved exactly, and interference can slow work down but never
+// create or destroy it.
+
+func TestCountersMonotone(t *testing.T) {
+	m, p := newTestMachine()
+	th := m.NewThread("w", nil)
+	p.threads[0] = th
+	sib := m.NewThread("s", nil)
+	p.threads[m.Sibling(0)] = sib
+	for i := 0; i < 50; i++ {
+		th.Push(workload.Work(workload.ReadBytes(workload.DRAM, 64<<10)))
+		sib.Push(workload.Work(workload.ReadBytes(workload.DRAM, 64<<10)))
+	}
+	var prev hpe.Counters
+	for step := 0; step < 100; step++ {
+		m.RunFor(100_000)
+		cur := m.Counters(0)
+		d := cur.Sub(prev)
+		for _, v := range []float64{d.Cycles, d.Instructions, d.Loads, d.Stores,
+			d.StallsMemAny, d.StallsL3Miss, d.CyclesMemAny, d.CyclesL3Miss} {
+			if v < 0 {
+				t.Fatalf("counter went backwards at step %d: %+v", step, d)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestBusyNeverExceedsCapacity(t *testing.T) {
+	m, p := newTestMachine()
+	for c := 0; c < 8; c++ {
+		th := m.NewThread("w", nil)
+		p.threads[c] = th
+		th.Push(workload.Work(workload.Compute(1e12)))
+	}
+	const dur = 10_000_000
+	m.RunFor(dur)
+	capacity := m.Config().FreqGHz * float64(dur)
+	for c := 0; c < 8; c++ {
+		if busy := m.BusyCycles(c); busy > capacity*1.0001 {
+			t.Fatalf("cpu %d busy %.0f exceeds capacity %.0f", c, busy, capacity)
+		}
+	}
+}
+
+func TestMemoryInstructionConservation(t *testing.T) {
+	// Every pushed load/store must be retired exactly once, regardless of
+	// how items split across ticks or how much interference there is.
+	err := quick.Check(func(loads, stores uint16, nItems uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 2}
+		m := New(cfg)
+		p := &pinned{threads: map[int]*Thread{}}
+		m.SetScheduler(p)
+		th := m.NewThread("w", nil)
+		p.threads[0] = th
+		agg := m.NewThread("agg", nil)
+		p.threads[m.Sibling(0)] = agg
+		agg.Push(workload.Work(workload.ReadBytes(workload.DRAM, 1<<20)))
+
+		n := int(nItems%8) + 1
+		var wantLoads, wantStores float64
+		for i := 0; i < n; i++ {
+			c := workload.MemRead(workload.DRAM, int64(loads%2000))
+			c.Add(workload.MemWrite(workload.L2, int64(stores%2000)))
+			wantLoads += float64(int64(loads % 2000))
+			wantStores += float64(int64(stores % 2000))
+			th.Push(workload.Work(c))
+		}
+		m.RunFor(3_000_000_000)
+		got := m.Counters(0)
+		return got.Loads == wantLoads && got.Stores == wantStores
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterferenceSlowsButConserves(t *testing.T) {
+	run := func(withSibling bool) (doneAt int64, c hpe.Counters) {
+		m, p := newTestMachine()
+		th := m.NewThread("w", nil)
+		p.threads[0] = th
+		if withSibling {
+			sib := m.NewThread("s", nil)
+			p.threads[m.Sibling(0)] = sib
+			for i := 0; i < 100; i++ {
+				sib.Push(workload.Work(workload.ReadBytes(workload.DRAM, 1<<20)))
+			}
+			m.RunFor(200_000)
+		}
+		var done int64
+		th.Push(workload.Item{
+			Cost:       workload.ReadBytes(workload.DRAM, 1<<20),
+			OnComplete: func(now int64) { done = now },
+		})
+		start := m.Now()
+		m.RunFor(10_000_000)
+		return done - start, m.Counters(0)
+	}
+	tAlone, cAlone := run(false)
+	tNoisy, cNoisy := run(true)
+	if tNoisy <= tAlone {
+		t.Fatal("interference did not slow the work")
+	}
+	// The same instructions retired either way (loads exactly; compute
+	// attribution splits across ticks with float rounding).
+	if cAlone.Loads != cNoisy.Loads {
+		t.Fatalf("interference changed retired loads: %v vs %v", cAlone.Loads, cNoisy.Loads)
+	}
+	if d := cAlone.Instructions - cNoisy.Instructions; d > 1 || d < -1 {
+		t.Fatalf("interference changed retired instructions: %v vs %v",
+			cAlone.Instructions, cNoisy.Instructions)
+	}
+	// But more stall cycles were burned.
+	if cNoisy.StallsMemAny <= cAlone.StallsMemAny {
+		t.Fatal("interference did not add stall cycles")
+	}
+}
+
+func TestStallsNeverExceedCycles(t *testing.T) {
+	m, p := newTestMachine()
+	th := m.NewThread("w", nil)
+	p.threads[0] = th
+	for i := 0; i < 20; i++ {
+		c := workload.ReadBytes(workload.DRAM, 256<<10)
+		c.Add(workload.Compute(50_000))
+		th.Push(workload.Work(c))
+	}
+	m.RunFor(50_000_000)
+	got := m.Counters(0)
+	// Stall events are subsets of elapsed cycles (allow the small
+	// multiplicative attribution noise).
+	if got.StallsMemAny > got.Cycles*1.05 {
+		t.Fatalf("stalls %v exceed cycles %v", got.StallsMemAny, got.Cycles)
+	}
+	if got.StallsL3Miss > got.StallsMemAny*1.1 {
+		t.Fatalf("L3-scoped stalls %v exceed all memory stalls %v",
+			got.StallsL3Miss, got.StallsMemAny)
+	}
+}
+
+func TestEventAtExactEndBoundary(t *testing.T) {
+	m, _ := newTestMachine()
+	fired := false
+	m.Schedule(100_000, func(int64) { fired = true })
+	m.RunUntil(100_000)
+	if fired {
+		t.Fatal("event at t fired before the tick starting at t ran")
+	}
+	m.RunFor(m.Config().TickNs)
+	if !fired {
+		t.Fatal("event at boundary never fired")
+	}
+}
+
+func TestZeroDurationRun(t *testing.T) {
+	m, _ := newTestMachine()
+	m.RunFor(0)
+	if m.Now() != 0 {
+		t.Fatal("zero run advanced time")
+	}
+}
+
+func TestPastEventFiresImmediately(t *testing.T) {
+	m, _ := newTestMachine()
+	m.RunFor(100_000)
+	fired := false
+	m.Schedule(0, func(int64) { fired = true }) // already in the past
+	m.RunFor(m.Config().TickNs)
+	if !fired {
+		t.Fatal("past event never fired")
+	}
+}
+
+func TestSleepZeroIsImmediate(t *testing.T) {
+	m, p := newTestMachine()
+	th := m.NewThread("w", nil)
+	p.threads[0] = th
+	done := false
+	// SleepNs == 0 means the item is a zero-cost work item, completing
+	// within the current tick.
+	th.Push(workload.Item{Cost: workload.Cost{}, OnComplete: func(int64) { done = true }})
+	m.RunFor(m.Config().TickNs * 2)
+	if !done {
+		t.Fatal("zero-cost item never completed")
+	}
+}

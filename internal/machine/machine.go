@@ -1,0 +1,428 @@
+// Package machine implements the discrete-time SMT server simulator that
+// substitutes for the paper's physical Xeon testbed. It models physical
+// cores with two hardware threads sharing execution units and the memory
+// pipeline, a DRAM bandwidth budget, and the per-logical-CPU hardware
+// performance counters Holmes reads through the perf substrate.
+//
+// The simulation advances in fixed ticks. Within a tick each logical CPU
+// executes at most one thread (the kernel's per-tick assignment), charging
+// the thread's work items with effective cycle costs that depend on the
+// *sibling* hardware thread's activity during the previous tick — the SMT
+// interference channel the paper diagnoses. Item completions are
+// interpolated inside the tick, so request latencies are continuous even
+// though scheduling is quantized.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/hpe"
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// TickScheduler decides which thread each logical CPU runs during the next
+// tick. The kernel package implements it; tests may use simple pinned
+// assignments.
+type TickScheduler interface {
+	// Assign fills assign[lcpu] with the thread to run (nil = idle). The
+	// slice is reused across ticks; implementations must overwrite every
+	// entry they care about and may leave others nil.
+	Assign(nowNs int64, assign []*Thread)
+}
+
+// lcpu is the per-logical-CPU simulation state.
+type lcpu struct {
+	counters hpe.Counters
+	// busyCycles accumulates effective cycles executed (for utilization).
+	busyCycles float64
+	// Previous-tick activity fractions, read by the sibling this tick.
+	memDuty float64 // fraction of tick stalled on memory
+	euDuty  float64 // fraction of tick executing compute
+	// Next-tick values being accumulated.
+	nextMemStall float64
+	nextExec     float64
+	// OU noise state per noisy counter (multiplicative, log-space).
+	noise [4]float64
+}
+
+// Noise indices into lcpu.noise.
+const (
+	nStallsMemAny = iota
+	nCyclesMemAny
+	nStallsL3Miss
+	nCyclesL3Miss
+)
+
+// Machine is the simulated SMT server.
+type Machine struct {
+	cfg             Config
+	topo            cpuid.Topology
+	now             int64
+	events          eventQueue
+	lcpus           []lcpu
+	sched           TickScheduler
+	assign          []*Thread
+	rng             *rng.Source
+	nextTID         int
+	lastNoiseUpdate int64
+	// siblingOf caches the topology's sibling mapping for the hot path.
+	siblingOf []int
+
+	// DRAM bandwidth bookkeeping: bytes transferred last tick set the
+	// queueing factor applied this tick.
+	dramBytesTick int64
+	bwFactor      float64
+}
+
+// New constructs a Machine from cfg. It panics on invalid configuration
+// (construction errors are programming errors in this codebase).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Topology.LogicalCPUs()
+	m := &Machine{
+		cfg:             cfg,
+		topo:            cfg.Topology,
+		lcpus:           make([]lcpu, n),
+		assign:          make([]*Thread, n),
+		rng:             rng.New(cfg.Seed),
+		bwFactor:        1,
+		lastNoiseUpdate: -1,
+		siblingOf:       make([]int, n),
+	}
+	for p := 0; p < n; p++ {
+		m.siblingOf[p] = cfg.Topology.SiblingOf(p)
+	}
+	// Start the counter noise states at their stationary distribution so
+	// short runs see representative attribution variance.
+	sigmas := [4]float64{
+		nStallsMemAny: cfg.SigmaStallsMemAny,
+		nCyclesMemAny: cfg.SigmaCyclesMemAny,
+		nStallsL3Miss: cfg.SigmaStallsL3Miss,
+		nCyclesL3Miss: cfg.SigmaCyclesL3Miss,
+	}
+	for p := range m.lcpus {
+		for i := range m.lcpus[p].noise {
+			m.lcpus[p].noise[i] = sigmas[i] * m.rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Topology returns the machine's CPU topology.
+func (m *Machine) Topology() cpuid.Topology { return m.topo }
+
+// Now returns the current simulated time in nanoseconds.
+func (m *Machine) Now() int64 { return m.now }
+
+// SetScheduler installs the per-tick assignment policy. It must be set
+// before Run; a nil scheduler leaves every CPU idle.
+func (m *Machine) SetScheduler(s TickScheduler) { m.sched = s }
+
+// NewThread creates a thread in the Idle state. listener may be nil.
+func (m *Machine) NewThread(name string, listener ThreadListener) *Thread {
+	m.nextTID++
+	return &Thread{ID: m.nextTID, Name: name, m: m, listener: listener, lastExecTick: -1}
+}
+
+// Schedule enqueues fn to run at absolute simulated time at. Events
+// scheduled in the past run before the next tick.
+func (m *Machine) Schedule(at int64, fn func(nowNs int64)) {
+	m.events.schedule(at, fn)
+}
+
+// ScheduleAfter enqueues fn after a delay from now.
+func (m *Machine) ScheduleAfter(delay int64, fn func(nowNs int64)) {
+	m.events.schedule(m.now+delay, fn)
+}
+
+// SchedulePeriodic runs fn every period, starting after one period.
+// The returned stop function cancels future invocations.
+func (m *Machine) SchedulePeriodic(period int64, fn func(nowNs int64)) (stop func()) {
+	stopped := false
+	var tick func(nowNs int64)
+	tick = func(nowNs int64) {
+		if stopped {
+			return
+		}
+		fn(nowNs)
+		if !stopped {
+			m.events.schedule(nowNs+period, tick)
+		}
+	}
+	m.events.schedule(m.now+period, tick)
+	return func() { stopped = true }
+}
+
+// Counters returns a snapshot of logical CPU p's cumulative counters.
+func (m *Machine) Counters(p int) hpe.Counters { return m.lcpus[p].counters }
+
+// BusyCycles returns the cumulative effective cycles executed on p.
+func (m *Machine) BusyCycles(p int) float64 { return m.lcpus[p].busyCycles }
+
+// Sibling returns the hyperthread sibling of logical CPU p.
+func (m *Machine) Sibling(p int) int { return m.siblingOf[p] }
+
+// RunUntil advances the simulation to absolute time end.
+func (m *Machine) RunUntil(end int64) {
+	for m.now < end {
+		m.step()
+	}
+}
+
+// RunFor advances the simulation by d nanoseconds.
+func (m *Machine) RunFor(d int64) { m.RunUntil(m.now + d) }
+
+// step executes one tick.
+func (m *Machine) step() {
+	// Fire all events due at or before the current tick start.
+	for {
+		ev, ok := m.events.popDue(m.now)
+		if !ok {
+			break
+		}
+		ev.fn(m.now)
+	}
+
+	m.maybeUpdateNoise()
+
+	// Ask the scheduler for this tick's assignment.
+	for i := range m.assign {
+		m.assign[i] = nil
+	}
+	if m.sched != nil {
+		m.sched.Assign(m.now, m.assign)
+	}
+
+	// Bandwidth queueing factor from last tick's traffic.
+	m.bwFactor = m.bandwidthFactor(m.dramBytesTick)
+	m.dramBytesTick = 0
+
+	// Execute every logical CPU against the *previous* tick's sibling
+	// duty cycles (two-phase update keeps the coupling symmetric).
+	for p := range m.lcpus {
+		t := m.assign[p]
+		if t != nil && t.state == Runnable && t.lastExecTick != m.now {
+			t.lastExecTick = m.now
+			m.exec(p, t)
+		}
+	}
+
+	// Commit this tick's duty cycles for the next tick.
+	budget := m.cfg.CyclesPerTick()
+	for p := range m.lcpus {
+		c := &m.lcpus[p]
+		c.memDuty = clamp01(c.nextMemStall / budget)
+		c.euDuty = clamp01(c.nextExec / budget)
+		c.nextMemStall, c.nextExec = 0, 0
+	}
+
+	m.now += m.cfg.TickNs
+}
+
+// interference returns the latency multipliers for logical CPU p given its
+// sibling's previous-tick duty cycles.
+func (m *Machine) interference(p int) (fDRAM, fL3, fL2, fEU float64) {
+	sib := &m.lcpus[m.siblingOf[p]]
+	memD, euD := sib.memDuty, sib.euDuty
+	fDRAM = 1 + m.cfg.InterfDRAMMem*memD + m.cfg.InterfDRAMEU*euD
+	fL3 = 1 + m.cfg.InterfL3Mem*memD + m.cfg.InterfL3EU*euD
+	fL2 = 1 + m.cfg.InterfL2Mem*memD
+	fEU = 1 + m.cfg.EUContention*euD + m.cfg.EUMemContention*memD
+	fDRAM *= m.bwFactor
+	return
+}
+
+// effectiveCost returns the effective cycle cost of base cost c on CPU p
+// under the current interference factors, split into compute and memory
+// stall portions.
+func (m *Machine) effectiveCost(c workload.Cost, fDRAM, fL3, fL2, fEU float64) (exec, memStall, dramStall float64) {
+	exec = c.ComputeCycles * fEU
+	l2 := float64(c.Acc[workload.L2].Loads) * m.cfg.L2Cycles * fL2
+	l3 := float64(c.Acc[workload.L3].Loads) * m.cfg.L3Cycles * fL3
+	dram := float64(c.Acc[workload.DRAM].Loads) * m.cfg.DRAMCycles * fDRAM
+	stores := float64(c.Stores()) * m.cfg.StoreCycles
+	exec += stores // store commit occupies execution, not the memory pipe
+	memStall = l2 + l3 + dram
+	dramStall = dram
+	return
+}
+
+// exec runs thread t on logical CPU p for one tick.
+func (m *Machine) exec(p int, t *Thread) {
+	budget := m.cfg.CyclesPerTick()
+	fDRAM, fL3, fL2, fEU := m.interference(p)
+	c := &m.lcpus[p]
+	consumed := 0.0
+
+	for consumed < budget {
+		if !t.nextItem() {
+			t.block()
+			break
+		}
+		if t.cur.SleepNs > 0 {
+			// I/O wait: the thread leaves the CPU at the current point
+			// within the tick and wakes SleepNs later.
+			elapsedNs := int64(consumed / budget * float64(m.cfg.TickNs))
+			t.beginSleep(m.now + elapsedNs + t.cur.SleepNs)
+			break
+		}
+
+		exec, memStall, dramStall := m.effectiveCost(t.rem, fDRAM, fL3, fL2, fEU)
+		total := exec + memStall
+		if total <= 0 {
+			// Degenerate zero-cost item: complete instantly.
+			t.finishItem(m.now + int64(consumed/budget*float64(m.cfg.TickNs)))
+			continue
+		}
+		avail := budget - consumed
+		if total <= avail {
+			m.attribute(p, c, t, t.rem, exec, memStall, dramStall, fDRAM)
+			consumed += total
+			doneNs := m.now + int64(consumed/budget*float64(m.cfg.TickNs))
+			t.finishItem(doneNs)
+		} else {
+			frac := avail / total
+			part := t.rem.Scale(frac)
+			pExec, pMem, pDRAM := exec*frac, memStall*frac, dramStall*frac
+			m.attribute(p, c, t, part, pExec, pMem, pDRAM, fDRAM)
+			// Subtract the executed portion from the remaining base cost.
+			t.rem.ComputeCycles -= part.ComputeCycles
+			for l := range t.rem.Acc {
+				t.rem.Acc[l].Loads -= part.Acc[l].Loads
+				t.rem.Acc[l].Stores -= part.Acc[l].Stores
+				if t.rem.Acc[l].Loads < 0 {
+					t.rem.Acc[l].Loads = 0
+				}
+				if t.rem.Acc[l].Stores < 0 {
+					t.rem.Acc[l].Stores = 0
+				}
+			}
+			if t.rem.ComputeCycles < 0 {
+				t.rem.ComputeCycles = 0
+			}
+			consumed = budget
+		}
+	}
+
+	// Duty-cycle accumulation happens inside attribute; here we only
+	// account total busy time for utilization and per-thread usage.
+	c.busyCycles += consumed
+	t.ConsumedCycles += consumed
+}
+
+// attribute charges an executed cost chunk to CPU p's counters.
+func (m *Machine) attribute(p int, c *lcpu, t *Thread, base workload.Cost, exec, memStall, dramStall float64, fDRAM float64) {
+	loads := float64(base.Loads())
+	stores := float64(base.Stores())
+	dramLoads := float64(base.Acc[workload.DRAM].Loads)
+
+	c.counters.Cycles += exec + memStall
+	c.counters.Instructions += base.ComputeCycles + loads + stores
+	c.counters.Loads += loads
+	c.counters.Stores += stores
+
+	// Stall-counting events track the effective memory stall cycles.
+	c.counters.StallsMemAny += memStall * (1 + c.noise[nStallsMemAny])
+	c.counters.StallsL3Miss += dramStall * (1 + c.noise[nStallsL3Miss])
+
+	// CYCLES_MEM_ANY adds the execute-overlap window on top of stalls.
+	c.counters.CyclesMemAny += (memStall + m.cfg.CyclesMemAnyExecFrac*exec) *
+		(1 + c.noise[nCyclesMemAny])
+
+	// CYCLES_L3_MISS is an occupancy count: cycles with >=1 outstanding
+	// L3 miss. Per-access occupancy grows with the thread's own issue
+	// pressure (overlapping misses keep the window open) and shrinks
+	// slightly under sibling interference (miss-level parallelism
+	// degrades). This occupancy-vs-stall distinction is what produces the
+	// weak negative correlation of event 0x02A3 in Table 1.
+	sib := &m.lcpus[m.siblingOf[p]]
+	ownMem := c.memDuty
+	occ := m.cfg.DRAMCycles * (m.cfg.OccupancyBase +
+		m.cfg.OccupancyOwnMem*ownMem -
+		m.cfg.OccupancySibMem*sib.memDuty)
+	if occ < 0 {
+		occ = 0
+	}
+	c.counters.CyclesL3Miss += dramLoads * occ * (1 + c.noise[nCyclesL3Miss])
+
+	// Duty-cycle accumulation for the sibling's next tick.
+	c.nextMemStall += memStall
+	c.nextExec += exec
+
+	// Bandwidth accounting.
+	m.dramBytesTick += base.DRAMBytes()
+}
+
+// bandwidthFactor converts last tick's DRAM traffic into a latency
+// multiplier. Below ~80% utilization the penalty is negligible; it grows
+// sharply as the bus saturates (open-loop M/D/1-style knee).
+func (m *Machine) bandwidthFactor(bytesLastTick int64) float64 {
+	cap := m.cfg.BandwidthGBs * float64(m.cfg.TickNs) // GB/s * ns = bytes
+	if cap <= 0 {
+		return 1
+	}
+	u := float64(bytesLastTick) / cap
+	if u < 0.8 {
+		return 1 + 0.05*u
+	}
+	if u > 0.98 {
+		u = 0.98
+	}
+	return 1.04 + 0.5*(u-0.8)/(1-u)
+}
+
+// maybeUpdateNoise advances the per-counter OU noise states.
+func (m *Machine) maybeUpdateNoise() {
+	if m.lastNoiseUpdate >= 0 && m.now < m.lastNoiseUpdate+m.cfg.NoiseIntervalNs {
+		return
+	}
+	m.lastNoiseUpdate = m.now
+	rho := math.Exp(-float64(m.cfg.NoiseIntervalNs) / float64(m.cfg.NoiseTauNs))
+	drive := math.Sqrt(1 - rho*rho)
+	sigmas := [4]float64{
+		nStallsMemAny: m.cfg.SigmaStallsMemAny,
+		nCyclesMemAny: m.cfg.SigmaCyclesMemAny,
+		nStallsL3Miss: m.cfg.SigmaStallsL3Miss,
+		nCyclesL3Miss: m.cfg.SigmaCyclesL3Miss,
+	}
+	for p := range m.lcpus {
+		for i := range m.lcpus[p].noise {
+			x := m.lcpus[p].noise[i]
+			x = rho*x + sigmas[i]*drive*m.rng.NormFloat64()
+			m.lcpus[p].noise[i] = x
+		}
+	}
+}
+
+// Utilization returns the busy fraction of logical CPU p between two
+// cumulative busy-cycle snapshots taken windowNs apart.
+func (m *Machine) Utilization(prevBusy float64, p int, windowNs int64) float64 {
+	if windowNs <= 0 {
+		return 0
+	}
+	delta := m.lcpus[p].busyCycles - prevBusy
+	return clamp01(delta / (m.cfg.FreqGHz * float64(windowNs)))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Describe returns a human-readable one-line machine description.
+func (m *Machine) Describe() string {
+	return fmt.Sprintf("%s @ %.1f GHz, tick %d ns", m.topo, m.cfg.FreqGHz, m.cfg.TickNs)
+}

@@ -1,0 +1,275 @@
+// Package microbench reproduces the paper's two measurement programs:
+//
+//   - the §2.2 micro benchmark — m-threads that continuously read random
+//     1 MB blocks out of a 600 MB buffer and c-threads that run floating
+//     point work — used for the six placements of Fig. 2; and
+//   - the §3.1 measurement program — a prober that issues fixed-size
+//     memory requests at a configurable rate (RPS) while recording the
+//     per-request latency and the VPI of each candidate HPE — used for
+//     Table 1 and Fig. 4.
+package microbench
+
+import (
+	"github.com/holmes-colocation/holmes/internal/hpe"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/perf"
+	"github.com/holmes-colocation/holmes/internal/stats"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// MBlockBytes is the m-thread access unit (a random 1 MB block).
+const MBlockBytes = 1 << 20
+
+// ProbeBlockBytes is the measurement program's request size: 10 KB keeps
+// the single-thread peak near the paper's ~74 kRPS (each request stalls
+// for 160 lines x ~85 ns ≈ 13.6 µs).
+const ProbeBlockBytes = 10 << 10
+
+// mBlockCost is one m-thread block access: every line misses to DRAM
+// (the paper ensures requests never hit CPU caches).
+func mBlockCost(blockBytes int64) workload.Cost {
+	return workload.ReadBytes(workload.DRAM, blockBytes)
+}
+
+// cChunkCost is a c-thread work chunk: pure floating-point execution.
+func cChunkCost() workload.Cost {
+	return workload.Compute(200_000) // ~100 µs at 2 GHz
+}
+
+// pinned is a fixed thread->CPU assignment scheduler for standalone
+// measurement runs (no kernel involvement, as in the paper's taskset-style
+// pinning).
+type pinned map[int]*machine.Thread
+
+// Assign implements machine.TickScheduler.
+func (p pinned) Assign(nowNs int64, assign []*machine.Thread) {
+	for cpu, t := range p {
+		assign[cpu] = t
+	}
+}
+
+// MThread creates a closed-loop m-thread pinned to lcpu, recording the
+// latency of each block access into sample.
+func MThread(m *machine.Machine, p pinned, lcpu int, blockBytes int64, sample *stats.Sample) {
+	th := m.NewThread("m-thread", nil)
+	p[lcpu] = th
+	var lastDone int64 = m.Now()
+	var push func(int64)
+	push = func(doneNs int64) {
+		if sample != nil && doneNs > lastDone {
+			sample.Add(float64(doneNs - lastDone))
+		}
+		lastDone = doneNs
+		th.Push(workload.Item{Cost: mBlockCost(blockBytes), OnComplete: push})
+	}
+	// Prime the first block without recording a bogus first latency.
+	th.Push(workload.Item{Cost: mBlockCost(blockBytes), OnComplete: func(doneNs int64) {
+		lastDone = doneNs
+		push(doneNs)
+	}})
+}
+
+// CThread creates a compute-bound c-thread pinned to lcpu.
+func CThread(m *machine.Machine, p pinned, lcpu int) {
+	th := m.NewThread("c-thread", nil)
+	p[lcpu] = th
+	var push func(int64)
+	push = func(int64) {
+		th.Push(workload.Item{Cost: cChunkCost(), OnComplete: push})
+	}
+	push(0)
+}
+
+// Fig2Case identifies one of the six placements of Fig. 2.
+type Fig2Case int
+
+// The six thread placements of §2.2.
+const (
+	Case1OneThread      Fig2Case = iota + 1 // 1 m-thread on 1 core
+	Case2TwoCores                           // 2 m-threads on 2 cores
+	Case3Siblings                           // 2 m-threads on one core's siblings
+	Case4SixteenCores                       // 16 m-threads on 16 cores
+	Case5ThirtyTwoLCPUs                     // 32 m-threads on all 32 logical CPUs
+	Case6MemVsCompute                       // 16 m-threads + 16 c-threads on siblings
+)
+
+// Name returns the paper's description of the case.
+func (c Fig2Case) Name() string {
+	switch c {
+	case Case1OneThread:
+		return "1 thread on 1 core"
+	case Case2TwoCores:
+		return "2 threads on 2 cores"
+	case Case3Siblings:
+		return "2 threads on sibling LCPUs"
+	case Case4SixteenCores:
+		return "16 threads on 16 cores"
+	case Case5ThirtyTwoLCPUs:
+		return "32 threads on 32 LCPUs"
+	case Case6MemVsCompute:
+		return "16 m-threads vs 16 c-threads"
+	}
+	return "unknown"
+}
+
+// Fig2Cases lists all six cases in paper order.
+func Fig2Cases() []Fig2Case {
+	return []Fig2Case{Case1OneThread, Case2TwoCores, Case3Siblings,
+		Case4SixteenCores, Case5ThirtyTwoLCPUs, Case6MemVsCompute}
+}
+
+// RunFig2Case measures the block-access latency CDF of one placement on a
+// fresh machine with the given config, for durationNs of simulated time.
+func RunFig2Case(cfg machine.Config, c Fig2Case, durationNs int64) *stats.Sample {
+	m := machine.New(cfg)
+	p := pinned{}
+	m.SetScheduler(p)
+	sample := stats.NewSample(4096)
+	cores := cfg.Topology.PhysicalCores()
+
+	addM := func(lcpu int) { MThread(m, p, lcpu, MBlockBytes, sample) }
+	switch c {
+	case Case1OneThread:
+		addM(0)
+	case Case2TwoCores:
+		addM(0)
+		addM(1)
+	case Case3Siblings:
+		addM(0)
+		addM(cores) // sibling of 0
+	case Case4SixteenCores:
+		for i := 0; i < cores; i++ {
+			addM(i)
+		}
+	case Case5ThirtyTwoLCPUs:
+		for i := 0; i < 2*cores; i++ {
+			addM(i)
+		}
+	case Case6MemVsCompute:
+		for i := 0; i < cores; i++ {
+			addM(i)
+			CThread(m, p, i+cores)
+		}
+	}
+	m.RunFor(durationNs)
+	return sample
+}
+
+// ProbePoint is one measurement of the §3.1 program at a target rate.
+type ProbePoint struct {
+	TargetRPS   float64
+	AchievedRPS float64
+	MeanLatNs   float64
+	P99LatNs    float64
+	VPI         map[hpe.Event]float64
+	// CPS is the raw counter value per second — the naive metric §3.1
+	// rejects: at a low request rate with a saturated sibling, latency
+	// is high but few requests retire, so the per-second count stays
+	// small and fails to reflect the interference.
+	CPS map[hpe.Event]float64
+}
+
+// Prober issues ProbeBlockBytes requests on one logical CPU at a target
+// rate (0 = closed loop / maximum rate) and samples the four candidate
+// HPEs' VPIs.
+type Prober struct {
+	m        *machine.Machine
+	lcpu     int
+	th       *machine.Thread
+	groups   map[hpe.Event]*perf.VPIGroup
+	counters map[hpe.Event]*perf.Counter
+	lat      *stats.Sample
+	issued   int64
+	done     int64
+	stopped  bool
+}
+
+// NewProber creates a prober pinned to lcpu via the assignment map.
+func NewProber(m *machine.Machine, p pinned, lcpu int) *Prober {
+	pr := &Prober{
+		m:        m,
+		lcpu:     lcpu,
+		th:       m.NewThread("prober", nil),
+		groups:   map[hpe.Event]*perf.VPIGroup{},
+		counters: map[hpe.Event]*perf.Counter{},
+		lat:      stats.NewSample(4096),
+	}
+	p[lcpu] = pr.th
+	for _, e := range hpe.Candidates {
+		g, err := perf.OpenVPI(m, e, lcpu)
+		if err != nil {
+			panic(err)
+		}
+		pr.groups[e] = g
+		pr.counters[e] = perf.MustOpen(m, perf.Attr{Event: e}, lcpu)
+	}
+	return pr
+}
+
+// Start begins issuing requests. rps <= 0 runs closed-loop at the maximum
+// rate.
+func (pr *Prober) Start(rps float64) {
+	if rps <= 0 {
+		var push func(int64)
+		start := pr.m.Now()
+		push = func(doneNs int64) {
+			if pr.stopped {
+				return
+			}
+			pr.done++
+			pr.lat.Add(float64(doneNs - start))
+			start = doneNs
+			pr.issued++
+			pr.th.Push(workload.Item{Cost: mBlockCost(ProbeBlockBytes), OnComplete: push})
+		}
+		pr.issued++
+		pr.th.Push(workload.Item{Cost: mBlockCost(ProbeBlockBytes), OnComplete: func(d int64) {
+			start = d
+			push(d)
+		}})
+		return
+	}
+	period := int64(1e9 / rps)
+	var arrive func(int64)
+	arrive = func(nowNs int64) {
+		if pr.stopped {
+			return
+		}
+		submit := nowNs
+		pr.issued++
+		pr.th.Push(workload.Item{
+			Cost: mBlockCost(ProbeBlockBytes),
+			OnComplete: func(doneNs int64) {
+				pr.done++
+				pr.lat.Add(float64(doneNs - submit))
+			},
+		})
+		pr.m.Schedule(nowNs+period, arrive)
+	}
+	pr.m.Schedule(pr.m.Now()+period, arrive)
+}
+
+// Stop ends request issuing.
+func (pr *Prober) Stop() { pr.stopped = true }
+
+// Snapshot returns the interval's measurements and resets them.
+func (pr *Prober) Snapshot(windowNs int64, targetRPS float64) ProbePoint {
+	pt := ProbePoint{
+		TargetRPS:   targetRPS,
+		AchievedRPS: float64(pr.done) / (float64(windowNs) / 1e9),
+		MeanLatNs:   pr.lat.Mean(),
+		P99LatNs:    pr.lat.Percentile(99),
+		VPI:         map[hpe.Event]float64{},
+		CPS:         map[hpe.Event]float64{},
+	}
+	for e, g := range pr.groups {
+		pt.VPI[e] = g.Sample()
+	}
+	for e, c := range pr.counters {
+		pt.CPS[e] = c.Read().Value / (float64(windowNs) / 1e9)
+		c.Reset()
+	}
+	pr.lat = stats.NewSample(4096)
+	pr.done = 0
+	return pt
+}

@@ -1,0 +1,178 @@
+package microbench
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/hpe"
+	"github.com/holmes-colocation/holmes/internal/machine"
+)
+
+// shortCfg shrinks measurement windows for unit tests; the full-size
+// sweep runs from the bench harness.
+func shortSweepConfig() SweepConfig {
+	cfg := DefaultSweepConfig()
+	cfg.WindowNs = 100_000_000 // 100 ms windows
+	cfg.StepRPS = 15_000       // fewer points
+	return cfg
+}
+
+func TestFig2CaseNames(t *testing.T) {
+	for _, c := range Fig2Cases() {
+		if c.Name() == "unknown" || c.Name() == "" {
+			t.Fatalf("case %d unnamed", c)
+		}
+	}
+	if len(Fig2Cases()) != 6 {
+		t.Fatal("Fig 2 has six cases")
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	const dur = 300_000_000 // 300 ms
+	means := map[Fig2Case]float64{}
+	for _, c := range Fig2Cases() {
+		s := RunFig2Case(cfg, c, dur)
+		if s.Len() < 10 {
+			t.Fatalf("case %v recorded only %d blocks", c, s.Len())
+		}
+		means[c] = s.Mean()
+	}
+	base := means[Case1OneThread]
+	// Paper finding 1: per-core cases are all ~1400 µs regardless of
+	// thread count (no memory controller/bandwidth bottleneck).
+	if base < 1.2e6 || base > 1.65e6 {
+		t.Fatalf("case 1 mean = %.0f ns, want ~1.4e6", base)
+	}
+	for _, c := range []Fig2Case{Case2TwoCores, Case4SixteenCores} {
+		ratio := means[c] / base
+		if ratio < 0.95 || ratio > 1.12 {
+			t.Fatalf("case %v/case1 = %.2f, want ~1.0", c, ratio)
+		}
+	}
+	// Paper finding 2: sibling cases are ~2300 µs (~1.64x).
+	for _, c := range []Fig2Case{Case3Siblings, Case5ThirtyTwoLCPUs} {
+		ratio := means[c] / base
+		if ratio < 1.45 || ratio > 1.85 {
+			t.Fatalf("case %v/case1 = %.2f, want ~1.64", c, ratio)
+		}
+	}
+	// Paper finding 3: a compute sibling interferes, but much less.
+	r6 := means[Case6MemVsCompute] / base
+	if r6 < 1.02 || r6 > 1.35 {
+		t.Fatalf("case 6/case1 = %.2f, want mild inflation", r6)
+	}
+	if means[Case6MemVsCompute] >= means[Case5ThirtyTwoLCPUs] {
+		t.Fatal("compute sibling must interfere less than memory sibling")
+	}
+}
+
+func TestProberClosedLoopPeak(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m := machine.New(cfg)
+	p := pinned{}
+	m.SetScheduler(p)
+	pr := NewProber(m, p, 0)
+	pr.Start(0)
+	m.RunFor(500_000_000)
+	pt := pr.Snapshot(500_000_000, 0)
+	// The paper's single-thread peak is ~74 kRPS with 10 KB requests.
+	if pt.AchievedRPS < 60_000 || pt.AchievedRPS > 85_000 {
+		t.Fatalf("closed-loop peak = %.0f RPS, want ~74k", pt.AchievedRPS)
+	}
+	if pt.VPI[hpe.StallsMemAny] <= 0 {
+		t.Fatal("no VPI measured")
+	}
+}
+
+func TestProberOpenLoopHitsTarget(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m := machine.New(cfg)
+	p := pinned{}
+	m.SetScheduler(p)
+	pr := NewProber(m, p, 0)
+	pr.Start(20_000)
+	m.RunFor(500_000_000)
+	pt := pr.Snapshot(500_000_000, 20_000)
+	if pt.AchievedRPS < 18_000 || pt.AchievedRPS > 22_000 {
+		t.Fatalf("achieved %.0f RPS at target 20k", pt.AchievedRPS)
+	}
+}
+
+func TestSiblingReducesPeakRate(t *testing.T) {
+	// The paper's peak drops from ~74k to ~45k when the sibling is
+	// saturated.
+	cfg := machine.DefaultConfig()
+	m := machine.New(cfg)
+	p := pinned{}
+	m.SetScheduler(p)
+	a := NewProber(m, p, 0)
+	b := NewProber(m, p, cfg.Topology.SiblingOf(0))
+	a.Start(0)
+	b.Start(0)
+	m.RunFor(500_000_000)
+	pt := a.Snapshot(500_000_000, 0)
+	if pt.AchievedRPS < 38_000 || pt.AchievedRPS > 52_000 {
+		t.Fatalf("peak with saturated sibling = %.0f RPS, want ~45k", pt.AchievedRPS)
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	sw := RunSweep(shortSweepConfig())
+	if len(sw.OneThread) < 4 || len(sw.MaxThread) < 3 || len(sw.VarThread) < 3 {
+		t.Fatalf("sweep sizes: %d/%d/%d", len(sw.OneThread), len(sw.MaxThread), len(sw.VarThread))
+	}
+	// Fig 4(a): single-thread latency flat across rates.
+	first := sw.OneThread[0].MeanLatNs
+	for _, pt := range sw.OneThread {
+		if pt.MeanLatNs < first*0.85 || pt.MeanLatNs > first*1.25 {
+			t.Fatalf("one-thread latency not flat: %.0f vs %.0f", pt.MeanLatNs, first)
+		}
+	}
+	// Fig 4(b): saturated thread's latency rises with sibling rate.
+	lo := sw.MaxThread[0].MeanLatNs
+	hi := sw.MaxThread[len(sw.MaxThread)-1].MeanLatNs
+	if hi < lo*1.2 {
+		t.Fatalf("max-thread latency did not rise: %.0f -> %.0f", lo, hi)
+	}
+	// ... and its STALLS_MEM_ANY VPI tracks it.
+	vlo := sw.MaxThread[0].VPI[hpe.StallsMemAny]
+	vhi := sw.MaxThread[len(sw.MaxThread)-1].VPI[hpe.StallsMemAny]
+	if vhi < vlo*1.2 {
+		t.Fatalf("VPI did not track latency: %.1f -> %.1f", vlo, vhi)
+	}
+	// Fig 4(c): the varying thread's latency is flat in its own rate.
+	vfirst := sw.VarThread[0].MeanLatNs
+	for _, pt := range sw.VarThread {
+		if pt.MeanLatNs < vfirst*0.8 || pt.MeanLatNs > vfirst*1.3 {
+			t.Fatalf("var-thread latency not flat: %.0f vs %.0f", pt.MeanLatNs, vfirst)
+		}
+	}
+}
+
+func TestTable1CorrelationOrdering(t *testing.T) {
+	sw := RunSweep(shortSweepConfig())
+	corrs := map[hpe.Event]float64{}
+	for _, c := range sw.Correlations() {
+		corrs[c.Event] = c.Corr
+	}
+	// Table 1: STALLS_MEM_ANY has the strongest positive correlation.
+	if corrs[hpe.StallsMemAny] < 0.99 {
+		t.Fatalf("corr(STALLS_MEM_ANY) = %.4f, want > 0.99", corrs[hpe.StallsMemAny])
+	}
+	if corrs[hpe.CyclesMemAny] < 0.97 || corrs[hpe.StallsL3Miss] < 0.95 {
+		t.Fatalf("stall/occupancy correlations too low: %+v", corrs)
+	}
+	if corrs[hpe.StallsMemAny] < corrs[hpe.CyclesMemAny] ||
+		corrs[hpe.StallsMemAny] < corrs[hpe.StallsL3Miss] {
+		t.Fatalf("STALLS_MEM_ANY must rank first: %+v", corrs)
+	}
+	// CYCLES_L3_MISS is the outlier: weak and negative.
+	if corrs[hpe.CyclesL3Miss] > 0.2 || corrs[hpe.CyclesL3Miss] < -0.8 {
+		t.Fatalf("corr(CYCLES_L3_MISS) = %.4f, want weakly negative", corrs[hpe.CyclesL3Miss])
+	}
+	// The selection procedure picks the paper's event.
+	if got := sw.SelectMetric(); got != hpe.StallsMemAny {
+		t.Fatalf("SelectMetric = %v, want STALLS_MEM_ANY", got)
+	}
+}

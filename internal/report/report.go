@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/trace"
+)
+
+// Document is a full experiment report.
+type Document struct {
+	Title    string
+	Subtitle string
+	Sections []Section
+}
+
+// Section is one experiment's results: prose, tables and charts.
+type Section struct {
+	ID     string
+	Title  string
+	Text   string
+	Tables []*trace.Table
+	Charts []Chart
+	// Pre is preformatted text (e.g. an ablation study's rendered
+	// tables) shown in a monospace block.
+	Pre string
+}
+
+// AddSection appends a section and returns a pointer for filling in.
+func (d *Document) AddSection(id, title, text string) *Section {
+	d.Sections = append(d.Sections, Section{ID: id, Title: title, Text: text})
+	return &d.Sections[len(d.Sections)-1]
+}
+
+var pageTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+ body { font-family: Georgia, serif; max-width: 920px; margin: 2em auto; padding: 0 1em; color: #1a1a1a; }
+ h1 { font-size: 1.6em; margin-bottom: 0; }
+ .subtitle { color: #555; margin-top: 0.3em; }
+ h2 { font-size: 1.2em; border-bottom: 1px solid #ccc; padding-bottom: 0.2em; margin-top: 2em; }
+ p.note { color: #333; }
+ table { border-collapse: collapse; margin: 1em 0; font-family: monospace; font-size: 0.9em; }
+ th, td { border: 1px solid #bbb; padding: 3px 9px; text-align: left; }
+ th { background: #f2f2f2; }
+ .charts { display: flex; flex-wrap: wrap; gap: 12px; }
+ .charts svg { border: 1px solid #eee; }
+ nav { font-size: 0.9em; margin: 1em 0; }
+ nav a { margin-right: 0.8em; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="subtitle">{{.Subtitle}}</p>
+<nav>{{range .Sections}}<a href="#{{.ID}}">{{.ID}}</a> {{end}}</nav>
+{{range .Sections}}
+<h2 id="{{.ID}}">{{.Title}}</h2>
+{{if .Text}}<p class="note">{{.Text}}</p>{{end}}
+{{range .TablesHTML}}{{.}}{{end}}
+<div class="charts">{{range .ChartsHTML}}{{.}}{{end}}</div>
+{{if .Pre}}<pre style="background:#f7f7f7;padding:0.8em;overflow-x:auto">{{.Pre}}</pre>{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// renderSection adapts a Section for the template.
+type renderSection struct {
+	ID, Title, Text, Pre string
+	TablesHTML           []template.HTML
+	ChartsHTML           []template.HTML
+}
+
+// tableHTML converts a trace.Table to an HTML table.
+func tableHTML(t *trace.Table) template.HTML {
+	var b strings.Builder
+	b.WriteString("<table>")
+	if t.Title != "" {
+		fmt.Fprintf(&b, `<caption style="text-align:left;font-weight:bold;padding:4px 0">%s</caption>`,
+			template.HTMLEscapeString(t.Title))
+	}
+	b.WriteString("<tr>")
+	for _, h := range t.Headers {
+		fmt.Fprintf(&b, "<th>%s</th>", template.HTMLEscapeString(h))
+	}
+	b.WriteString("</tr>")
+	for _, row := range t.Rows {
+		b.WriteString("<tr>")
+		for _, c := range row {
+			fmt.Fprintf(&b, "<td>%s</td>", template.HTMLEscapeString(c))
+		}
+		b.WriteString("</tr>")
+	}
+	b.WriteString("</table>")
+	return template.HTML(b.String())
+}
+
+// WriteHTML renders the document to w as a self-contained HTML page.
+func (d *Document) WriteHTML(w io.Writer) error {
+	type page struct {
+		Title, Subtitle string
+		Sections        []renderSection
+	}
+	p := page{Title: d.Title, Subtitle: d.Subtitle}
+	for _, s := range d.Sections {
+		rs := renderSection{ID: s.ID, Title: s.Title, Text: s.Text, Pre: s.Pre}
+		for _, t := range s.Tables {
+			rs.TablesHTML = append(rs.TablesHTML, tableHTML(t))
+		}
+		for _, c := range s.Charts {
+			rs.ChartsHTML = append(rs.ChartsHTML, template.HTML(c.SVG()))
+		}
+		p.Sections = append(p.Sections, rs)
+	}
+	return pageTemplate.Execute(w, p)
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/trace"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "CDF",
+		XLabel: "latency ns",
+		YLabel: "fraction",
+		LogX:   true,
+		Series: []Series{
+			{Name: "alone", Xs: []float64{100, 1000, 10000}, Ys: []float64{0.2, 0.8, 1}},
+			{Name: "perfiso", Xs: []float64{100, 2000, 50000}, Ys: []float64{0.1, 0.6, 1}},
+		},
+	}
+}
+
+func TestChartSVGWellFormed(t *testing.T) {
+	svg := sampleChart().SVG()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "alone", "perfiso", "latency ns (log)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("expected 2 polylines")
+	}
+	// Balanced tags (rough well-formedness check).
+	if strings.Count(svg, "<text") == 0 {
+		t.Fatal("no tick or label text")
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	// Must not panic or divide by zero.
+	empty := Chart{Title: "empty"}
+	if !strings.Contains(empty.SVG(), "<svg") {
+		t.Fatal("empty chart did not render")
+	}
+	constant := Chart{Series: []Series{{Name: "c", Xs: []float64{1, 1}, Ys: []float64{5, 5}}}}
+	_ = constant.SVG()
+	logZero := Chart{LogX: true, Series: []Series{{Name: "z", Xs: []float64{0, 10}, Ys: []float64{0, 1}}}}
+	_ = logZero.SVG()
+}
+
+func TestChartEscapesText(t *testing.T) {
+	c := Chart{Title: `a<b>&"c"`, Series: []Series{{Name: "s<1>", Xs: []float64{1}, Ys: []float64{1}}}}
+	svg := c.SVG()
+	if strings.Contains(svg, "a<b>") || strings.Contains(svg, "s<1>") {
+		t.Fatal("unescaped text in SVG")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 3 || len(ticks) > 8 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}
+
+func TestDocumentHTML(t *testing.T) {
+	var d Document
+	d.Title = "Holmes reproduction report"
+	d.Subtitle = "seed 1"
+	sec := d.AddSection("fig7", "Figure 7", "Redis latency CDFs.")
+	tb := trace.NewTable("summary", "setting", "mean")
+	tb.AddRow("alone", 53.0)
+	tb.AddRow(`evil"cell<`, 1)
+	sec.Tables = append(sec.Tables, tb)
+	sec.Charts = append(sec.Charts, sampleChart())
+
+	var b strings.Builder
+	if err := d.WriteHTML(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<!DOCTYPE html>", "Holmes reproduction report",
+		`id="fig7"`, "<table>", "<svg", "alone"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("HTML missing %q", want)
+		}
+	}
+	if strings.Contains(out, `evil"cell<`) {
+		t.Fatal("table cell not escaped")
+	}
+	if !strings.Contains(out, "evil&#34;cell&lt;") {
+		t.Fatal("escaped cell missing")
+	}
+}

@@ -1,0 +1,213 @@
+// Package report renders experiment results as a self-contained HTML
+// document with SVG figures — the graphical counterpart of the text
+// harness, regenerating the paper's figures as actual charts.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Chart is a multi-series line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []Series
+}
+
+// seriesColors cycle across lines.
+var seriesColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+	"#e377c2", "#7f7f7f",
+}
+
+const (
+	svgW, svgH             = 560, 320
+	padL, padR, padT, padB = 62, 16, 30, 62
+)
+
+type axis struct {
+	min, max float64
+	log      bool
+}
+
+func (a axis) scale(v float64, lo, hi float64) float64 {
+	x := v
+	if a.log {
+		if v <= 0 {
+			return lo
+		}
+		x = math.Log10(v)
+	}
+	if a.max == a.min {
+		return (lo + hi) / 2
+	}
+	return lo + (x-a.min)/(a.max-a.min)*(hi-lo)
+}
+
+// niceTicks returns up to n readable tick values covering [min, max].
+func niceTicks(min, max float64, n int) []float64 {
+	if max <= min {
+		return []float64{min}
+	}
+	raw := (max - min) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for v := math.Ceil(min/step) * step; v <= max+step/1e6; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || (av < 1e-2 && av > 0):
+		return fmt.Sprintf("%.0e", v)
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	}
+}
+
+// SVG renders the chart.
+func (c Chart) SVG() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`, svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, svgW, svgH)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" text-anchor="middle" font-size="13" font-weight="bold">%s</text>`,
+			svgW/2, escape(c.Title))
+	}
+
+	// Bounds.
+	xa := axis{log: c.LogX, min: math.Inf(1), max: math.Inf(-1)}
+	ya := axis{min: math.Inf(1), max: math.Inf(-1)}
+	for _, s := range c.Series {
+		for i := range s.Xs {
+			x := s.Xs[i]
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			xa.min, xa.max = math.Min(xa.min, x), math.Max(xa.max, x)
+			ya.min, ya.max = math.Min(ya.min, s.Ys[i]), math.Max(ya.max, s.Ys[i])
+		}
+	}
+	if math.IsInf(xa.min, 0) {
+		xa.min, xa.max = 0, 1
+	}
+	if math.IsInf(ya.min, 0) {
+		ya.min, ya.max = 0, 1
+	}
+	if ya.min > 0 && ya.min < ya.max/5 {
+		ya.min = 0 // anchor near-zero series at zero
+	}
+
+	plotL, plotR := float64(padL), float64(svgW-padR)
+	plotT, plotB := float64(padT), float64(svgH-padB)
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`, plotL, plotB, plotR, plotB)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`, plotL, plotT, plotL, plotB)
+
+	// Y ticks.
+	for _, tv := range niceTicks(ya.min, ya.max, 5) {
+		y := plotB - (tv-ya.min)/(ya.max-ya.min)*(plotB-plotT)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`, plotL, y, plotR, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`, plotL-6, y+4, fmtTick(tv))
+	}
+	// X ticks: log axes tick at powers of ten, linear axes use niceTicks.
+	if c.LogX {
+		for p := math.Floor(xa.min); p <= math.Ceil(xa.max); p++ {
+			if p < xa.min-1e-9 || p > xa.max+1e-9 {
+				continue
+			}
+			x := plotL + (p-xa.min)/(xa.max-xa.min)*(plotR-plotL)
+			fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`, x, plotT, x, plotB)
+			fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`, x, plotB+16, fmtTick(math.Pow(10, p)))
+		}
+	} else {
+		for _, tv := range niceTicks(xa.min, xa.max, 6) {
+			x := plotL + (tv-xa.min)/(xa.max-xa.min)*(plotR-plotL)
+			fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`, x, plotB+16, fmtTick(tv))
+		}
+	}
+
+	// Axis labels.
+	if c.XLabel != "" {
+		label := c.XLabel
+		if c.LogX {
+			label += " (log)"
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`,
+			(padL+svgW-padR)/2, svgH-34, escape(label))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`,
+			(plotT+plotB)/2, (plotT+plotB)/2, escape(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		for i := range s.Xs {
+			x := s.Xs[i]
+			if c.LogX && x <= 0 {
+				continue
+			}
+			px := xa.scale(s.Xs[i], plotL, plotR)
+			py := plotB - (s.Ys[i]-ya.min)/(ya.max-ya.min)*(plotB-plotT)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px, py))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+				strings.Join(pts, " "), color)
+		}
+	}
+
+	// Legend along the bottom.
+	lx := float64(padL)
+	ly := float64(svgH - 12)
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="4" fill="%s"/>`, lx, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`, lx+16, ly, escape(s.Name))
+		lx += float64(24 + 7*len(s.Name))
+	}
+
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,292 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values out of 1000", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first values")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(5)
+	err := quick.Check(func(n uint64, steps uint8) bool {
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < int(steps%32)+1; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(9)
+	const buckets, n = 10, 500000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.02 {
+			t.Fatalf("bucket %d count %d deviates >2%% from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 300000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(17)
+	const n = 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(19)
+	for _, mean := range []float64{0.5, 3, 12, 50, 400} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Fatalf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := New(23)
+	if got := r.Poisson(-5); got != 0 {
+		t.Fatalf("Poisson(-5) = %d, want 0", got)
+	}
+	for i := 0; i < 10000; i++ {
+		if r.Poisson(100) < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 1000, 0.99)
+	const n = 200000
+	hot := 0
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		if v < 100 { // hottest 10% of items
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.6 {
+		t.Fatalf("Zipf(0.99) hottest-10%% share = %v, want skewed (>0.6)", frac)
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	r := New(37)
+	z := NewZipf(r, 50, 0.99)
+	counts := make([]int, 50)
+	for i := 0; i < 200000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[40] {
+		t.Fatalf("Zipf counts not decreasing with rank: c0=%d c10=%d c40=%d",
+			counts[0], counts[10], counts[40])
+	}
+}
+
+func TestScrambledZipfSpreads(t *testing.T) {
+	r := New(41)
+	s := NewScrambledZipf(r, 1000, 0.99)
+	counts := make(map[int64]int)
+	for i := 0; i < 100000; i++ {
+		v := s.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("ScrambledZipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Hot items must exist but not be concentrated in the low indexes.
+	lowHot := 0
+	for k, c := range counts {
+		if c > 1000 && k < 100 {
+			lowHot++
+		}
+	}
+	total := 0
+	for k, c := range counts {
+		if c > 1000 {
+			total++
+		}
+		_ = k
+	}
+	if total == 0 {
+		t.Fatal("no hot items after scrambling")
+	}
+	if total > 0 && lowHot == total {
+		t.Fatal("all hot items landed in the first decile; scrambling ineffective")
+	}
+}
+
+func TestLatestFavoursRecent(t *testing.T) {
+	r := New(43)
+	max := int64(1000)
+	l := NewLatest(r, max, 0.99, func() int64 { return max })
+	recent := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := l.Next()
+		if v < 0 || v >= max {
+			t.Fatalf("Latest out of range: %d", v)
+		}
+		if v >= max-100 {
+			recent++
+		}
+	}
+	if float64(recent)/n < 0.6 {
+		t.Fatalf("Latest newest-10%% share = %v, want >0.6", float64(recent)/n)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n     int64
+		theta float64
+	}{{0, 0.99}, {10, 0}, {10, 1}, {-1, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%d, %v) did not panic", tc.n, tc.theta)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.theta)
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1<<20, 0.99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

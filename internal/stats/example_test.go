@@ -1,0 +1,27 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/holmes-colocation/holmes/internal/stats"
+)
+
+// Pearson correlation drives the paper's Table 1 metric selection.
+func ExamplePearson() {
+	latency := []float64{100, 120, 150, 180, 220}
+	tracking := []float64{10, 12, 15, 18, 22} // proportional: perfect
+	noise := []float64{5, 3, 9, 2, 7}
+	fmt.Printf("tracking: %.4f\n", stats.Pearson(latency, tracking))
+	fmt.Printf("noise:    %.2f\n", stats.Pearson(latency, noise))
+	// Output:
+	// tracking: 1.0000
+	// noise:    0.19
+}
+
+// RelativeChange is the paper's Fig. 5 normalization: 0.3 means "30%
+// higher than the Alone baseline".
+func ExampleRelativeChange() {
+	alone, colocated := 100.0, 130.0
+	fmt.Printf("%.1f\n", stats.RelativeChange(colocated, alone))
+	// Output: 0.3
+}

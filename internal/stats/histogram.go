@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram records observations in logarithmically spaced buckets, in the
+// spirit of HdrHistogram. It is the high-volume counterpart of Sample: the
+// colocation experiments record millions of query latencies, and retaining
+// each one would dominate memory.
+//
+// Buckets span [Min, Max) with bucketsPerDecade buckets per power of ten.
+// Percentile queries interpolate within a bucket, bounding the relative
+// error by the bucket width (about 4% at 60 buckets per decade).
+type Histogram struct {
+	min, max         float64
+	perDecade        int
+	logMin           float64
+	invLogBucket     float64
+	counts           []int64
+	total            int64
+	sum              float64
+	observedMin      float64
+	observedMax      float64
+	underflow        int64
+	overflow         int64
+	underflowExample float64
+}
+
+// NewHistogram creates a histogram covering [min, max) with the given
+// bucket density. Typical latency use: NewHistogram(0.1, 1e7, 60) for
+// 100ns..10s in microseconds... units are the caller's choice.
+func NewHistogram(min, max float64, bucketsPerDecade int) *Histogram {
+	if min <= 0 || max <= min || bucketsPerDecade <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	decades := math.Log10(max / min)
+	n := int(math.Ceil(decades * float64(bucketsPerDecade)))
+	return &Histogram{
+		min:          min,
+		max:          max,
+		perDecade:    bucketsPerDecade,
+		logMin:       math.Log10(min),
+		invLogBucket: float64(bucketsPerDecade),
+		counts:       make([]int64, n),
+		observedMin:  math.Inf(1),
+		observedMax:  math.Inf(-1),
+	}
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	return int((math.Log10(v) - h.logMin) * h.invLogBucket)
+}
+
+// bucketUpper returns the upper bound of bucket i.
+func (h *Histogram) bucketUpper(i int) float64 {
+	return math.Pow(10, h.logMin+float64(i+1)/h.invLogBucket)
+}
+
+// bucketLower returns the lower bound of bucket i.
+func (h *Histogram) bucketLower(i int) float64 {
+	return math.Pow(10, h.logMin+float64(i)/h.invLogBucket)
+}
+
+// Add records one observation. Values below the range count as underflow
+// and clamp into the first bucket; values at or above the range clamp into
+// the last bucket and count as overflow, so percentiles stay well-defined.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	h.sum += v
+	if v < h.observedMin {
+		h.observedMin = v
+	}
+	if v > h.observedMax {
+		h.observedMax = v
+	}
+	switch {
+	case v < h.min:
+		h.underflow++
+		h.underflowExample = v
+		h.counts[0]++
+	case v >= h.max:
+		h.overflow++
+		h.counts[len(h.counts)-1]++
+	default:
+		h.counts[h.bucketOf(v)]++
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the exact mean of all recorded observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the smallest recorded observation (exact).
+func (h *Histogram) Min() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.observedMin
+}
+
+// Max returns the largest recorded observation (exact).
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.observedMax
+}
+
+// Percentile returns the approximate p-th percentile (p in [0,100]).
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.observedMin
+	}
+	if p >= 100 {
+		return h.observedMax
+	}
+	target := int64(math.Ceil(p / 100 * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if cum >= target {
+			// Linear interpolation within the bucket.
+			lo, hi := h.bucketLower(i), h.bucketUpper(i)
+			frac := float64(target-prev) / float64(c)
+			v := lo + (hi-lo)*frac
+			if v < h.observedMin {
+				v = h.observedMin
+			}
+			if v > h.observedMax {
+				v = h.observedMax
+			}
+			return v
+		}
+	}
+	return h.observedMax
+}
+
+// FractionAbove returns the approximate fraction of observations greater
+// than threshold.
+func (h *Histogram) FractionAbove(threshold float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if threshold < h.min {
+		return 1
+	}
+	if threshold >= h.max {
+		return float64(h.overflow) / float64(h.total)
+	}
+	b := h.bucketOf(threshold)
+	var above int64
+	for i := b + 1; i < len(h.counts); i++ {
+		above += h.counts[i]
+	}
+	// Interpolate the threshold's own bucket.
+	lo, hi := h.bucketLower(b), h.bucketUpper(b)
+	frac := (hi - threshold) / (hi - lo)
+	above += int64(frac * float64(h.counts[b]))
+	return float64(above) / float64(h.total)
+}
+
+// CDF returns at most points CDF points spanning the recorded range.
+func (h *Histogram) CDF(points int) []CDFPoint {
+	if h.total == 0 || points <= 0 {
+		return nil
+	}
+	out := make([]CDFPoint, 0, points)
+	var cum int64
+	step := float64(h.total) / float64(points)
+	next := step
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if float64(cum) >= next || i == len(h.counts)-1 {
+			out = append(out, CDFPoint{
+				Value:    h.bucketUpper(i),
+				Fraction: float64(cum) / float64(h.total),
+			})
+			for float64(cum) >= next {
+				next += step
+			}
+		}
+	}
+	return out
+}
+
+// Summarize computes a Summary from the histogram.
+func (h *Histogram) Summarize() Summary {
+	med := h.Percentile(50)
+	return Summary{
+		Count:  int(h.total),
+		Mean:   h.Mean(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		P50:    med,
+		Median: med,
+		P90:    h.Percentile(90),
+		P95:    h.Percentile(95),
+		P99:    h.Percentile(99),
+		P999:   h.Percentile(99.9),
+	}
+}
+
+// Merge adds all observations of other into h. The histograms must have
+// identical bucket layouts.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h.min != other.min || h.max != other.max || h.perDecade != other.perDecade {
+		return fmt.Errorf("stats: merging histograms with different layouts")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.underflow += other.underflow
+	h.overflow += other.overflow
+	if other.observedMin < h.observedMin {
+		h.observedMin = other.observedMin
+	}
+	if other.observedMax > h.observedMax {
+		h.observedMax = other.observedMax
+	}
+	return nil
+}
+
+// Reset clears all recorded observations, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum = 0, 0
+	h.underflow, h.overflow = 0, 0
+	h.observedMin = math.Inf(1)
+	h.observedMax = math.Inf(-1)
+}

@@ -1,0 +1,258 @@
+// Package stats provides the statistical machinery the Holmes reproduction
+// needs: latency summaries and percentiles, empirical CDFs for the paper's
+// figures, Pearson correlation for the Table 1 HPE selection study, and
+// fixed-bucket histograms for high-volume latency recording.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and answers summary queries.
+// It retains all observations; use Histogram for high-volume recording.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// NewSample returns an empty Sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{values: make([]float64, 0, capacity)}
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(vs []float64) {
+	s.values = append(s.values, vs...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.values) }
+
+// Values returns the raw observations in insertion order if never sorted,
+// otherwise in ascending order. The slice is owned by the Sample.
+func (s *Sample) Values() []float64 { return s.values }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// FractionAbove returns the fraction of observations strictly greater than
+// threshold — the SLO-violation ratio when threshold is the SLO.
+func (s *Sample) FractionAbove(threshold float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	// First index with value > threshold.
+	idx := sort.Search(len(s.values), func(i int) bool { return s.values[i] > threshold })
+	return float64(len(s.values)-idx) / float64(len(s.values))
+}
+
+// Summary is a compact description of a sample, convenient for tables.
+type Summary struct {
+	Count                int
+	Mean, Min, Max       float64
+	P50, P90, P95, P99   float64
+	P999, StdDev, Median float64
+}
+
+// Summarize computes a Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	med := s.Percentile(50)
+	return Summary{
+		Count:  s.Len(),
+		Mean:   s.Mean(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		P50:    med,
+		Median: med,
+		P90:    s.Percentile(90),
+		P95:    s.Percentile(95),
+		P99:    s.Percentile(99),
+		P999:   s.Percentile(99.9),
+		StdDev: s.StdDev(),
+	}
+}
+
+// String renders the summary on one line with microsecond-style precision.
+func (sum Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f",
+		sum.Count, sum.Mean, sum.P50, sum.P90, sum.P99, sum.Max)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64 // observation value
+	Fraction float64 // fraction of observations <= Value
+}
+
+// CDF returns the empirical CDF reduced to at most points entries,
+// evenly spaced in rank. It always includes the minimum and maximum.
+func (s *Sample) CDF(points int) []CDFPoint {
+	n := len(s.values)
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	s.ensureSorted()
+	if points > n {
+		points = n
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		rank := i * (n - 1) / max(points-1, 1)
+		out = append(out, CDFPoint{
+			Value:    s.values[rank],
+			Fraction: float64(rank+1) / float64(n),
+		})
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It panics if the lengths differ, and returns 0 when either series has
+// zero variance or fewer than two points.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Normalize returns values scaled by 1/max(|values|), matching the paper's
+// normalization of latency and VPI series to their own maxima (Fig. 4).
+// A zero-maximum series is returned unchanged.
+func Normalize(values []float64) []float64 {
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	out := make([]float64, len(values))
+	if maxAbs == 0 {
+		copy(out, values)
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / maxAbs
+	}
+	return out
+}
+
+// RelativeChange returns (v - base) / base, the paper's normalization in
+// Fig. 5 ("an avg bar with value 0.3 indicates the average latency is 30%
+// higher than under Alone"). A zero base yields 0.
+func RelativeChange(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v - base) / base
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/stats"
+)
+
+// Plot renders multi-series line charts as text, so the bench harness can
+// draw the paper's figures (CDFs, timelines) directly in a terminal. The
+// x axis may be linear or logarithmic — latency CDFs are log-x, VPI
+// timelines linear.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	LogX   bool
+
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// plotMarkers are assigned to series in order.
+var plotMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// NewPlot creates a plot with sensible terminal dimensions.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 68, Height: 18}
+}
+
+// AddSeries appends a named series of (x, y) points.
+func (p *Plot) AddSeries(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("trace: series length mismatch")
+	}
+	p.series = append(p.series, plotSeries{
+		name:   name,
+		marker: plotMarkers[len(p.series)%len(plotMarkers)],
+		xs:     append([]float64(nil), xs...),
+		ys:     append([]float64(nil), ys...),
+	})
+}
+
+// AddCDF adds a CDF-shaped series (values on x, cumulative fraction on y).
+func (p *Plot) AddCDF(name string, points []stats.CDFPoint) {
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, pt := range points {
+		xs[i] = pt.Value
+		ys[i] = pt.Fraction
+	}
+	p.AddSeries(name, xs, ys)
+}
+
+// AddSeriesPoints adds a time-series (time on x in microseconds).
+func (p *Plot) AddSeriesPoints(name string, s *Series) {
+	xs := make([]float64, len(s.Points))
+	ys := make([]float64, len(s.Points))
+	for i, pt := range s.Points {
+		xs[i] = float64(pt.TimeNs) / 1e3
+		ys[i] = pt.Value
+	}
+	p.AddSeries(name, xs, ys)
+}
+
+func (p *Plot) xTransform(x float64) float64 {
+	if p.LogX {
+		if x <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	if len(p.series) == 0 {
+		return p.Title + " (no data)\n"
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			x := p.xTransform(s.xs[i])
+			if math.IsInf(x, -1) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.ys[i]), math.Max(maxY, s.ys[i])
+		}
+	}
+	if math.IsInf(minX, 0) || minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	w, h := p.Width, p.Height
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	// Draw series in order; later series overwrite.
+	for _, s := range p.series {
+		// Connect consecutive points with interpolated cells so sparse
+		// series still read as lines.
+		type cell struct{ c, r int }
+		var cells []cell
+		for i := range s.xs {
+			x := p.xTransform(s.xs[i])
+			if math.IsInf(x, -1) {
+				continue
+			}
+			c := int((x - minX) / (maxX - minX) * float64(w-1))
+			r := int((s.ys[i] - minY) / (maxY - minY) * float64(h-1))
+			cells = append(cells, cell{c, r})
+		}
+		for i, cl := range cells {
+			grid[h-1-cl.r][cl.c] = s.marker
+			if i > 0 {
+				prev := cells[i-1]
+				steps := maxInt(absInt(cl.c-prev.c), absInt(cl.r-prev.r))
+				for s2 := 1; s2 < steps; s2++ {
+					ic := prev.c + (cl.c-prev.c)*s2/steps
+					ir := prev.r + (cl.r-prev.r)*s2/steps
+					if grid[h-1-ir][ic] == ' ' {
+						grid[h-1-ir][ic] = '.'
+					}
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yHi := formatTick(maxY)
+	yLo := formatTick(minY)
+	pad := maxInt(len(yHi), len(yLo))
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case h - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		case h / 2:
+			label = fmt.Sprintf("%*s", pad, formatTick((minY+maxY)/2))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	lo, hi := minX, maxX
+	if p.LogX {
+		lo, hi = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	axis := fmt.Sprintf("%s .. %s", formatTick(lo), formatTick(hi))
+	if p.XLabel != "" {
+		axis += "  (" + p.XLabel
+		if p.LogX {
+			axis += ", log scale"
+		}
+		axis += ")"
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", pad), axis)
+	// Legend.
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", pad), strings.Join(legend, "   "))
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  y: %s\n", strings.Repeat(" ", pad), p.YLabel)
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-2:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

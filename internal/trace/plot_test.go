@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/stats"
+)
+
+func TestPlotBasics(t *testing.T) {
+	p := NewPlot("test", "latency", "fraction")
+	p.AddSeries("a", []float64{1, 2, 3}, []float64{0, 0.5, 1})
+	out := p.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "legend: * a") {
+		t.Fatalf("plot output:\n%s", out)
+	}
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "fraction") {
+		t.Fatal("axis labels missing")
+	}
+	// Marker must appear in the grid.
+	if strings.Count(out, "*") < 3 {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestPlotEmptySeries(t *testing.T) {
+	p := NewPlot("empty", "", "")
+	if !strings.Contains(p.String(), "no data") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+func TestPlotMultipleSeriesMarkers(t *testing.T) {
+	p := NewPlot("multi", "", "")
+	p.AddSeries("one", []float64{0, 1}, []float64{0, 1})
+	p.AddSeries("two", []float64{0, 1}, []float64{1, 0})
+	out := p.String()
+	if !strings.Contains(out, "* one") || !strings.Contains(out, "o two") {
+		t.Fatalf("legend markers wrong:\n%s", out)
+	}
+}
+
+func TestPlotLogX(t *testing.T) {
+	p := NewPlot("log", "ns", "")
+	p.LogX = true
+	p.AddSeries("cdf", []float64{100, 1000, 10000, 100000}, []float64{0.1, 0.5, 0.9, 1})
+	out := p.String()
+	if !strings.Contains(out, "log scale") {
+		t.Fatal("log-x label missing")
+	}
+	// A zero x must not panic under log transform.
+	p.AddSeries("zero", []float64{0, 10}, []float64{0, 1})
+	_ = p.String()
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := NewPlot("const", "", "")
+	p.AddSeries("flat", []float64{5, 5, 5}, []float64{2, 2, 2})
+	_ = p.String() // must not divide by zero
+}
+
+func TestPlotAddCDF(t *testing.T) {
+	p := NewPlot("cdf", "", "")
+	p.AddCDF("lat", []stats.CDFPoint{{Value: 1, Fraction: 0.5}, {Value: 2, Fraction: 1}})
+	if !strings.Contains(p.String(), "lat") {
+		t.Fatal("CDF series missing")
+	}
+}
+
+func TestPlotAddSeriesPoints(t *testing.T) {
+	var s Series
+	s.Name = "vpi"
+	s.Add(1000, 10)
+	s.Add(2000, 20)
+	p := NewPlot("ts", "us", "vpi")
+	p.AddSeriesPoints("vpi", &s)
+	if !strings.Contains(p.String(), "vpi") {
+		t.Fatal("series missing")
+	}
+}
+
+func TestPlotMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlot("", "", "").AddSeries("bad", []float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,204 @@
+// Package trace records time series during simulation runs and renders
+// tables and series as text, the output format of the benchmark harness.
+// Figure-producing experiments (e.g. the Fig. 13 VPI timeline) sample
+// metrics into Series; table-producing experiments assemble Table values.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (time, value) sample. Time is in nanoseconds of simulated
+// time throughout the repository.
+type Point struct {
+	TimeNs int64
+	Value  float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample. Samples are expected in nondecreasing time order;
+// out-of-order samples are accepted but flagged by Sorted().
+func (s *Series) Add(timeNs int64, value float64) {
+	s.Points = append(s.Points, Point{TimeNs: timeNs, Value: value})
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Sorted reports whether the samples are in nondecreasing time order.
+func (s *Series) Sorted() bool {
+	return sort.SliceIsSorted(s.Points, func(i, j int) bool {
+		return s.Points[i].TimeNs < s.Points[j].TimeNs
+	})
+}
+
+// Mean returns the mean value of the series, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the maximum value, or 0 when empty.
+func (s *Series) Max() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].Value
+	for _, p := range s.Points[1:] {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Downsample returns a new series with at most n points, averaging within
+// equal-width time windows. It preserves the original when already small.
+func (s *Series) Downsample(n int) *Series {
+	if n <= 0 || len(s.Points) <= n {
+		cp := &Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
+		return cp
+	}
+	lo := s.Points[0].TimeNs
+	hi := s.Points[len(s.Points)-1].TimeNs
+	if hi == lo {
+		return &Series{Name: s.Name, Points: []Point{{TimeNs: lo, Value: s.Mean()}}}
+	}
+	width := (hi - lo + int64(n)) / int64(n)
+	out := &Series{Name: s.Name}
+	var bucketStart int64 = lo
+	var sum float64
+	var count int
+	flush := func(t int64) {
+		if count > 0 {
+			out.Points = append(out.Points, Point{TimeNs: t, Value: sum / float64(count)})
+		}
+		sum, count = 0, 0
+	}
+	for _, p := range s.Points {
+		for p.TimeNs >= bucketStart+width {
+			flush(bucketStart + width/2)
+			bucketStart += width
+		}
+		sum += p.Value
+		count++
+	}
+	flush(bucketStart + width/2)
+	return out
+}
+
+// TSV renders the series as "time_us\tvalue" lines.
+func (s *Series) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# series: %s\n", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%.1f\t%.4f\n", float64(p.TimeNs)/1e3, p.Value)
+	}
+	return b.String()
+}
+
+// Table is a simple column-aligned text table used by the bench harness to
+// print the same rows the paper's tables report.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (quoting cells that need
+// it), for piping experiment rows into external plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(row)
+	}
+	return b.String()
+}

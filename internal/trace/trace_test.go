@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Name = "vpi"
+	for i := 0; i < 10; i++ {
+		s.Add(int64(i)*1000, float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Sorted() {
+		t.Fatal("series should be sorted")
+	}
+	if got := s.Mean(); got != 4.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestSeriesUnsortedDetection(t *testing.T) {
+	var s Series
+	s.Add(100, 1)
+	s.Add(50, 2)
+	if s.Sorted() {
+		t.Fatal("out-of-order series reported sorted")
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+	d := s.Downsample(5)
+	if d.Len() != 0 {
+		t.Fatal("downsampled empty series should be empty")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 1000; i++ {
+		s.Add(int64(i)*1000, float64(i%10))
+	}
+	d := s.Downsample(10)
+	if d.Len() > 11 {
+		t.Fatalf("Downsample(10) produced %d points", d.Len())
+	}
+	// Bucket means of a repeating 0..9 pattern should all be ~4.5.
+	for _, p := range d.Points {
+		if p.Value < 3.5 || p.Value > 5.5 {
+			t.Fatalf("downsample bucket mean %v far from 4.5", p.Value)
+		}
+	}
+}
+
+func TestDownsampleSmallPassthrough(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	d := s.Downsample(5)
+	if d.Len() != 2 || d.Points[0].Value != 10 || d.Points[1].Value != 20 {
+		t.Fatalf("small series altered: %+v", d.Points)
+	}
+}
+
+func TestDownsampleConstantTime(t *testing.T) {
+	var s Series
+	for i := 0; i < 100; i++ {
+		s.Add(42, float64(i))
+	}
+	d := s.Downsample(10)
+	if d.Len() != 1 || d.Points[0].Value != 49.5 {
+		t.Fatalf("constant-time downsample = %+v", d.Points)
+	}
+}
+
+func TestTSVFormat(t *testing.T) {
+	var s Series
+	s.Name = "x"
+	s.Add(1500, 2.5)
+	out := s.TSV()
+	if !strings.Contains(out, "# series: x") || !strings.Contains(out, "1.5\t2.5") {
+		t.Fatalf("unexpected TSV: %q", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Throughput", "setting", "cpu", "jobs")
+	tb.AddRow("PerfIso", 84.6, 78)
+	tb.AddRow("Holmes", 75.0, 73)
+	out := tb.String()
+	if !strings.Contains(out, "== Throughput ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "PerfIso") || !strings.Contains(out, "73") {
+		t.Fatalf("missing rows: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d: %q", len(lines), out)
+	}
+}
+
+func TestTableWideCells(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("very-long-cell-content")
+	out := tb.String()
+	if strings.Contains(out, "==") {
+		t.Fatal("untitled table should not print a title banner")
+	}
+	if !strings.Contains(out, "very-long-cell-content") {
+		t.Fatalf("cell lost: %q", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "name", "value")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow(`has,comma "and quotes"`, 2)
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"has,comma ""and quotes"""`) {
+		t.Fatalf("quoting wrong: %q", lines[2])
+	}
+}

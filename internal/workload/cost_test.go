@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCostAdd(t *testing.T) {
+	a := Compute(100)
+	a.Add(MemRead(DRAM, 10))
+	a.Add(MemWrite(L1, 5))
+	if a.ComputeCycles != 100 || a.Acc[DRAM].Loads != 10 || a.Acc[L1].Stores != 5 {
+		t.Fatalf("Add result: %+v", a)
+	}
+	if a.Loads() != 10 || a.Stores() != 5 || a.MemInstructions() != 15 {
+		t.Fatal("aggregate counts wrong")
+	}
+}
+
+func TestCostScale(t *testing.T) {
+	c := Compute(10)
+	c.Add(MemRead(DRAM, 100))
+	half := c.Scale(0.5)
+	if half.ComputeCycles != 5 || half.Acc[DRAM].Loads != 50 {
+		t.Fatalf("Scale: %+v", half)
+	}
+	zero := c.Scale(0)
+	if !zero.IsZero() {
+		t.Fatalf("Scale(0) not zero: %+v", zero)
+	}
+}
+
+func TestCostScaleRounding(t *testing.T) {
+	c := MemRead(L2, 3)
+	s := c.Scale(0.5) // 1.5 rounds to 2
+	if s.Acc[L2].Loads != 2 {
+		t.Fatalf("rounding: %+v", s)
+	}
+}
+
+func TestDRAMBytes(t *testing.T) {
+	c := MemRead(DRAM, 4)
+	c.Add(MemWrite(DRAM, 2))
+	c.Add(MemRead(L1, 100)) // must not count
+	if got := c.DRAMBytes(); got != 6*CacheLineBytes {
+		t.Fatalf("DRAMBytes = %d", got)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	c := ReadBytes(DRAM, 1<<20) // 1 MB
+	if got := c.Acc[DRAM].Loads; got != 16384 {
+		t.Fatalf("1MB = %d lines, want 16384", got)
+	}
+	// Partial line rounds up.
+	c2 := ReadBytes(L3, 65)
+	if c2.Acc[L3].Loads != 2 {
+		t.Fatalf("65 bytes = %d lines, want 2", c2.Acc[L3].Loads)
+	}
+	w := WriteBytes(DRAM, 128)
+	if w.Acc[DRAM].Stores != 2 {
+		t.Fatalf("WriteBytes: %+v", w)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var c Cost
+	if !c.IsZero() {
+		t.Fatal("zero value should be zero")
+	}
+	if Compute(1).IsZero() || MemRead(L1, 1).IsZero() || MemWrite(DRAM, 1).IsZero() {
+		t.Fatal("nonzero costs reported zero")
+	}
+}
+
+func TestItemValidate(t *testing.T) {
+	if err := Sleep(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Work(Compute(5)).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Item{SleepNs: 10, Cost: Compute(1)}
+	if bad.Validate() == nil {
+		t.Fatal("mixed item should be invalid")
+	}
+	neg := Item{SleepNs: -1}
+	if neg.Validate() == nil {
+		t.Fatal("negative sleep should be invalid")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{L1: "L1", L2: "L2", L3: "L3", DRAM: "DRAM"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Fatalf("Level %d String = %q", l, l.String())
+		}
+	}
+	if Level(99).String() == "" {
+		t.Fatal("unknown level should render")
+	}
+}
+
+func TestCostAddCommutes(t *testing.T) {
+	err := quick.Check(func(aComp, bComp uint16, aL, bL, aS, bS uint8) bool {
+		a := Compute(float64(aComp))
+		a.Add(MemRead(DRAM, int64(aL)))
+		a.Add(MemWrite(L2, int64(aS)))
+		b := Compute(float64(bComp))
+		b.Add(MemRead(DRAM, int64(bL)))
+		b.Add(MemWrite(L2, int64(bS)))
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return x == y
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleLinearInLoads(t *testing.T) {
+	err := quick.Check(func(n uint16) bool {
+		c := MemRead(DRAM, int64(n))
+		return c.Scale(2).Acc[DRAM].Loads == int64(n)*2
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

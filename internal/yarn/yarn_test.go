@@ -1,0 +1,202 @@
+package yarn
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/batch"
+	"github.com/holmes-colocation/holmes/internal/cgroupfs"
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
+)
+
+func newEnv() (*machine.Machine, *kernel.Kernel, *cgroupfs.FS) {
+	cfg := machine.DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 8}
+	m := machine.New(cfg)
+	return m, kernel.New(m), cgroupfs.NewFS()
+}
+
+func smallSpec(units int) batch.Spec {
+	return batch.Spec{
+		Kind:                batch.KMeans,
+		Containers:          2,
+		ThreadsPerContainer: 2,
+		WorkUnitsPerThread:  units,
+		MemoryBytes:         1 << 30,
+	}
+}
+
+func TestBatchKindProfiles(t *testing.T) {
+	for _, k := range batch.Kinds() {
+		c := k.UnitCost()
+		if c.IsZero() {
+			t.Fatalf("%v has zero cost", k)
+		}
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	// PageRank must be more memory-bound than Bayes.
+	pr := batch.PageRank.UnitCost()
+	by := batch.Bayes.UnitCost()
+	if pr.Loads() <= by.Loads() || pr.ComputeCycles >= by.ComputeCycles {
+		t.Fatal("kind profiles not differentiated")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if smallSpec(10).Validate() != nil {
+		t.Fatal("valid spec rejected")
+	}
+	bad := smallSpec(10)
+	bad.Containers = 0
+	if bad.Validate() == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if smallSpec(10).TotalWorkUnits() != 2*2*10 {
+		t.Fatal("TotalWorkUnits wrong")
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	m, k, fs := newEnv()
+	nm := NewNodeManager(k, fs, cpuid.MaskOf(0, 1, 2, 3))
+
+	var created, removed int
+	fs.Watch(func(ev cgroupfs.Event) {
+		switch ev.Type {
+		case cgroupfs.GroupCreated:
+			created++
+		case cgroupfs.GroupRemoved:
+			removed++
+		}
+	})
+
+	if err := nm.Submit(smallSpec(5)); err != nil {
+		t.Fatal(err)
+	}
+	if nm.Running() != 1 {
+		t.Fatalf("running = %d", nm.Running())
+	}
+	if created == 0 {
+		t.Fatal("no cgroup directories created")
+	}
+
+	// 2 containers x 2 threads x 5 units x ~1ms on 4 CPUs: finishes well
+	// within a second of simulated time.
+	m.RunFor(1_000_000_000)
+	if nm.CompletedCount() != 1 {
+		t.Fatalf("completed = %d; running=%d", nm.CompletedCount(), nm.Running())
+	}
+	job := nm.Completed()[0]
+	if !job.Done() || job.DoneNs <= job.StartNs {
+		t.Fatalf("job timestamps: %+v", job)
+	}
+	if removed == 0 {
+		t.Fatal("cgroups not cleaned up")
+	}
+	// All processes exited.
+	if len(k.Processes()) != 0 {
+		t.Fatalf("%d processes still alive", len(k.Processes()))
+	}
+}
+
+func TestContainersRespectLaunchMask(t *testing.T) {
+	m, k, fs := newEnv()
+	mask := cpuid.MaskOf(4, 5)
+	nm := NewNodeManager(k, fs, mask)
+	_ = nm.Submit(smallSpec(50))
+	m.RunFor(10_000_000)
+	// Only CPUs 4 and 5 may be busy.
+	for c := 0; c < 16; c++ {
+		busy := m.BusyCycles(c)
+		if (c == 4 || c == 5) && busy == 0 {
+			t.Fatalf("allowed CPU %d idle", c)
+		}
+		if c != 4 && c != 5 && busy != 0 {
+			t.Fatalf("container ran on disallowed CPU %d", c)
+		}
+	}
+}
+
+func TestConcurrencyLimitAndQueue(t *testing.T) {
+	m, k, fs := newEnv()
+	nm := NewNodeManager(k, fs, cpuid.FullMask(16))
+	nm.MaxConcurrentJobs = 2
+	for i := 0; i < 5; i++ {
+		_ = nm.Submit(smallSpec(3))
+	}
+	if nm.Running() != 2 || nm.QueueLen() != 3 {
+		t.Fatalf("running=%d queued=%d", nm.Running(), nm.QueueLen())
+	}
+	m.RunFor(2_000_000_000)
+	if nm.CompletedCount() != 5 {
+		t.Fatalf("completed %d of 5", nm.CompletedCount())
+	}
+}
+
+func TestRefillKeepsPressure(t *testing.T) {
+	m, k, fs := newEnv()
+	nm := NewNodeManager(k, fs, cpuid.FullMask(16))
+	nm.MaxConcurrentJobs = 1
+	refills := 0
+	nm.Refill = func() *batch.Spec {
+		if refills >= 3 {
+			return nil
+		}
+		refills++
+		s := smallSpec(3)
+		return &s
+	}
+	_ = nm.Submit(smallSpec(3))
+	m.RunFor(3_000_000_000)
+	if nm.CompletedCount() != 4 {
+		t.Fatalf("completed %d, want 1 + 3 refills", nm.CompletedCount())
+	}
+}
+
+func TestOnJobDoneCallback(t *testing.T) {
+	m, k, fs := newEnv()
+	nm := NewNodeManager(k, fs, cpuid.FullMask(16))
+	var doneIDs []int
+	nm.OnJobDone = func(j *Job) { doneIDs = append(doneIDs, j.ID) }
+	_ = nm.Submit(smallSpec(2))
+	m.RunFor(1_000_000_000)
+	if len(doneIDs) != 1 {
+		t.Fatalf("OnJobDone fired %d times", len(doneIDs))
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	_, k, fs := newEnv()
+	nm := NewNodeManager(k, fs, cpuid.FullMask(16))
+	if err := nm.Submit(batch.Spec{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestJobsMakeProgressProportionalToCPUs(t *testing.T) {
+	run := func(ncpus int) int64 {
+		m, k, fs := newEnv()
+		mask := cpuid.Mask{}
+		for i := 0; i < ncpus; i++ {
+			mask.Set(i)
+		}
+		nm := NewNodeManager(k, fs, mask)
+		spec := batch.Spec{Kind: batch.KMeans, Containers: 4, ThreadsPerContainer: 2,
+			WorkUnitsPerThread: 20, MemoryBytes: 1 << 30}
+		_ = nm.Submit(spec)
+		m.RunFor(5_000_000_000)
+		if nm.CompletedCount() != 1 {
+			t.Fatalf("job did not finish on %d cpus", ncpus)
+		}
+		j := nm.Completed()[0]
+		return j.DoneNs - j.StartNs
+	}
+	wide := run(8)
+	narrow := run(2)
+	if narrow < wide*2 {
+		t.Fatalf("2-CPU run (%d ns) should take >2x the 8-CPU run (%d ns)", narrow, wide)
+	}
+}
