@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -10,7 +10,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# Fast correctness gate: vet everything, race-test the telemetry record
+# path and the daemon that drives it.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/...
+
+test: check
 	$(GO) test ./...
 
 test-short:

@@ -19,12 +19,14 @@ import (
 	"path/filepath"
 
 	"github.com/holmes-colocation/holmes/internal/experiments"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run paper-faithful (longer) measurement windows")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	telemetryOut := flag.String("telemetry-out", "", "stream scheduler decision events to this JSONL file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -50,6 +52,22 @@ func main() {
 	}
 
 	opts := experiments.Options{Full: *full, Seed: *seed}
+	var jsonl *telemetry.JSONLSink
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "telemetry: %d events -> %s\n", jsonl.Count(), *telemetryOut)
+		}()
+		set := telemetry.NewSet()
+		jsonl = telemetry.NewJSONLSink(f)
+		set.Tracer.AddSink(jsonl)
+		opts.Telemetry = set
+	}
 	reg := experiments.Registry()
 
 	if args[0] == "list" {
@@ -109,7 +127,9 @@ Usage:
   holmes-bench [flags] report           write an HTML report with SVG figures
 
 Flags:
-  -full      paper-faithful measurement windows (minutes of simulated time)
-  -seed N    simulation seed (default 1)
+  -full                paper-faithful measurement windows (minutes of simulated time)
+  -seed N              simulation seed (default 1)
+  -o DIR               also write each experiment's output to DIR/<id>.txt
+  -telemetry-out FILE  stream scheduler decision events (JSONL) to FILE
 `)
 }

@@ -8,16 +8,26 @@
 //
 //	holmesd [-store redis|memcached|rocksdb|wiredtiger] [-workload a|b|e]
 //	        [-duration 20s] [-E 40] [-interval 100us] [-seed 1] [-perfiso]
+//	        [-http 127.0.0.1:9140]
+//
+// With -http, the daemon's telemetry is served live while the scenario
+// runs: /metrics (Prometheus text), /events (JSON decision log) and
+// /debug/holmes (JSON bundle). The server keeps running after the run so
+// the final state can be inspected; interrupt to exit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/holmes-colocation/holmes/internal/core"
 	"github.com/holmes-colocation/holmes/internal/experiments"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +38,7 @@ func main() {
 	interval := flag.Duration("interval", 100*time.Microsecond, "monitor/scheduler interval")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	perfiso := flag.Bool("perfiso", false, "run the PerfIso baseline instead of Holmes")
+	httpAddr := flag.String("http", "", "serve /metrics, /events and /debug/holmes on this address")
 	flag.Parse()
 
 	setting := experiments.Holmes
@@ -45,6 +56,19 @@ func main() {
 		cfg.HolmesConfig = &hc
 	}
 	cfg.VPISampleNs = 100_000_000
+
+	var set *telemetry.Set
+	if *httpAddr != "" {
+		set = telemetry.NewSet()
+		cfg.Telemetry = set
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		go func() { _ = http.Serve(ln, set.Handler()) }()
+		fmt.Printf("telemetry: http://%s/metrics /events /debug/holmes\n", ln.Addr())
+	}
 
 	fmt.Printf("holmesd: %s + %s workload-%s for %v of simulated time (seed %d)\n",
 		setting, *store, *wl, *duration, *seed)
@@ -69,5 +93,12 @@ func main() {
 		fmt.Printf("\nVPI on LC CPUs over time (mean %.1f, max %.1f):\n",
 			res.VPISeries.Mean(), res.VPISeries.Max())
 		fmt.Print(res.VPISeries.Downsample(20).TSV())
+	}
+	if set != nil {
+		fmt.Printf("\ntelemetry: %d decision events recorded; serving until interrupted\n",
+			set.Tracer.Ring().Total())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
 	}
 }

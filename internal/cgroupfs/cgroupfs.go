@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 // EventType identifies a change in the cgroup tree.
@@ -28,6 +29,8 @@ const (
 	GroupRemoved
 	PidsChanged
 	CpusetChanged
+
+	numEventTypes
 )
 
 // String returns the event type name.
@@ -59,6 +62,10 @@ type Watcher func(ev Event)
 type FS struct {
 	root     *Group
 	watchers []Watcher
+
+	// telEvents counts emitted watch events per EventType; entries stay
+	// nil until SetTelemetry, and a nil counter's Inc is a no-op.
+	telEvents [numEventTypes]*telemetry.Counter
 }
 
 // Group is one cgroup directory.
@@ -84,7 +91,22 @@ func NewFS() *FS {
 // Watch registers a watcher for all tree events.
 func (fs *FS) Watch(w Watcher) { fs.watchers = append(fs.watchers, w) }
 
+// SetTelemetry resolves one event counter per event type in the given
+// set. Call once at setup; a nil set leaves telemetry disabled.
+func (fs *FS) SetTelemetry(set *telemetry.Set) {
+	if set == nil || set.Registry == nil {
+		return
+	}
+	for t := EventType(0); t < numEventTypes; t++ {
+		fs.telEvents[t] = set.Registry.Counter("cgroupfs_events_total",
+			"cgroup tree watch events", telemetry.L("type", t.String()))
+	}
+}
+
 func (fs *FS) emit(ev Event) {
+	if ev.Type >= 0 && ev.Type < numEventTypes {
+		fs.telEvents[ev.Type].Inc()
+	}
 	for _, w := range fs.watchers {
 		w(ev)
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/holmes-colocation/holmes/internal/hpe"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 // Metric selects the interference signal the scheduler keys on.
@@ -72,6 +73,11 @@ type Config struct {
 	// pool (an extension; the paper only describes expansion). The pool
 	// never shrinks below ReservedCPUs.
 	EnableShrink bool
+	// Telemetry, when non-nil, receives the daemon's metrics and decision
+	// events. The record path is allocation-free; when DaemonCPU enables
+	// overhead modeling, the cycles spent recording are charged to the
+	// daemon process and reported separately (Daemon.TelemetryCPUTimeNs).
+	Telemetry *telemetry.Set
 }
 
 // DefaultConfig returns the paper's settings.

@@ -8,6 +8,7 @@ import (
 	"github.com/holmes-colocation/holmes/internal/cpuid"
 	"github.com/holmes-colocation/holmes/internal/kernel"
 	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 	"github.com/holmes-colocation/holmes/internal/workload"
 )
 
@@ -40,6 +41,11 @@ type Daemon struct {
 
 	// Overhead modeling: the daemon's own work runs on this process.
 	daemonProc *kernel.Process
+
+	// tel holds pre-resolved telemetry handles (all nil when disabled);
+	// telemetryCycles accumulates the modeled cost of recording.
+	tel             daemonTelemetry
+	telemetryCycles float64
 
 	// expansionOrder records CPUs acquired by pool expansion, newest
 	// last, so shrinking releases them in reverse order.
@@ -92,11 +98,30 @@ func Start(k *kernel.Kernel, fs *cgroupfs.FS, cfg Config) (*Daemon, error) {
 		d.quietSince[i] = m.Now()
 	}
 
+	// Telemetry handles resolve before the cgroup watch is installed so
+	// discovery events from adoption are traced too.
+	d.tel.resolve(cfg.Telemetry)
+	if d.tel.enabled() {
+		cfg.Telemetry.PublishInfo("holmes.E", fmt.Sprintf("%g", cfg.E))
+		cfg.Telemetry.PublishInfo("holmes.T", fmt.Sprintf("%g", cfg.T))
+		cfg.Telemetry.PublishInfo("holmes.interval_ns", fmt.Sprintf("%d", cfg.IntervalNs))
+		cfg.Telemetry.PublishInfo("holmes.reserved_cpus", fmt.Sprintf("%d", cfg.ReservedCPUs))
+		cfg.Telemetry.PublishInfo("holmes.trigger_metric", string(cfg.TriggerMetric))
+	}
+
 	// Discover batch containers through the cgroup tree (paper §4.2:
 	// "Holmes monitors directories in the cgroup file system to detect
 	// batch jobs").
 	fs.Watch(d.onCgroupEvent)
 	d.adoptExistingContainers()
+
+	// Trace the initial sibling state after adoption so a decision log
+	// always opens with the granted baseline the later revocations refer
+	// back to.
+	for i := 0; i < cfg.ReservedCPUs; i++ {
+		d.emit(telemetry.Event{Type: telemetry.SiblingGranted, CPU: i, Threshold: cfg.E})
+	}
+	d.updatePoolGauges()
 
 	// Overhead modeling: the daemon runs as a process whose thread
 	// executes a small work item per invocation.
@@ -156,6 +181,8 @@ func (d *Daemon) RegisterLC(pid int) error {
 		return fmt.Errorf("core: no such process %d", pid)
 	}
 	d.lcPids[pid] = p
+	d.emit(telemetry.Event{Type: telemetry.LCRegistered, CPU: -1, PID: pid})
+	d.tel.gauge(d.tel.lcServices, float64(len(d.lcPids)))
 	return p.SetAffinity(d.reserved)
 }
 
@@ -194,6 +221,9 @@ func (d *Daemon) onCgroupEvent(ev cgroupfs.Event) {
 				continue
 			}
 			d.containers[ev.Path] = proc
+			d.tel.inc(d.tel.batchFound)
+			d.emit(telemetry.Event{Type: telemetry.BatchDiscovered, CPU: -1, PID: pid, Detail: ev.Path})
+			d.tel.gauge(d.tel.containers, float64(len(d.containers)))
 			// Launching allocation: non-reserved CPUs, with LC siblings
 			// only as currently permitted. The kernel's placement
 			// prefers the least-loaded allowed CPU, which fills
@@ -203,6 +233,7 @@ func (d *Daemon) onCgroupEvent(ev cgroupfs.Event) {
 	case cgroupfs.GroupRemoved:
 		if _, ok := d.containers[ev.Path]; ok {
 			delete(d.containers, ev.Path)
+			d.tel.gauge(d.tel.containers, float64(len(d.containers)))
 			// Algorithm 3: when batch work on non-sibling CPUs exits,
 			// remaining containers spread back onto the freed CPUs.
 			// Affinity masks already include them; the kernel's idle
@@ -225,6 +256,8 @@ func (d *Daemon) adoptExistingContainers() {
 				continue
 			}
 			d.containers[g.Path()] = proc
+			d.tel.inc(d.tel.batchFound)
+			d.emit(telemetry.Event{Type: telemetry.BatchDiscovered, CPU: -1, PID: pid, Detail: g.Path()})
 			_ = proc.SetAffinity(d.BatchMask())
 		}
 	})
@@ -236,19 +269,28 @@ func (d *Daemon) tick(nowNs int64) {
 		return
 	}
 	d.invocations++
+	d.tel.inc(d.tel.invocations)
 	d.mon.Sample(nowNs)
 	d.reapExitedLC()
 
 	changed := false
+	sampleTick := d.tel.enabled() && d.invocations%monitorSampleEvery == 0
 
 	// Algorithm 2, lines 1-16: per-LC-CPU sibling control by the
 	// interference signal (VPI for Holmes; raw usage for the ablation).
 	for _, lc := range d.reserved.CPUs() {
+		vpi, usage := d.mon.VPI(lc), d.mon.Usage(lc)
+		d.tel.observe(d.tel.lcVPI, vpi)
+		if sampleTick {
+			d.emit(telemetry.Event{Type: telemetry.MonitorSample, CPU: lc, VPI: vpi, Usage: usage})
+		}
 		interfered := false
+		threshold := d.cfg.E
 		if d.cfg.TriggerMetric == MetricUsage {
-			interfered = d.mon.Usage(lc) >= d.cfg.UsageEvictThreshold
+			threshold = d.cfg.UsageEvictThreshold
+			interfered = usage >= threshold
 		} else {
-			interfered = d.mon.VPI(lc) >= d.cfg.E
+			interfered = vpi >= threshold
 		}
 		if interfered {
 			d.quietSince[lc] = -1
@@ -256,6 +298,9 @@ func (d *Daemon) tick(nowNs int64) {
 				d.siblingAllowed[lc] = false
 				d.deallocations++
 				d.lastDeallocNs = nowNs
+				d.tel.inc(d.tel.deallocations)
+				d.emit(telemetry.Event{Type: telemetry.SiblingRevoked,
+					CPU: lc, VPI: vpi, Usage: usage, Threshold: threshold})
 				changed = true
 			}
 			continue
@@ -266,6 +311,9 @@ func (d *Daemon) tick(nowNs int64) {
 		if !d.siblingAllowed[lc] && nowNs-d.quietSince[lc] >= d.cfg.SNs {
 			d.siblingAllowed[lc] = true
 			d.reallocations++
+			d.tel.inc(d.tel.reallocations)
+			d.emit(telemetry.Event{Type: telemetry.SiblingGranted,
+				CPU: lc, VPI: vpi, Usage: usage, Threshold: threshold})
 			changed = true
 		}
 	}
@@ -281,12 +329,17 @@ func (d *Daemon) tick(nowNs int64) {
 
 	if changed {
 		d.applyBatchMask()
+		d.updatePoolGauges()
 	}
 
-	// Overhead modeling: the invocation's own CPU cost.
+	// Overhead modeling: the invocation's own CPU cost, plus the modeled
+	// cost of whatever telemetry this tick recorded. The telemetry share
+	// is accumulated separately so §6.6 can split daemon-vs-telemetry.
+	telCycles := d.tel.drainCycles()
+	d.telemetryCycles += telCycles
 	if d.daemonProc != nil && !d.daemonProc.Exited() {
 		n := int64(d.m.Topology().LogicalCPUs())
-		c := workload.Compute(float64(60*n) + 800)
+		c := workload.Compute(float64(60*n) + 800 + telCycles)
 		c.Add(workload.MemRead(workload.L2, n/4+2))
 		d.daemonProc.Threads()[0].HW.Push(workload.Work(c))
 	}
@@ -299,17 +352,24 @@ func (d *Daemon) reapExitedLC() {
 	for pid, p := range d.lcPids {
 		if p.Exited() {
 			delete(d.lcPids, pid)
+			d.emit(telemetry.Event{Type: telemetry.LCExited, CPU: -1, PID: pid})
 			changed = true
 		}
+	}
+	if changed {
+		d.tel.gauge(d.tel.lcServices, float64(len(d.lcPids)))
 	}
 	if changed && len(d.lcPids) == 0 {
 		for _, lc := range d.reserved.CPUs() {
 			if !d.siblingAllowed[lc] {
 				d.siblingAllowed[lc] = true
 				d.reallocations++
+				d.tel.inc(d.tel.reallocations)
+				d.emit(telemetry.Event{Type: telemetry.SiblingGranted, CPU: lc, Threshold: d.cfg.E})
 			}
 		}
 		d.applyBatchMask()
+		d.updatePoolGauges()
 	}
 }
 
@@ -359,6 +419,9 @@ func (d *Daemon) expandIfNeeded(nowNs int64) bool {
 	d.quietSince[best] = -1
 	d.expansionOrder = append(d.expansionOrder, best)
 	d.expansions++
+	d.tel.inc(d.tel.expansions)
+	d.emit(telemetry.Event{Type: telemetry.PoolExpanded,
+		CPU: best, Usage: usage / float64(len(cpus)), Threshold: d.cfg.T})
 	// Extend every LC service onto the grown pool.
 	for _, p := range d.lcPids {
 		_ = p.SetAffinity(d.reserved)
@@ -389,6 +452,9 @@ func (d *Daemon) shrinkIfIdle() bool {
 	d.siblingAllowed[last] = true // the CPU and its sibling return to batch
 	delete(d.quietSince, last)
 	d.shrinks++
+	d.tel.inc(d.tel.shrinks)
+	d.emit(telemetry.Event{Type: telemetry.PoolShrunk,
+		CPU: last, Usage: usage / float64(len(cpus)), Threshold: d.cfg.T / 2})
 	for _, p := range d.lcPids {
 		_ = p.SetAffinity(d.reserved)
 	}

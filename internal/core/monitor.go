@@ -27,6 +27,10 @@ type Monitor struct {
 	// §4.2 "aggregated per core").
 	coreVPI   []float64
 	coreUsage []float64
+	// coreIndex[p] caches Topology().CoreOf(p). Sample runs every 100 µs
+	// over every logical CPU; the topology is immutable, so the modulo and
+	// bounds check have no business on that path.
+	coreIndex []int
 }
 
 // NewMonitor opens the counters and takes the initial snapshot.
@@ -42,7 +46,11 @@ func NewMonitor(m *machine.Machine, cfg Config) (*Monitor, error) {
 		smoothed:  make([]float64, n),
 		coreVPI:   make([]float64, m.Topology().PhysicalCores()),
 		coreUsage: make([]float64, m.Topology().PhysicalCores()),
+		coreIndex: make([]int, n),
 		lastNs:    m.Now(),
+	}
+	for p := 0; p < n; p++ {
+		mon.coreIndex[p] = m.Topology().CoreOf(p)
 	}
 	for p := 0; p < n; p++ {
 		g, err := perf.OpenVPI(m, cfg.Event, p)
@@ -63,7 +71,6 @@ func (mon *Monitor) Sample(nowNs int64) {
 		mon.coreVPI[i] = 0
 		mon.coreUsage[i] = 0
 	}
-	topo := mon.m.Topology()
 	for p := range mon.vpiGroups {
 		mon.vpi[p] = mon.vpiGroups[p].Sample()
 		busy := mon.m.BusyCycles(p)
@@ -77,7 +84,7 @@ func (mon *Monitor) Sample(nowNs int64) {
 			alpha = 1
 		}
 		mon.smoothed[p] += alpha * (mon.usage[p] - mon.smoothed[p])
-		c := topo.CoreOf(p)
+		c := mon.coreIndex[p]
 		mon.coreVPI[c] += mon.vpi[p]
 		mon.coreUsage[c] += mon.usage[p]
 	}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+)
+
+// Modeled cost of the telemetry record path, in core cycles. The measured
+// BenchmarkTelemetryRecord path (counter + gauge + histogram + event) runs
+// in ~80 ns on commodity hardware; at 2 GHz a single atomic record op is
+// on the order of a dozen cycles and a traced event — ring slot store plus
+// sink fan-out — costs roughly ten times that. These cycles are pushed
+// onto the daemon process each tick so §6.6's overhead split is visible in
+// simulated CPU time, not just wall-clock intuition.
+const (
+	telemetryCyclesPerRecord = 12
+	telemetryCyclesPerEvent  = 150
+)
+
+// monitorSampleEvery decimates MonitorSample events: one per reserved CPU
+// every this many daemon invocations. At the paper's 100 µs interval that
+// is one sample batch every ~12.8 ms — dense enough to chart VPI, sparse
+// enough that decision events (the signal) are not drowned in the ring.
+const monitorSampleEvery = 128
+
+// daemonTelemetry carries the daemon's pre-resolved metric handles plus
+// the per-tick op counts used to charge recording cost to the daemon
+// process. When telemetry is disabled every handle is nil and every
+// record method no-ops, so call sites stay unconditional.
+type daemonTelemetry struct {
+	set    *telemetry.Set
+	tracer *telemetry.Tracer
+
+	invocations   *telemetry.Counter
+	deallocations *telemetry.Counter
+	reallocations *telemetry.Counter
+	expansions    *telemetry.Counter
+	shrinks       *telemetry.Counter
+	batchFound    *telemetry.Counter
+	reservedCPUs  *telemetry.Gauge
+	batchCPUs     *telemetry.Gauge
+	containers    *telemetry.Gauge
+	lcServices    *telemetry.Gauge
+	lcVPI         *telemetry.Histogram
+
+	// Cost accounting for the current tick, drained by drainCycles.
+	recordOps int64
+	events    int64
+}
+
+// resolve looks up every handle once, at Start. Registration may lock and
+// allocate; the per-tick record path then never does either.
+func (dt *daemonTelemetry) resolve(set *telemetry.Set) {
+	if set == nil || set.Registry == nil {
+		return
+	}
+	dt.set = set
+	dt.tracer = set.Tracer
+	r := set.Registry
+	dt.invocations = r.Counter("holmes_invocations_total", "monitor+scheduler invocations")
+	dt.deallocations = r.Counter("holmes_deallocations_total", "sibling evictions (VPI >= E)")
+	dt.reallocations = r.Counter("holmes_reallocations_total", "siblings re-offered after quiet period S")
+	dt.expansions = r.Counter("holmes_expansions_total", "reserved-pool expansions (usage > T)")
+	dt.shrinks = r.Counter("holmes_shrinks_total", "reserved-pool contractions")
+	dt.batchFound = r.Counter("holmes_batch_discovered_total", "batch containers discovered via cgroupfs")
+	dt.reservedCPUs = r.Gauge("holmes_reserved_cpus", "logical CPUs in the reserved LC pool")
+	dt.batchCPUs = r.Gauge("holmes_batch_cpus", "logical CPUs batch jobs may currently use")
+	dt.containers = r.Gauge("holmes_batch_containers", "live batch containers under the yarn root")
+	dt.lcServices = r.Gauge("holmes_lc_services", "registered latency-critical services")
+	dt.lcVPI = r.Histogram("holmes_lc_vpi", "VPI observed on reserved LC CPUs", 0.1, 10_000, 5)
+}
+
+func (dt *daemonTelemetry) enabled() bool { return dt.set != nil }
+
+func (dt *daemonTelemetry) inc(c *telemetry.Counter) {
+	if dt.set == nil {
+		return
+	}
+	c.Inc()
+	dt.recordOps++
+}
+
+func (dt *daemonTelemetry) gauge(g *telemetry.Gauge, v float64) {
+	if dt.set == nil {
+		return
+	}
+	g.Set(v)
+	dt.recordOps++
+}
+
+func (dt *daemonTelemetry) observe(h *telemetry.Histogram, v float64) {
+	if dt.set == nil {
+		return
+	}
+	h.Observe(v)
+	dt.recordOps++
+}
+
+// drainCycles returns the modeled cycle cost of everything recorded since
+// the previous drain and resets the tick counters.
+func (dt *daemonTelemetry) drainCycles() float64 {
+	if dt.set == nil || (dt.recordOps == 0 && dt.events == 0) {
+		return 0
+	}
+	c := float64(dt.recordOps)*telemetryCyclesPerRecord +
+		float64(dt.events)*telemetryCyclesPerEvent
+	dt.recordOps, dt.events = 0, 0
+	return c
+}
+
+// emit stamps and publishes a decision event. ev.TimeNs and ev.Core are
+// filled here so call sites only state what happened.
+func (d *Daemon) emit(ev telemetry.Event) {
+	if d.tel.tracer == nil {
+		return
+	}
+	ev.TimeNs = d.m.Now()
+	if ev.CPU >= 0 {
+		ev.Core = d.m.Topology().CoreOf(ev.CPU)
+	} else {
+		ev.Core = -1
+	}
+	d.tel.tracer.Emit(ev)
+	d.tel.events++
+}
+
+// updatePoolGauges refreshes the cheap state gauges after any transition.
+func (d *Daemon) updatePoolGauges() {
+	if !d.tel.enabled() {
+		return
+	}
+	d.tel.gauge(d.tel.reservedCPUs, float64(d.reserved.Count()))
+	d.tel.gauge(d.tel.batchCPUs, float64(d.BatchMask().Count()))
+	d.tel.gauge(d.tel.containers, float64(len(d.containers)))
+	d.tel.gauge(d.tel.lcServices, float64(len(d.lcPids)))
+}
+
+// DaemonStats is a point-in-time snapshot of the daemon's action counters
+// plus the modeled telemetry cost, for the §6.6 daemon-vs-telemetry split.
+type DaemonStats struct {
+	Invocations   int64
+	Deallocations int64
+	Reallocations int64
+	Expansions    int64
+	Shrinks       int64
+	// TelemetryCPUTimeNs is the simulated CPU time spent on telemetry
+	// recording — a subset of CPUTimeNs when overhead modeling is on.
+	TelemetryCPUTimeNs float64
+}
+
+// Snapshot returns the daemon's counters and the telemetry cost split.
+// Stats() remains for callers that only need the action counts.
+func (d *Daemon) Snapshot() DaemonStats {
+	return DaemonStats{
+		Invocations:        d.invocations,
+		Deallocations:      d.deallocations,
+		Reallocations:      d.reallocations,
+		Expansions:         d.expansions,
+		Shrinks:            d.shrinks,
+		TelemetryCPUTimeNs: d.TelemetryCPUTimeNs(),
+	}
+}
+
+// TelemetryCPUTimeNs returns the modeled CPU time consumed by telemetry
+// recording so far, or 0 when telemetry is disabled.
+func (d *Daemon) TelemetryCPUTimeNs() float64 {
+	return d.m.Config().CyclesToNs(d.telemetryCycles)
+}

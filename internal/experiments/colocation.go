@@ -31,6 +31,7 @@ import (
 	"github.com/holmes-colocation/holmes/internal/machine"
 	"github.com/holmes-colocation/holmes/internal/perf"
 	"github.com/holmes-colocation/holmes/internal/stats"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 	"github.com/holmes-colocation/holmes/internal/trace"
 	"github.com/holmes-colocation/holmes/internal/yarn"
 	"github.com/holmes-colocation/holmes/internal/ycsb"
@@ -89,6 +90,9 @@ type ColocationConfig struct {
 	VPISampleNs int64
 	// TickNs overrides the simulation tick (0 = 10 µs).
 	TickNs int64
+	// Telemetry, when non-nil, receives metrics and decision events from
+	// the daemon, the kernel and the cgroup filesystem for the whole run.
+	Telemetry *telemetry.Set
 }
 
 // DefaultColocation returns the standard compressed-run configuration.
@@ -139,11 +143,15 @@ type ColocationResult struct {
 	CompletedQueries int64
 	// VPISeries is the Fig. 13 timeline (empty unless VPISampleNs > 0).
 	VPISeries trace.Series
-	// Deallocations/Reallocations/Expansions are Holmes's actions
-	// (zero under other settings).
+	// Invocations counts daemon ticks over the whole run; the action
+	// counters below are Holmes's decisions (zero under other settings).
+	Invocations                              int64
 	Deallocations, Reallocations, Expansions int64
 	// DaemonUtil is the Holmes daemon's own CPU usage fraction (§6.6).
 	DaemonUtil float64
+	// TelemetryUtil is the share of DaemonUtil modeled as telemetry
+	// recording cost (zero when no Telemetry set is attached).
+	TelemetryUtil float64
 	// ServiceMemBytes is the store's resident memory at the end of the
 	// run; BatchMemBytes sums the live batch containers' memory limits
 	// (each container is configured with a fixed size, §6.3).
@@ -204,6 +212,13 @@ func RunColocation(cfg ColocationConfig) (*ColocationResult, error) {
 	m := machine.New(mcfg)
 	k := kernel.New(m)
 	fs := cgroupfs.NewFS()
+	if cfg.Telemetry != nil {
+		k.SetTelemetry(cfg.Telemetry)
+		fs.SetTelemetry(cfg.Telemetry)
+		cfg.Telemetry.PublishInfo("run.store", cfg.Store)
+		cfg.Telemetry.PublishInfo("run.workload", cfg.Workload)
+		cfg.Telemetry.PublishInfo("run.setting", string(cfg.Setting))
+	}
 
 	// The latency-critical service.
 	store, err := newStore(cfg.Store, cfg.Seed)
@@ -237,6 +252,7 @@ func RunColocation(cfg ColocationConfig) (*ColocationResult, error) {
 			hc.SNs = 500_000_000 // compressed quiet period (S)
 		}
 		hc.DaemonCPU = mcfg.Topology.LogicalCPUs() - 1
+		hc.Telemetry = cfg.Telemetry
 		holmesd, err = core.Start(k, fs, hc)
 		if err != nil {
 			return nil, err
@@ -298,9 +314,10 @@ func RunColocation(cfg ColocationConfig) (*ColocationResult, error) {
 		jobsBase = nm.CompletedCount()
 	}
 	queriesBase := svc.Completed()
-	var daemonBase float64
+	var daemonBase, telBase float64
 	if holmesd != nil {
 		daemonBase = holmesd.CPUTimeNs()
+		telBase = holmesd.TelemetryCPUTimeNs()
 	}
 
 	res := &ColocationResult{Config: cfg}
@@ -316,12 +333,19 @@ func RunColocation(cfg ColocationConfig) (*ColocationResult, error) {
 			groups = append(groups, g)
 		}
 		res.VPISeries.Name = fmt.Sprintf("vpi-%s-%s-%s", cfg.Store, cfg.Workload, cfg.Setting)
+		var vpiHist *telemetry.Histogram
+		if cfg.Telemetry != nil {
+			vpiHist = cfg.Telemetry.Registry.Histogram("experiment_lc_vpi",
+				"observer-sampled mean VPI across the reserved CPUs", 0.1, 10_000, 5)
+		}
 		stopVPI := m.SchedulePeriodic(cfg.VPISampleNs, func(now int64) {
 			sum := 0.0
 			for _, g := range groups {
 				sum += g.Sample()
 			}
-			res.VPISeries.Add(now, sum/float64(len(groups)))
+			avg := sum / float64(len(groups))
+			res.VPISeries.Add(now, avg)
+			vpiHist.Observe(avg)
 		})
 		defer stopVPI()
 	}
@@ -346,8 +370,9 @@ func RunColocation(cfg ColocationConfig) (*ColocationResult, error) {
 	}
 	res.CompletedQueries = svc.Completed() - queriesBase
 	if holmesd != nil {
-		_, res.Deallocations, res.Reallocations, res.Expansions = holmesd.Stats()
+		res.Invocations, res.Deallocations, res.Reallocations, res.Expansions = holmesd.Stats()
 		res.DaemonUtil = (holmesd.CPUTimeNs() - daemonBase) / float64(cfg.DurationNs)
+		res.TelemetryUtil = (holmesd.TelemetryCPUTimeNs() - telBase) / float64(cfg.DurationNs)
 		holmesd.Stop()
 	}
 	if perfiso != nil {

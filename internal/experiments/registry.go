@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 // Options scales the registry's runs: Full uses paper-faithful windows
@@ -14,6 +16,9 @@ type Options struct {
 	// Scale multiplies every measurement window (0 = 1.0). Values below
 	// one shrink runs further than the quick profile; tests use ~0.2.
 	Scale float64
+	// Telemetry, when non-nil, is attached to every suite co-location run
+	// so holmes-bench can dump metrics and decision events afterwards.
+	Telemetry *telemetry.Set
 }
 
 func (o Options) scaled(ns int64) int64 {
@@ -61,6 +66,7 @@ func Registry() map[string]Experiment {
 	getSuite := func(o Options) *Suite {
 		if suite == nil || suite.DurationNs != o.colocDuration() || suite.Seed != o.Seed {
 			suite = NewSuite(o.colocDuration(), o.Seed)
+			suite.Telemetry = o.Telemetry
 		}
 		return suite
 	}
@@ -128,7 +134,7 @@ func Registry() map[string]Experiment {
 			return r.Render(), nil
 		}},
 		{"overhead", "Holmes daemon overhead", func(o Options) (string, error) {
-			r, err := RunOverhead(o.colocDuration(), o.Seed)
+			r, err := RunOverheadWith(o.colocDuration(), o.Seed, o.Telemetry)
 			if err != nil {
 				return "", err
 			}

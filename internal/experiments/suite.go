@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/stats"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 	"github.com/holmes-colocation/holmes/internal/trace"
 )
 
@@ -15,7 +16,9 @@ type Suite struct {
 	DurationNs int64
 	WarmupNs   int64
 	Seed       uint64
-	cache      map[string]*ColocationResult
+	// Telemetry, when non-nil, is attached to every run in the matrix.
+	Telemetry *telemetry.Set
+	cache     map[string]*ColocationResult
 }
 
 // NewSuite creates a suite with the standard compressed windows.
@@ -38,6 +41,7 @@ func (s *Suite) Get(store, workload string, setting Setting) (*ColocationResult,
 	cfg.DurationNs = s.DurationNs
 	cfg.WarmupNs = s.WarmupNs
 	cfg.Seed = s.Seed
+	cfg.Telemetry = s.Telemetry
 	r, err := RunColocation(cfg)
 	if err != nil {
 		return nil, err

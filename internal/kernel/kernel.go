@@ -15,6 +15,7 @@ import (
 
 	"github.com/holmes-colocation/holmes/internal/cpuid"
 	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 // Kernel owns process scheduling for one simulated machine.
@@ -37,6 +38,15 @@ type Kernel struct {
 	// allowed CPUs, in ticks.
 	stealPeriod int
 	tickCount   int
+
+	// Migration accounting: forced moves from SetAffinity and idle-CPU
+	// steals. The telemetry handles are nil until SetTelemetry; every
+	// record call on them is then a single atomic op.
+	migrations int64
+	steals     int64
+	telMigr    *telemetry.Counter
+	telSteals  *telemetry.Counter
+	telDepth   *telemetry.Histogram
 }
 
 // Option configures kernel construction.
@@ -74,6 +84,25 @@ func New(m *machine.Machine, opts ...Option) *Kernel {
 
 // Machine returns the underlying machine.
 func (k *Kernel) Machine() *machine.Machine { return k.m }
+
+// SetTelemetry resolves the kernel's metric handles in the given set.
+// Call once at setup; a nil set leaves telemetry disabled.
+func (k *Kernel) SetTelemetry(set *telemetry.Set) {
+	if set == nil || set.Registry == nil {
+		return
+	}
+	k.telMigr = set.Registry.Counter("kernel_migrations_total",
+		"thread migrations forced by affinity changes")
+	k.telSteals = set.Registry.Counter("kernel_steals_total",
+		"threads pulled to idle CPUs by work stealing")
+	k.telDepth = set.Registry.Histogram("kernel_runqueue_depth",
+		"per-CPU runqueue depth sampled at steal periods", 1, 64, 5)
+}
+
+// Migrations returns (affinity-forced migrations, idle steals).
+func (k *Kernel) Migrations() (migrations, steals int64) {
+	return k.migrations, k.steals
+}
 
 // Process is a simulated OS process: a named group of threads sharing a
 // default affinity.
@@ -216,6 +245,8 @@ func (k *Kernel) SetAffinity(tid int, mask cpuid.Mask) error {
 	if t.enqueued && !valid.Has(t.cpu) {
 		k.dequeue(t)
 		k.enqueue(t)
+		k.migrations++
+		k.telMigr.Inc()
 	}
 	return nil
 }
@@ -275,6 +306,14 @@ func (k *Kernel) Assign(nowNs int64, assign []*machine.Thread) {
 	k.tickCount++
 	if k.stealPeriod > 0 && k.tickCount%k.stealPeriod == 0 {
 		k.steal()
+		if k.telDepth != nil {
+			for p := range k.rq {
+				// Depth 0 clamps into the first bucket by design: the
+				// histogram answers "how deep when occupied", and idle
+				// CPUs would otherwise dominate every quantile.
+				k.telDepth.Observe(float64(len(k.rq[p])))
+			}
+		}
 	}
 	for p := range k.rq {
 		q := k.rq[p]
@@ -322,6 +361,8 @@ func (k *Kernel) steal() {
 			victim.cpu = p
 			victim.enqueued = true
 			k.rq[p] = append(k.rq[p], victim)
+			k.steals++
+			k.telSteals.Inc()
 		}
 	}
 }

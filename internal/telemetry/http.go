@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Set bundles the registry and tracer one daemon (or one experiment run)
+// records into, plus a small info map for static facts (configuration,
+// topology) worth showing on the debug endpoint.
+type Set struct {
+	Registry *Registry
+	Tracer   *Tracer
+
+	mu   sync.Mutex
+	info map[string]string
+}
+
+// DefaultRingSize is the decision-event retention of a NewSet tracer.
+// At the daemon's 100 µs interval the steady state emits a handful of
+// events per millisecond at most, so 4096 covers the recent past without
+// meaningful memory cost.
+const DefaultRingSize = 4096
+
+// NewSet creates a registry plus a tracer with the default ring.
+func NewSet() *Set {
+	return &Set{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(DefaultRingSize),
+		info:     map[string]string{},
+	}
+}
+
+// PublishInfo records a static key=value fact for /debug/holmes. Safe on
+// a nil receiver.
+func (s *Set) PublishInfo(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.info == nil {
+		s.info = map[string]string{}
+	}
+	s.info[key] = value
+	s.mu.Unlock()
+}
+
+// Info returns a copy of the published facts.
+func (s *Set) Info() map[string]string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.info))
+	for k, v := range s.info {
+		out[k] = v
+	}
+	return out
+}
+
+// Handler serves the set over HTTP:
+//
+//	/metrics      Prometheus text exposition
+//	/events       JSON decision log (newest last); ?type=SiblingRevoked
+//	              filters, ?n=100 keeps only the newest n
+//	/debug/holmes JSON bundle: info, metric snapshot, event totals
+//
+// The handler is safe to serve while the simulation records concurrently:
+// metric reads are atomic and the ring snapshot takes its own lock.
+func (s *Set) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/events", s.serveEvents)
+	mux.HandleFunc("/debug/holmes", s.serveDebug)
+	return mux
+}
+
+func (s *Set) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, s.Registry)
+}
+
+func (s *Set) serveEvents(w http.ResponseWriter, req *http.Request) {
+	events := s.Tracer.Ring().Snapshot()
+	if typ := req.URL.Query().Get("type"); typ != "" {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.Type.String() == typ {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if nStr := req.URL.Query().Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Total   uint64  `json:"total"`
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}{
+		Total:   s.Tracer.Ring().Total(),
+		Dropped: s.Tracer.Ring().Dropped(),
+		Events:  events,
+	})
+}
+
+func (s *Set) serveDebug(w http.ResponseWriter, _ *http.Request) {
+	events := s.Tracer.Ring().Snapshot()
+	byType := map[string]int{}
+	for _, ev := range events {
+		byType[ev.Type.String()]++
+	}
+	// Deterministic key order helps eyeballing and diffing.
+	keys := make([]string, 0, len(byType))
+	for k := range byType {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Info        map[string]string `json:"info,omitempty"`
+		Metrics     []MetricSnapshot  `json:"metrics"`
+		EventTotal  uint64            `json:"event_total"`
+		EventCounts map[string]int    `json:"recent_event_counts"`
+	}{
+		Info:        s.Info(),
+		Metrics:     s.Registry.Snapshot(),
+		EventTotal:  s.Tracer.Ring().Total(),
+		EventCounts: byType,
+	})
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+// JSON snapshot forms of the registry, served by /debug/holmes and
+// dumpable at the end of a holmes-bench run.
+
+// MetricSnapshot is one series in JSON form. Histograms carry their
+// summary quantiles instead of raw buckets, which is what a human (or a
+// dashboard tile) wants from a debug endpoint.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Count  int64             `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	P50    float64           `json:"p50,omitempty"`
+	P90    float64           `json:"p90,omitempty"`
+	P99    float64           `json:"p99,omitempty"`
+}
+
+// Snapshot flattens the registry into JSON-ready metric records, sorted
+// by name then label signature (the Gather order).
+func (r *Registry) Snapshot() []MetricSnapshot {
+	var out []MetricSnapshot
+	for _, f := range r.Gather() {
+		for _, s := range f.Series {
+			m := MetricSnapshot{Name: f.Name, Kind: f.Kind.String()}
+			if len(s.Labels) > 0 {
+				m.Labels = map[string]string{}
+				for _, l := range s.Labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				m.Value = s.Value
+			case KindHistogram:
+				m.Count = s.Hist.Count
+				m.Sum = s.Hist.Sum
+				m.P50 = s.Hist.Quantile(0.50)
+				m.P90 = s.Hist.Quantile(0.90)
+				m.P99 = s.Hist.Quantile(0.99)
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}

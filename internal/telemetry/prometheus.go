@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, escaped label values,
+// and for histograms the cumulative _bucket series with an +Inf bound
+// plus _sum and _count.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			var err error
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.Name, labelBlock(s.Labels, "", 0), formatValue(s.Value))
+			case KindHistogram:
+				err = writeHistogram(w, f.Name, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s SeriesSnapshot) error {
+	var cum int64
+	for _, b := range s.Hist.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, labelBlock(s.Labels, "le", b.Upper), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, labelBlock(s.Labels, "le", math.Inf(1)), s.Hist.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", nameWithLabels(name+"_sum", s.Labels), formatValue(s.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", nameWithLabels(name+"_count", s.Labels), s.Hist.Count)
+	return err
+}
+
+// nameWithLabels renders name plus an optional label block.
+func nameWithLabels(name string, labels Labels) string {
+	return name + labelBlock(labels, "", 0)
+}
+
+// labelBlock renders {k="v",...}, appending an le bound when leKey is
+// non-empty, or "" when there is nothing to render.
+func labelBlock(labels Labels, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatValue(le))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

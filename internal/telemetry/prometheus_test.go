@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a deterministic registry exercising the tricky
+// corners of the exposition format: multi-label series, label values that
+// need escaping, and a histogram.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("holmes_deallocations_total", "sibling evictions").Add(12)
+	r.Counter("cgroupfs_events_total", "watch events", L("type", "pids-changed")).Add(3)
+	r.Counter("cgroupfs_events_total", "watch events", L("type", "removed")).Add(1)
+	r.Gauge("holmes_reserved_cpus", "reserved pool size").Set(4)
+	r.Counter("weird_total", "label escaping",
+		L("path", `C:\yarn"job
+1`)).Inc()
+	h := r.Histogram("holmes_vpi", "VPI observed on LC CPUs", 1, 1000, 5)
+	for _, v := range []float64{2, 30, 30, 55, 420} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./internal/telemetry` to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// parseExposition is a minimal validating parser for the text format: it
+// checks line shape, returns samples keyed by name+labelblock, and fails
+// the test on malformed lines.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	types := map[string]string{}
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", i, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", i, parts[1])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", i, line)
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", i, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", i, valStr, err)
+		}
+		name := key
+		if br := strings.IndexByte(key, '{'); br >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label block: %q", i, line)
+			}
+			name = key[:br]
+			validateLabelBlock(t, i, key[br:])
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := types[name]; !ok {
+			if _, ok := types[base]; !ok {
+				t.Fatalf("line %d: sample %q has no TYPE header", i, name)
+			}
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("line %d: duplicate sample %q", i, key)
+		}
+		samples[key] = val
+	}
+	return samples
+}
+
+// validateLabelBlock checks {k="v",...} syntax including escape handling.
+func validateLabelBlock(t *testing.T, line int, block string) {
+	t.Helper()
+	inner := block[1 : len(block)-1]
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq <= 0 || eq+1 >= len(inner) || inner[eq+1] != '"' {
+			t.Fatalf("line %d: malformed label pair in %q", line, block)
+		}
+		rest := inner[eq+2:]
+		// Scan to the closing unescaped quote.
+		end := -1
+		for j := 0; j < len(rest); j++ {
+			if rest[j] == '\\' {
+				j++ // skip escaped char
+				continue
+			}
+			if rest[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label value in %q", line, block)
+		}
+		if raw := rest[:end]; strings.Contains(raw, "\n") {
+			t.Fatalf("line %d: literal newline in label value %q", line, raw)
+		}
+		inner = rest[end+1:]
+		if strings.HasPrefix(inner, ",") {
+			inner = inner[1:]
+		} else if len(inner) > 0 {
+			t.Fatalf("line %d: garbage after label value in %q", line, block)
+		}
+	}
+}
+
+func TestPrometheusOutputParses(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+
+	// Plain counters and the gauge.
+	if samples["holmes_deallocations_total"] != 12 {
+		t.Fatalf("dealloc = %v", samples["holmes_deallocations_total"])
+	}
+	if samples[`cgroupfs_events_total{type="pids-changed"}`] != 3 {
+		t.Fatal("labeled counter missing")
+	}
+	if samples["holmes_reserved_cpus"] != 4 {
+		t.Fatal("gauge missing")
+	}
+	// Escaped label survived round-trip: backslash, quote and newline all
+	// escaped in-line.
+	found := false
+	for k := range samples {
+		if strings.HasPrefix(k, "weird_total{") {
+			found = true
+			if !strings.Contains(k, `C:\\yarn\"job\n1`) {
+				t.Fatalf("label not escaped: %q", k)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("escaped-label series missing")
+	}
+}
+
+func TestPrometheusHistogramInvariants(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+
+	// Collect the vpi histogram buckets in ascending le order.
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bkt
+	for k, v := range samples {
+		if !strings.HasPrefix(k, "holmes_vpi_bucket{") {
+			continue
+		}
+		leStr := k[strings.Index(k, `le="`)+4 : strings.LastIndex(k, `"`)]
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le %q", leStr)
+			}
+		}
+		buckets = append(buckets, bkt{le, v})
+	}
+	if len(buckets) < 3 {
+		t.Fatalf("only %d buckets", len(buckets))
+	}
+	for i := range buckets {
+		for j := i + 1; j < len(buckets); j++ {
+			if buckets[j].le < buckets[i].le {
+				buckets[i], buckets[j] = buckets[j], buckets[i]
+			}
+		}
+	}
+	// Cumulativeness: counts never decrease with le.
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].cum < buckets[i-1].cum {
+			t.Fatalf("bucket counts not cumulative: le=%v has %v < %v",
+				buckets[i].le, buckets[i].cum, buckets[i-1].cum)
+		}
+	}
+	// The +Inf bucket equals _count; _sum matches the observations.
+	inf := buckets[len(buckets)-1]
+	if !math.IsInf(inf.le, 1) {
+		t.Fatal("missing +Inf bucket")
+	}
+	count := samples["holmes_vpi_count"]
+	if inf.cum != count {
+		t.Fatalf("+Inf bucket %v != _count %v", inf.cum, count)
+	}
+	if count != 5 {
+		t.Fatalf("_count = %v, want 5", count)
+	}
+	if want := 2.0 + 30 + 30 + 55 + 420; samples["holmes_vpi_sum"] != want {
+		t.Fatalf("_sum = %v, want %v", samples["holmes_vpi_sum"], want)
+	}
+	// Spot-check one cumulative value: observations <= 100 are 2,30,30,55.
+	for _, b := range buckets {
+		if b.le >= 100 && !math.IsInf(b.le, 1) {
+			if b.cum < 4 {
+				t.Fatalf("bucket le=%v cum=%v, want >=4", b.le, b.cum)
+			}
+			break
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {5, "5"}, {-3, "-3"}, {0.25, "0.25"}, {1e16, "1e+16"},
+	} {
+		if got := formatValue(tc.v); got != tc.want {
+			t.Fatalf("formatValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if got := fmt.Sprintf("%s", formatValue(12.5)); got != "12.5" {
+		t.Fatalf("got %q", got)
+	}
+}
