@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check fuzz-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -11,10 +11,20 @@ vet:
 	$(GO) vet ./...
 
 # Fast correctness gate: vet everything, race-test the telemetry record
-# path and the daemon that drives it.
+# path, the daemon that drives it, the worker pool, and the concurrent
+# experiment engine (heavy serial simulations skip themselves under
+# -race; the engine's concurrency tests still run).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/core/...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/runner/... ./internal/experiments/...
+
+# Short fuzz smoke: a few seconds per fuzz target over the codec and
+# generator corpora. CI runs this; `go test` alone only replays seeds.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzRecordRoundTrip -fuzztime=10s ./internal/kvstore
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/kvstore
+	$(GO) test -run=^$$ -fuzz=FuzzZipf -fuzztime=10s ./internal/rng
+	$(GO) test -run=^$$ -fuzz=FuzzScrambledZipf -fuzztime=10s ./internal/rng
 
 test: check
 	$(GO) test ./...

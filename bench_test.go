@@ -182,7 +182,7 @@ func BenchmarkTable3Throughput(b *testing.B) {
 
 func BenchmarkFig14Sensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig14(3_000_000_000, 1, []string{"redis"})
+		r, err := experiments.RunFig14(3_000_000_000, 0, 1, []string{"redis"}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +202,7 @@ func BenchmarkFig14Sensitivity(b *testing.B) {
 
 func BenchmarkTable4Convergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunTable4(1)
+		r, err := experiments.RunTable4(1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,7 +9,9 @@
 // Experiment ids follow the paper: fig2, fig3, table1, fig4, fig5,
 // fig7..fig14, table3, table4, overhead. The default profile runs
 // time-compressed windows that finish in seconds to minutes; -full uses
-// the paper-faithful windows.
+// the paper-faithful windows. -parallel N fans independent simulation
+// runs across N workers; every run derives its seed from (seed, run key),
+// so the output is byte-identical at any parallelism.
 package main
 
 import (
@@ -19,12 +21,15 @@ import (
 	"path/filepath"
 
 	"github.com/holmes-colocation/holmes/internal/experiments"
+	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run paper-faithful (longer) measurement windows")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", runner.DefaultParallelism(),
+		"max concurrent simulation runs (1 = serial; output identical either way)")
 	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
 	telemetryOut := flag.String("telemetry-out", "", "stream scheduler decision events to this JSONL file")
 	flag.Usage = usage
@@ -51,7 +56,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Full: *full, Seed: *seed}
+	opts := experiments.Options{Full: *full, Seed: *seed, Parallel: *parallel}
 	var jsonl *telemetry.JSONLSink
 	if *telemetryOut != "" {
 		f, err := os.Create(*telemetryOut)
@@ -101,18 +106,21 @@ func main() {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
-		e, ok := reg[id]
-		if !ok {
+		if _, ok := reg[id]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; try 'holmes-bench list'\n", id)
 			os.Exit(2)
 		}
-		out, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("############ %s: %s ############\n%s\n", e.ID, e.Title, out)
-		save(id, out)
+	}
+	// RunIDs executes up to -parallel experiments concurrently and returns
+	// outputs aligned with ids, so printing stays in request order.
+	outs, err := experiments.RunIDs(opts, ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, id := range ids {
+		fmt.Printf("############ %s: %s ############\n%s\n", id, reg[id].Title, outs[i])
+		save(id, outs[i])
 	}
 }
 
@@ -129,6 +137,9 @@ Usage:
 Flags:
   -full                paper-faithful measurement windows (minutes of simulated time)
   -seed N              simulation seed (default 1)
+  -parallel N          max concurrent simulation runs (default GOMAXPROCS);
+                       every run's seed derives from (seed, run key), so
+                       output is byte-identical at any parallelism
   -o DIR               also write each experiment's output to DIR/<id>.txt
   -telemetry-out FILE  stream scheduler decision events (JSONL) to FILE
 `)

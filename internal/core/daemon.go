@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/cgroupfs"
@@ -349,8 +350,8 @@ func (d *Daemon) tick(nowNs int64) {
 // service exits, its siblings return to batch jobs.
 func (d *Daemon) reapExitedLC() {
 	changed := false
-	for pid, p := range d.lcPids {
-		if p.Exited() {
+	for _, pid := range d.sortedLCPids() {
+		if p := d.lcPids[pid]; p.Exited() {
 			delete(d.lcPids, pid)
 			d.emit(telemetry.Event{Type: telemetry.LCExited, CPU: -1, PID: pid})
 			changed = true
@@ -422,9 +423,10 @@ func (d *Daemon) expandIfNeeded(nowNs int64) bool {
 	d.tel.inc(d.tel.expansions)
 	d.emit(telemetry.Event{Type: telemetry.PoolExpanded,
 		CPU: best, Usage: usage / float64(len(cpus)), Threshold: d.cfg.T})
-	// Extend every LC service onto the grown pool.
-	for _, p := range d.lcPids {
-		_ = p.SetAffinity(d.reserved)
+	// Extend every LC service onto the grown pool (pid order: affinity
+	// changes migrate threads, so iteration order affects placement).
+	for _, pid := range d.sortedLCPids() {
+		_ = d.lcPids[pid].SetAffinity(d.reserved)
 	}
 	return true
 }
@@ -455,20 +457,47 @@ func (d *Daemon) shrinkIfIdle() bool {
 	d.tel.inc(d.tel.shrinks)
 	d.emit(telemetry.Event{Type: telemetry.PoolShrunk,
 		CPU: last, Usage: usage / float64(len(cpus)), Threshold: d.cfg.T / 2})
-	for _, p := range d.lcPids {
-		_ = p.SetAffinity(d.reserved)
+	for _, pid := range d.sortedLCPids() {
+		_ = d.lcPids[pid].SetAffinity(d.reserved)
 	}
 	return true
 }
 
-// applyBatchMask pushes the current batch CPU set to every container.
+// applyBatchMask pushes the current batch CPU set to every container, in
+// sorted path order: each affinity change migrates threads onto whichever
+// allowed CPU is least loaded *at that moment*, so map order here would
+// make placement — and the whole run's latency distribution — vary from
+// run to run.
 func (d *Daemon) applyBatchMask() {
 	mask := d.BatchMask()
-	for path, proc := range d.containers {
+	for _, path := range d.sortedContainerPaths() {
+		proc := d.containers[path]
 		if proc.Exited() {
 			delete(d.containers, path)
 			continue
 		}
 		_ = proc.SetAffinity(mask)
 	}
+}
+
+// sortedContainerPaths returns the tracked container cgroup paths in
+// sorted order, for deterministic iteration.
+func (d *Daemon) sortedContainerPaths() []string {
+	paths := make([]string, 0, len(d.containers))
+	for path := range d.containers {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// sortedLCPids returns the registered LC pids in ascending order, for
+// deterministic iteration.
+func (d *Daemon) sortedLCPids() []int {
+	pids := make([]int, 0, len(d.lcPids))
+	for pid := range d.lcPids {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	return pids
 }

@@ -6,6 +6,8 @@ import (
 
 	"github.com/holmes-colocation/holmes/internal/core"
 	"github.com/holmes-colocation/holmes/internal/hpe"
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/trace"
 )
 
@@ -77,21 +79,34 @@ type AblationMetricRow struct {
 }
 
 // RunAblationMetric runs Redis workload-a co-location under both
-// triggers.
-func RunAblationMetric(durationNs int64, seed uint64) (AblationMetricResult, error) {
+// triggers, fanning the two runs across up to workers goroutines. Each
+// trigger's seed derives from (seed, trigger), so the comparison is
+// identical at any parallelism.
+func RunAblationMetric(durationNs int64, seed uint64, workers int) (AblationMetricResult, error) {
 	var out AblationMetricResult
-	for _, metric := range []core.Metric{core.MetricVPI, core.MetricUsage} {
-		hc := core.DefaultConfig()
-		hc.TriggerMetric = metric
-		hc.SNs = 500_000_000
-		cfg := DefaultColocation("redis", "a", Holmes)
-		cfg.DurationNs = durationNs
-		cfg.Seed = seed
-		cfg.HolmesConfig = &hc
-		r, err := RunColocation(cfg)
-		if err != nil {
-			return out, err
+	metrics := []core.Metric{core.MetricVPI, core.MetricUsage}
+	results := make([]*ColocationResult, len(metrics))
+	tasks := make([]func() error, len(metrics))
+	for i, metric := range metrics {
+		i, metric := i, metric
+		tasks[i] = func() error {
+			hc := core.DefaultConfig()
+			hc.TriggerMetric = metric
+			hc.SNs = 500_000_000
+			cfg := DefaultColocation("redis", "a", Holmes)
+			cfg.DurationNs = durationNs
+			cfg.Seed = rng.DeriveSeed(seed, "ablation-metric", string(metric))
+			cfg.HolmesConfig = &hc
+			r, err := RunColocation(cfg)
+			results[i] = r
+			return err
 		}
+	}
+	if err := runner.Run(workers, tasks); err != nil {
+		return out, err
+	}
+	for i, metric := range metrics {
+		r := results[i]
 		s := r.Latency.Summarize()
 		out.Rows = append(out.Rows, AblationMetricRow{
 			Trigger:       string(metric),
@@ -131,27 +146,39 @@ type AblationIntervalRow struct {
 	DaemonUtil    float64
 }
 
-// RunAblationInterval sweeps §6.7's invocation interval.
-func RunAblationInterval(durationNs int64, seed uint64) (AblationIntervalResult, error) {
+// RunAblationInterval sweeps §6.7's invocation interval, one concurrent
+// run per interval (bounded by workers). Each interval's seed derives
+// from (seed, interval).
+func RunAblationInterval(durationNs int64, seed uint64, workers int) (AblationIntervalResult, error) {
 	var out AblationIntervalResult
-	for _, iv := range []int64{50_000, 100_000, 500_000, 1_000_000, 10_000_000} {
-		hc := core.DefaultConfig()
-		hc.IntervalNs = iv
-		hc.SNs = 500_000_000
-		cfg := DefaultColocation("redis", "a", Holmes)
-		cfg.DurationNs = durationNs
-		cfg.Seed = seed
-		cfg.HolmesConfig = &hc
-		r, err := RunColocation(cfg)
-		if err != nil {
-			return out, err
+	ivs := []int64{50_000, 100_000, 500_000, 1_000_000, 10_000_000}
+	results := make([]*ColocationResult, len(ivs))
+	tasks := make([]func() error, len(ivs))
+	for i, iv := range ivs {
+		i, iv := i, iv
+		tasks[i] = func() error {
+			hc := core.DefaultConfig()
+			hc.IntervalNs = iv
+			hc.SNs = 500_000_000
+			cfg := DefaultColocation("redis", "a", Holmes)
+			cfg.DurationNs = durationNs
+			cfg.Seed = rng.DeriveSeed(seed, "ablation-interval", fmt.Sprint(iv))
+			cfg.HolmesConfig = &hc
+			r, err := RunColocation(cfg)
+			results[i] = r
+			return err
 		}
-		s := r.Latency.Summarize()
+	}
+	if err := runner.Run(workers, tasks); err != nil {
+		return out, err
+	}
+	for i, iv := range ivs {
+		s := results[i].Latency.Summarize()
 		out.Rows = append(out.Rows, AblationIntervalRow{
 			IntervalNs: iv,
 			MeanNs:     s.Mean,
 			P99Ns:      s.P99,
-			DaemonUtil: r.DaemonUtil,
+			DaemonUtil: results[i].DaemonUtil,
 		})
 	}
 	return out, nil
@@ -178,13 +205,13 @@ func renderAblations(o Options) (string, error) {
 	cps := RunAblationCPS(o.sweepWindow(), o.Seed)
 	b.WriteString(cps.Render())
 	b.WriteByte('\n')
-	met, err := RunAblationMetric(o.colocDuration(), o.Seed)
+	met, err := RunAblationMetric(o.colocDuration(), o.Seed, o.workers())
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(met.Render())
 	b.WriteByte('\n')
-	iv, err := RunAblationInterval(o.colocDuration()/2, o.Seed)
+	iv, err := RunAblationInterval(o.colocDuration()/2, o.Seed, o.workers())
 	if err != nil {
 		return "", err
 	}

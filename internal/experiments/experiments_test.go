@@ -30,6 +30,7 @@ func runColoc(t *testing.T, store, wl string, setting Setting) *ColocationResult
 }
 
 func TestColocationShapeRedisA(t *testing.T) {
+	skipHeavyUnderRace(t)
 	alone := runColoc(t, "redis", "a", Alone)
 	holmes := runColoc(t, "redis", "a", Holmes)
 	perfiso := runColoc(t, "redis", "a", PerfIso)
@@ -75,6 +76,7 @@ func TestColocationShapeRedisA(t *testing.T) {
 }
 
 func TestSLOViolationLogic(t *testing.T) {
+	skipHeavyUnderRace(t)
 	alone := runColoc(t, "redis", "b", Alone)
 	perfiso := runColoc(t, "redis", "b", PerfIso)
 	slo := alone.Latency.Percentile(90)
@@ -91,6 +93,7 @@ func TestSLOViolationLogic(t *testing.T) {
 }
 
 func TestDiskStoreScanWorkload(t *testing.T) {
+	skipHeavyUnderRace(t)
 	r := runColoc(t, "rocksdb", "e", Alone)
 	if r.CompletedQueries == 0 {
 		t.Fatal("no scan queries completed")
@@ -112,6 +115,7 @@ func TestMemcachedNoScans(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
+	skipHeavyUnderRace(t)
 	r, err := RunFig3(1_500_000_000, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -134,6 +138,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig5VPITracksLatency(t *testing.T) {
+	skipHeavyUnderRace(t)
 	r, err := RunFig5(1_200_000_000, 1, []string{"redis", "memcached"})
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +167,7 @@ func TestFig5VPITracksLatency(t *testing.T) {
 }
 
 func TestFig13VPIOrdering(t *testing.T) {
+	skipHeavyUnderRace(t)
 	means := map[Setting]float64{}
 	for _, set := range Settings() {
 		cfg := DefaultColocation("rocksdb", "a", set)
@@ -187,6 +193,7 @@ func TestFig13VPIOrdering(t *testing.T) {
 }
 
 func TestFig14HigherEWorse(t *testing.T) {
+	skipHeavyUnderRace(t)
 	// Compare E=40 against E=80 directly (the sweep's endpoints).
 	run := func(e float64) float64 {
 		hc := core.DefaultConfig()
@@ -213,7 +220,7 @@ func TestFig14HigherEWorse(t *testing.T) {
 }
 
 func TestTable4Ordering(t *testing.T) {
-	r, err := RunTable4(1)
+	r, err := RunTable4(1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +305,8 @@ func TestAblationCPSWeakerThanVPI(t *testing.T) {
 }
 
 func TestAblationMetricUsageTriggerCostsThroughput(t *testing.T) {
-	r, err := RunAblationMetric(4_000_000_000, 1)
+	skipHeavyUnderRace(t)
+	r, err := RunAblationMetric(4_000_000_000, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +331,8 @@ func TestAblationMetricUsageTriggerCostsThroughput(t *testing.T) {
 }
 
 func TestAblationIntervalTradeoff(t *testing.T) {
-	r, err := RunAblationInterval(3_000_000_000, 1)
+	skipHeavyUnderRace(t)
+	r, err := RunAblationInterval(3_000_000_000, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,6 +385,7 @@ func TestSweepExperiment(t *testing.T) {
 }
 
 func TestOverheadExperiment(t *testing.T) {
+	skipHeavyUnderRace(t)
 	r, err := RunOverhead(3_000_000_000, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -404,6 +414,7 @@ func TestUnknownStoreRejected(t *testing.T) {
 }
 
 func TestColocationDeterminism(t *testing.T) {
+	skipHeavyUnderRace(t)
 	run := func() (int64, float64) {
 		cfg := DefaultColocation("redis", "a", Holmes)
 		cfg.DurationNs = 2_000_000_000
@@ -422,6 +433,7 @@ func TestColocationDeterminism(t *testing.T) {
 }
 
 func TestSuiteRenderers(t *testing.T) {
+	skipHeavyUnderRace(t)
 	// Memcached has the smallest matrix (2 workloads x 3 settings).
 	s := NewSuite(2_000_000_000, 1)
 	s.WarmupNs = 500_000_000
@@ -467,6 +479,7 @@ func TestSuiteRenderers(t *testing.T) {
 }
 
 func TestHTMLReportGenerates(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("report runs the whole matrix")
 	}

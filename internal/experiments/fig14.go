@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/core"
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/stats"
 )
 
@@ -25,35 +27,64 @@ type Fig14Result struct {
 	Points []Fig14Point
 }
 
-// RunFig14 sweeps the deallocation threshold E from 40 to 80 (step 10)
-// for every service under workload-a, as in §6.4.
-func RunFig14(durationNs int64, seed uint64, stores []string) (Fig14Result, error) {
+// fig14Es lists the swept thresholds: 40 to 80, step 10, as in §6.4.
+func fig14Es() []float64 { return []float64{40, 50, 60, 70, 80} }
+
+// RunFig14 sweeps the deallocation threshold E for every service under
+// workload-a, as in §6.4. Every (store, E) point — and each store's Alone
+// baseline — is an independent simulation run, fanned out across up to
+// workers goroutines with seeds derived from (seed, store, point), so the
+// sweep is order-independent. warmupNs <= 0 keeps the default warmup.
+func RunFig14(durationNs, warmupNs int64, seed uint64, stores []string, workers int) (Fig14Result, error) {
 	var out Fig14Result
 	if stores == nil {
 		stores = StoreNames()
 	}
-	for _, store := range stores {
-		aloneCfg := DefaultColocation(store, "a", Alone)
-		aloneCfg.DurationNs = durationNs
-		aloneCfg.Seed = seed
-		alone, err := RunColocation(aloneCfg)
-		if err != nil {
-			return out, err
+	es := fig14Es()
+
+	run := func(store string, setting Setting, hc *core.Config, tag string) (*ColocationResult, error) {
+		cfg := DefaultColocation(store, "a", setting)
+		cfg.DurationNs = durationNs
+		if warmupNs > 0 {
+			cfg.WarmupNs = warmupNs
 		}
-		aSum := alone.Latency.Summarize()
-		for e := 40.0; e <= 80; e += 10 {
-			hc := core.DefaultConfig()
-			hc.E = e
-			hc.SNs = 500_000_000
-			cfg := DefaultColocation(store, "a", Holmes)
-			cfg.DurationNs = durationNs
-			cfg.Seed = seed
-			cfg.HolmesConfig = &hc
-			r, err := RunColocation(cfg)
-			if err != nil {
-				return out, err
-			}
-			sum := r.Latency.Summarize()
+		cfg.Seed = rng.DeriveSeed(seed, "fig14", store, tag)
+		cfg.HolmesConfig = hc
+		return RunColocation(cfg)
+	}
+
+	// Alone baselines and E points all run concurrently; results land in
+	// per-index slots so assembly order never depends on completion order.
+	alones := make([]*ColocationResult, len(stores))
+	points := make([]*ColocationResult, len(stores)*len(es))
+	var tasks []func() error
+	for si, store := range stores {
+		si, store := si, store
+		tasks = append(tasks, func() error {
+			r, err := run(store, Alone, nil, "alone")
+			alones[si] = r
+			return err
+		})
+		for ei, e := range es {
+			si, ei, e := si, ei, e
+			tasks = append(tasks, func() error {
+				hc := core.DefaultConfig()
+				hc.E = e
+				hc.SNs = 500_000_000
+				r, err := run(store, Holmes, &hc, fmt.Sprintf("E=%.0f", e))
+				points[si*len(es)+ei] = r
+				return err
+			})
+		}
+	}
+	if err := runner.Run(workers, tasks); err != nil {
+		return out, err
+	}
+
+	for si, store := range stores {
+		aSum := alones[si].Latency.Summarize()
+		for ei, e := range es {
+			sum := points[si*len(es)+ei].Latency.Summarize()
 			out.Points = append(out.Points, Fig14Point{
 				Store: store,
 				E:     e,

@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"github.com/holmes-colocation/holmes/internal/report"
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/stats"
 	"github.com/holmes-colocation/holmes/internal/trace"
 )
@@ -58,8 +60,16 @@ func WriteHTMLReport(w io.Writer, o Options) error {
 	}
 	sec.Tables = append(sec.Tables, tb)
 
-	// Figs. 7-10 + 11 + 12 + Table 3 from the shared suite.
+	// Figs. 7-10 + 11 + 12 + Table 3 from the shared suite. Prefetch fans
+	// the whole matrix across o.Parallel workers; the section loops below
+	// then read cached results in deterministic order.
 	suite := NewSuite(o.colocDuration(), o.Seed)
+	suite.WarmupNs = o.colocWarmup()
+	suite.Workers = o.workers()
+	suite.Telemetry = o.Telemetry
+	if err := suite.Prefetch(StoreNames()...); err != nil {
+		return err
+	}
 	for _, store := range StoreNames() {
 		id := fmt.Sprintf("fig%d", figNumber(store))
 		sec = doc.AddSection(id,
@@ -126,16 +136,27 @@ func WriteHTMLReport(w io.Writer, o Options) error {
 	sec = doc.AddSection("fig13", "Fig. 13 — VPI on the LC CPUs over time (RocksDB, workload-a)",
 		"PerfIso runs hottest and most volatile; Holmes stays near the Alone baseline.")
 	chart = report.Chart{Title: "average VPI on LC CPUs", XLabel: "time us", YLabel: "VPI"}
-	for _, set := range Settings() {
-		cfg := DefaultColocation("rocksdb", "a", set)
-		cfg.DurationNs = o.colocDuration()
-		cfg.Seed = o.Seed
-		cfg.VPISampleNs = 50_000_000
-		r, err := RunColocation(cfg)
-		if err != nil {
+	fig13Sets := Settings()
+	fig13Runs := make([]*ColocationResult, len(fig13Sets))
+	fig13Tasks := make([]func() error, len(fig13Sets))
+	for i, set := range fig13Sets {
+		i, set := i, set
+		fig13Tasks[i] = func() error {
+			cfg := DefaultColocation("rocksdb", "a", set)
+			cfg.DurationNs = o.colocDuration()
+			cfg.WarmupNs = o.colocWarmup()
+			cfg.Seed = rng.DeriveSeed(o.Seed, "fig13", string(set))
+			cfg.VPISampleNs = 50_000_000
+			r, err := RunColocation(cfg)
+			fig13Runs[i] = r
 			return err
 		}
-		ds := r.VPISeries.Downsample(80)
+	}
+	if err := runner.Run(o.workers(), fig13Tasks); err != nil {
+		return err
+	}
+	for i, set := range fig13Sets {
+		ds := fig13Runs[i].VPISeries.Downsample(80)
 		var s report.Series
 		s.Name = string(set)
 		for _, p := range ds.Points {
@@ -164,7 +185,7 @@ func WriteHTMLReport(w io.Writer, o Options) error {
 	if !o.Full {
 		stores = []string{"redis", "rocksdb"}
 	}
-	fig14, err := RunFig14(o.colocDuration()/2, o.Seed, stores)
+	fig14, err := RunFig14(o.colocDuration()/2, o.colocWarmup(), o.Seed, stores, o.workers())
 	if err != nil {
 		return err
 	}
@@ -189,7 +210,7 @@ func WriteHTMLReport(w io.Writer, o Options) error {
 	sec.Charts = append(sec.Charts, chart)
 
 	// Table 4 — convergence.
-	t4, err := RunTable4(o.Seed)
+	t4, err := RunTable4(o.Seed, o.workers())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+// TestOptionsScaling pins the Options window arithmetic at its edges:
+// Scale == 0 means 1.0, small scales clamp to the 100 ms floor, and the
+// full profile stretches every window.
+func TestOptionsScaling(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		get  func(Options) int64
+		want int64
+	}{
+		{"coloc quick default", Options{}, Options.colocDuration, 8_000_000_000},
+		{"coloc full default", Options{Full: true}, Options.colocDuration, 30_000_000_000},
+		{"coloc scale zero is 1.0", Options{Scale: 0}, Options.colocDuration, 8_000_000_000},
+		{"coloc half scale", Options{Scale: 0.5}, Options.colocDuration, 4_000_000_000},
+		{"coloc full half scale", Options{Full: true, Scale: 0.5}, Options.colocDuration, 15_000_000_000},
+		{"coloc floors at 100ms", Options{Scale: 0.001}, Options.colocDuration, 100_000_000},
+		{"warmup quick default", Options{}, Options.colocWarmup, 2_000_000_000},
+		{"warmup scales", Options{Scale: 0.25}, Options.colocWarmup, 500_000_000},
+		{"warmup floors at 100ms", Options{Scale: 0.01}, Options.colocWarmup, 100_000_000},
+		{"micro quick", Options{}, Options.microDuration, 400_000_000},
+		{"micro full", Options{Full: true}, Options.microDuration, 2_000_000_000},
+		{"micro tiny scale floors", Options{Scale: 0.0001}, Options.microDuration, 100_000_000},
+		{"sweep quick", Options{}, Options.sweepWindow, 150_000_000},
+		{"sweep full", Options{Full: true}, Options.sweepWindow, 1_000_000_000},
+		{"sweep scale floors", Options{Scale: 0.05}, Options.sweepWindow, 100_000_000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.get(c.o); got != c.want {
+				t.Fatalf("got %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+// TestOptionsWorkers pins the Parallel normalization: anything at or
+// below one — including garbage negatives — means serial.
+func TestOptionsWorkers(t *testing.T) {
+	cases := []struct {
+		parallel int
+		want     int
+	}{
+		{-4, 1}, {0, 1}, {1, 1}, {2, 2}, {8, 8},
+	}
+	for _, c := range cases {
+		if got := (Options{Parallel: c.parallel}).workers(); got != c.want {
+			t.Fatalf("Parallel=%d: workers() = %d, want %d", c.parallel, got, c.want)
+		}
+	}
+}

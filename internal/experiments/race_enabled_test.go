@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled mirrors the -race build flag so heavy pure-serial
+// simulation tests can skip themselves: the detector multiplies their
+// runtime ~10x without exercising any concurrency they contain.
+const raceEnabled = true

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
@@ -16,6 +18,10 @@ type Options struct {
 	// Scale multiplies every measurement window (0 = 1.0). Values below
 	// one shrink runs further than the quick profile; tests use ~0.2.
 	Scale float64
+	// Parallel bounds how many simulation runs execute concurrently
+	// (<= 1 means serial). Results are byte-identical at any value: every
+	// run's seed derives from (Seed, run key), never from scheduling.
+	Parallel int
 	// Telemetry, when non-nil, is attached to every suite co-location run
 	// so holmes-bench can dump metrics and decision events afterwards.
 	Telemetry *telemetry.Set
@@ -38,6 +44,13 @@ func (o Options) colocDuration() int64 {
 	return o.scaled(8_000_000_000)
 }
 
+// colocWarmup is the pre-measurement window of suite runs; it scales with
+// the profile so heavily compressed runs (tests, smoke profiles) do not
+// spend most of their time warming up.
+func (o Options) colocWarmup() int64 {
+	return o.scaled(2_000_000_000)
+}
+
 func (o Options) microDuration() int64 {
 	if o.Full {
 		return o.scaled(2_000_000_000)
@@ -52,6 +65,14 @@ func (o Options) sweepWindow() int64 {
 	return o.scaled(150_000_000)
 }
 
+// workers normalizes Parallel for the worker pool.
+func (o Options) workers() int {
+	if o.Parallel <= 1 {
+		return 1
+	}
+	return o.Parallel
+}
+
 // Experiment is a runnable table or figure reproduction.
 type Experiment struct {
 	ID    string
@@ -61,17 +82,29 @@ type Experiment struct {
 
 // Registry returns every experiment keyed by id. Co-location figures
 // share a per-invocation Suite so `all` does not re-run combinations.
+// The shared accessors are mutex-guarded: RunIDs executes experiments
+// concurrently, and the Suite itself coalesces concurrent runs.
 func Registry() map[string]Experiment {
+	var suiteMu sync.Mutex
 	var suite *Suite
 	getSuite := func(o Options) *Suite {
-		if suite == nil || suite.DurationNs != o.colocDuration() || suite.Seed != o.Seed {
+		suiteMu.Lock()
+		defer suiteMu.Unlock()
+		if suite == nil || suite.DurationNs != o.colocDuration() ||
+			suite.WarmupNs != o.colocWarmup() || suite.Seed != o.Seed ||
+			suite.Workers != o.workers() {
 			suite = NewSuite(o.colocDuration(), o.Seed)
+			suite.WarmupNs = o.colocWarmup()
+			suite.Workers = o.workers()
 			suite.Telemetry = o.Telemetry
 		}
 		return suite
 	}
+	var sweepMu sync.Mutex
 	var sweep *SweepResult
 	getSweep := func(o Options) SweepResult {
+		sweepMu.Lock()
+		defer sweepMu.Unlock()
 		if sweep == nil {
 			s := RunSweep(o.sweepWindow(), o.Seed)
 			sweep = &s
@@ -110,7 +143,7 @@ func Registry() map[string]Experiment {
 			return getSuite(o).RenderCPUUtilization()
 		}},
 		{"fig13", "VPI timeline under three settings (RocksDB)", func(o Options) (string, error) {
-			return RenderFig13(o.colocDuration(), o.Seed)
+			return RenderFig13(o.colocDuration(), o.colocWarmup(), o.Seed, o.workers())
 		}},
 		{"table3", "Throughput comparison", func(o Options) (string, error) {
 			return getSuite(o).RenderTable3()
@@ -120,14 +153,14 @@ func Registry() map[string]Experiment {
 			if !o.Full {
 				stores = []string{"redis", "rocksdb"}
 			}
-			r, err := RunFig14(o.colocDuration()/2, o.Seed, stores)
+			r, err := RunFig14(o.colocDuration()/2, o.colocWarmup(), o.Seed, stores, o.workers())
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
 		{"table4", "Convergence speed comparison", func(o Options) (string, error) {
-			r, err := RunTable4(o.Seed)
+			r, err := RunTable4(o.Seed, o.workers())
 			if err != nil {
 				return "", err
 			}
@@ -186,17 +219,49 @@ func orderKey(id string) string {
 	return "99" + id
 }
 
-// RunAll executes every experiment and concatenates the output.
+// RunIDs executes the named experiments — up to o.Parallel concurrently —
+// against one shared registry instance, returning their outputs aligned
+// with ids. Concurrent experiments share the co-location suite, whose
+// singleflight cache computes each matrix combination exactly once; the
+// outputs are byte-identical at every parallelism level.
+func RunIDs(o Options, ids []string) ([]string, error) {
+	reg := Registry()
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+	}
+	outs := make([]string, len(ids))
+	tasks := make([]func() error, len(ids))
+	for i, id := range ids {
+		i, e := i, reg[id]
+		tasks[i] = func() error {
+			out, err := e.Run(o)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			outs[i] = out
+			return nil
+		}
+	}
+	if err := runner.Run(o.workers(), tasks); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// RunAll executes every experiment and concatenates the output in paper
+// order.
 func RunAll(o Options) (string, error) {
+	ids := IDs()
+	outs, err := RunIDs(o, ids)
+	if err != nil {
+		return "", err
+	}
 	reg := Registry()
 	var b strings.Builder
-	for _, id := range IDs() {
-		e := reg[id]
-		out, err := e.Run(o)
-		if err != nil {
-			return b.String(), fmt.Errorf("%s: %w", id, err)
-		}
-		fmt.Fprintf(&b, "############ %s: %s ############\n%s\n", e.ID, e.Title, out)
+	for i, id := range ids {
+		fmt.Fprintf(&b, "############ %s: %s ############\n%s\n", id, reg[id].Title, outs[i])
 	}
 	return b.String(), nil
 }

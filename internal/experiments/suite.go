@@ -3,22 +3,50 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/stats"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
 	"github.com/holmes-colocation/holmes/internal/trace"
 )
 
+// suiteKey identifies one co-location run in the matrix. A struct key —
+// unlike the joined string it replaces — cannot collide across field
+// boundaries, no matter what bytes the store or workload names contain.
+type suiteKey struct {
+	Store    string
+	Workload string
+	Setting  Setting
+}
+
+// suiteCall is an in-flight run: waiters block on done and then read
+// res/err, so concurrent Gets of the same key compute the run once.
+type suiteCall struct {
+	done chan struct{}
+	res  *ColocationResult
+	err  error
+}
+
 // Suite runs and caches the co-location matrix (store x workload x
 // setting) behind Figs. 7-12 and Table 3, so the renderers share runs.
+// It is safe for concurrent use: concurrent Gets of the same combination
+// coalesce onto a single run, and Prefetch fans the matrix out across a
+// bounded worker pool.
 type Suite struct {
 	// DurationNs and WarmupNs apply to every run.
 	DurationNs int64
 	WarmupNs   int64
 	Seed       uint64
+	// Workers bounds Prefetch's concurrency (<= 1 means serial).
+	Workers int
 	// Telemetry, when non-nil, is attached to every run in the matrix.
 	Telemetry *telemetry.Set
-	cache     map[string]*ColocationResult
+
+	mu       sync.Mutex
+	cache    map[suiteKey]*ColocationResult
+	inflight map[suiteKey]*suiteCall
 }
 
 // NewSuite creates a suite with the standard compressed windows.
@@ -27,27 +55,73 @@ func NewSuite(durationNs int64, seed uint64) *Suite {
 		DurationNs: durationNs,
 		WarmupNs:   2_000_000_000,
 		Seed:       seed,
-		cache:      map[string]*ColocationResult{},
+		cache:      map[suiteKey]*ColocationResult{},
+		inflight:   map[suiteKey]*suiteCall{},
 	}
 }
 
-// Get runs (or returns the cached) combination.
+// Get runs (or returns the cached) combination. Concurrent calls for the
+// same combination share one run; errors are returned to every waiter but
+// not cached, so a failed combination can be retried.
 func (s *Suite) Get(store, workload string, setting Setting) (*ColocationResult, error) {
-	key := store + "/" + workload + "/" + string(setting)
+	key := suiteKey{Store: store, Workload: workload, Setting: setting}
+	s.mu.Lock()
 	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
 		return r, nil
 	}
-	cfg := DefaultColocation(store, workload, setting)
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &suiteCall{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	c.res, c.err = s.run(key)
+
+	s.mu.Lock()
+	if c.err == nil {
+		s.cache[key] = c.res
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// run executes one matrix combination. The run's seed is derived from
+// (suite seed, run key) via rng.DeriveSeed, so every combination gets a
+// decorrelated stream and the result depends only on the key — not on
+// which worker runs it or in what order (the determinism contract).
+func (s *Suite) run(key suiteKey) (*ColocationResult, error) {
+	cfg := DefaultColocation(key.Store, key.Workload, key.Setting)
 	cfg.DurationNs = s.DurationNs
 	cfg.WarmupNs = s.WarmupNs
-	cfg.Seed = s.Seed
+	cfg.Seed = rng.DeriveSeed(s.Seed, "colocation", key.Store, key.Workload, string(key.Setting))
 	cfg.Telemetry = s.Telemetry
-	r, err := RunColocation(cfg)
-	if err != nil {
-		return nil, err
+	return RunColocation(cfg)
+}
+
+// Prefetch warms the cache for every (workload, setting) combination of
+// the given stores, running up to s.Workers combinations concurrently.
+// Renderers call it before their serial read loops so a parallel suite
+// computes the matrix in parallel and then renders from cache.
+func (s *Suite) Prefetch(stores ...string) error {
+	var tasks []func() error
+	for _, store := range stores {
+		for _, wl := range WorkloadsFor(store) {
+			for _, set := range Settings() {
+				store, wl, set := store, wl, set
+				tasks = append(tasks, func() error {
+					_, err := s.Get(store, wl, set)
+					return err
+				})
+			}
+		}
 	}
-	s.cache[key] = r
-	return r, nil
+	return runner.Run(s.Workers, tasks)
 }
 
 // figNumber maps a store to its latency-CDF figure number in the paper.
@@ -69,6 +143,9 @@ func figNumber(store string) int {
 // latency distributions under the three settings and the Holmes-vs-PerfIso
 // reductions the paper quotes.
 func (s *Suite) RenderLatencyCDFs(store string) (string, error) {
+	if err := s.Prefetch(store); err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "== Fig %d: query latency of %s under three settings ==\n",
 		figNumber(store), store)
@@ -121,6 +198,9 @@ func (s *Suite) RenderLatencyCDFs(store string) (string, error) {
 // RenderSLOViolations prints Fig. 11: the violation ratio per service and
 // workload with the SLO set to the Alone p90 (the paper's definition).
 func (s *Suite) RenderSLOViolations() (string, error) {
+	if err := s.Prefetch(StoreNames()...); err != nil {
+		return "", err
+	}
 	tb := trace.NewTable("Fig 11: SLO violation ratios (SLO = Alone p90)",
 		"service", "workload", "slo_ns", "alone", "holmes", "perfiso")
 	for _, store := range StoreNames() {
@@ -147,6 +227,9 @@ func (s *Suite) RenderSLOViolations() (string, error) {
 // RenderCPUUtilization prints Fig. 12: machine-wide utilization per
 // service and setting (averaged over workloads).
 func (s *Suite) RenderCPUUtilization() (string, error) {
+	if err := s.Prefetch(StoreNames()...); err != nil {
+		return "", err
+	}
 	tb := trace.NewTable("Fig 12: average CPU utilization",
 		"service", "workload", "alone", "holmes", "perfiso")
 	for _, store := range StoreNames() {
@@ -204,8 +287,11 @@ func (s *Suite) RenderTable3() (string, error) {
 	return out, nil
 }
 
-// RenderFig13 prints the VPI timeline for RocksDB under workload-a.
-func RenderFig13(durationNs int64, seed uint64) (string, error) {
+// RenderFig13 prints the VPI timeline for RocksDB under workload-a. The
+// three settings run as independent simulations, fanned out across up to
+// workers goroutines; each derives its seed from (seed, setting) so the
+// rendered series are identical at any worker count.
+func RenderFig13(durationNs, warmupNs int64, seed uint64, workers int) (string, error) {
 	var b strings.Builder
 	b.WriteString("== Fig 13: average VPI on LC CPUs over time (RocksDB, workload-a) ==\n")
 	type row struct {
@@ -214,17 +300,28 @@ func RenderFig13(durationNs int64, seed uint64) (string, error) {
 		mean   float64
 		max    float64
 	}
-	var rows []row
-	for _, set := range Settings() {
-		cfg := DefaultColocation("rocksdb", "a", set)
-		cfg.DurationNs = durationNs
-		cfg.Seed = seed
-		cfg.VPISampleNs = 50_000_000 // 50 ms samples
-		r, err := RunColocation(cfg)
-		if err != nil {
-			return "", err
+	rows := make([]row, len(Settings()))
+	tasks := make([]func() error, len(Settings()))
+	for i, set := range Settings() {
+		i, set := i, set
+		tasks[i] = func() error {
+			cfg := DefaultColocation("rocksdb", "a", set)
+			cfg.DurationNs = durationNs
+			if warmupNs > 0 {
+				cfg.WarmupNs = warmupNs
+			}
+			cfg.Seed = rng.DeriveSeed(seed, "fig13", string(set))
+			cfg.VPISampleNs = 50_000_000 // 50 ms samples
+			r, err := RunColocation(cfg)
+			if err != nil {
+				return err
+			}
+			rows[i] = row{set, r.VPISeries, r.VPISeries.Mean(), r.VPISeries.Max()}
+			return nil
 		}
-		rows = append(rows, row{set, r.VPISeries, r.VPISeries.Mean(), r.VPISeries.Max()})
+	}
+	if err := runner.Run(workers, tasks); err != nil {
+		return "", err
 	}
 	tb := trace.NewTable("summary", "setting", "mean VPI", "max VPI")
 	for _, r := range rows {

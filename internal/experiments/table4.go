@@ -10,6 +10,7 @@ import (
 	"github.com/holmes-colocation/holmes/internal/isolation"
 	"github.com/holmes-colocation/holmes/internal/kernel"
 	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/trace"
 	"github.com/holmes-colocation/holmes/internal/workload"
 )
@@ -172,38 +173,49 @@ func measureFeedback(cfg isolation.FeedbackConfig, horizonNs int64, seed uint64)
 	return conv, nil
 }
 
-// RunTable4 measures the convergence speed of all four approaches.
-func RunTable4(seed uint64) (Table4Result, error) {
+// RunTable4 measures the convergence speed of all four approaches. The
+// three baseline measurements and the five Holmes trials are independent
+// simulations; they fan out across up to workers goroutines and are
+// assembled in a fixed order afterwards.
+func RunTable4(seed uint64, workers int) (Table4Result, error) {
 	var out Table4Result
 
-	her, err := measureFeedback(isolation.HeraclesConfig(2_000_000), 180e9, seed)
-	if err != nil {
-		return out, err
+	const trials = 5
+	var her, par, cal int64
+	hols := make([]int64, trials)
+	tasks := []func() error{
+		func() (err error) {
+			her, err = measureFeedback(isolation.HeraclesConfig(2_000_000), 180e9, seed)
+			return err
+		},
+		func() (err error) {
+			par, err = measureFeedback(isolation.PartiesConfig(2_000_000), 120e9, seed)
+			return err
+		},
+		func() (err error) {
+			cal, err = measureCaladan(seed)
+			return err
+		},
 	}
-	out.Rows = append(out.Rows, Table4Row{"Heracles", her, her, her, "30s"})
-
-	par, err := measureFeedback(isolation.PartiesConfig(2_000_000), 120e9, seed)
-	if err != nil {
-		return out, err
-	}
-	out.Rows = append(out.Rows, Table4Row{"Parties", par, par, par, "10-20s"})
-
-	cal, err := measureCaladan(seed)
-	if err != nil {
-		return out, err
-	}
-	out.Rows = append(out.Rows, Table4Row{"Caladan", cal, cal, cal, "20us"})
-
 	// Holmes's reaction depends on where within the invocation interval
 	// the interference lands; measure several trials at the §5 50 µs
 	// interval to report the paper's 50-100 µs style range.
-	var hMin, hMax, hSum int64
-	const trials = 5
 	for i := 0; i < trials; i++ {
-		hol, err := measureHolmes(50_000, seed+uint64(i)*97)
-		if err != nil {
-			return out, err
-		}
+		i := i
+		tasks = append(tasks, func() (err error) {
+			hols[i], err = measureHolmes(50_000, seed+uint64(i)*97)
+			return err
+		})
+	}
+	if err := runner.Run(workers, tasks); err != nil {
+		return out, err
+	}
+
+	out.Rows = append(out.Rows, Table4Row{"Heracles", her, her, her, "30s"})
+	out.Rows = append(out.Rows, Table4Row{"Parties", par, par, par, "10-20s"})
+	out.Rows = append(out.Rows, Table4Row{"Caladan", cal, cal, cal, "20us"})
+	var hMin, hMax, hSum int64
+	for i, hol := range hols {
 		if i == 0 || hol < hMin {
 			hMin = hol
 		}

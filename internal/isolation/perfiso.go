@@ -14,6 +14,7 @@ package isolation
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/cgroupfs"
@@ -204,7 +205,18 @@ func (p *PerfIso) tick(nowNs int64) {
 	if changed {
 		p.adjusts++
 		mask := p.BatchMask()
-		for path, proc := range p.containers {
+		// Re-pin in sorted path order: affinity changes migrate threads
+		// one container at a time, and where each lands depends on the
+		// occupancy left by the previous one — map order would make the
+		// whole simulation's placement (and its latency distribution)
+		// vary run to run.
+		paths := make([]string, 0, len(p.containers))
+		for path := range p.containers {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			proc := p.containers[path]
 			if proc.Exited() {
 				delete(p.containers, path)
 				continue

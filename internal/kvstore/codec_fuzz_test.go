@@ -1,0 +1,75 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordRoundTrip checks that any (key, value) pair survives an
+// encode/decode cycle exactly and consumes exactly EncodedRecordSize
+// bytes. The seeded corpus covers the YCSB shapes plus varint boundaries.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add("user000000000001", []byte("abcdefgh"), false)
+	f.Add("", []byte{}, false)
+	f.Add("tombstone-key", []byte{}, true)
+	f.Add(string(bytes.Repeat([]byte{'k'}, 127)), bytes.Repeat([]byte{0}, 126), false)
+	f.Add(string(bytes.Repeat([]byte{'k'}, 128)), bytes.Repeat([]byte{0xff}, 127), false)
+	f.Add("\x00\xff", []byte("\x80\x7f"), false)
+	f.Fuzz(func(t *testing.T, key string, value []byte, tombstone bool) {
+		if tombstone {
+			value = nil
+		}
+		trailer := []byte{0xde, 0xad}
+		buf := EncodeRecord(nil, key, value)
+		vlen := len(value)
+		if value == nil {
+			vlen = -1
+		}
+		if int64(len(buf)) != EncodedRecordSize(len(key), vlen) {
+			t.Fatalf("encoded %d bytes, EncodedRecordSize says %d",
+				len(buf), EncodedRecordSize(len(key), vlen))
+		}
+		gotKey, gotValue, rest, err := DecodeRecord(append(buf, trailer...))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if gotKey != key {
+			t.Fatalf("key %q != %q", gotKey, key)
+		}
+		if (gotValue == nil) != (value == nil) || !bytes.Equal(gotValue, value) {
+			t.Fatalf("value %v != %v", gotValue, value)
+		}
+		if !bytes.Equal(rest, trailer) {
+			t.Fatalf("rest %v != trailer", rest)
+		}
+	})
+}
+
+// FuzzDecodeRecord feeds arbitrary bytes to the decoder: it must never
+// panic, and whenever it succeeds, the decoded record must survive a
+// re-encode/re-decode cycle unchanged (byte equality of the consumed
+// prefix is not required — binary.Uvarint tolerates non-minimal varints).
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})                         // empty key, tombstone
+	f.Add([]byte{0x01, 'k', 0x02, 'v'})               // one full record
+	f.Add([]byte{0x05, 'a', 'b'})                     // truncated key
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}) // runaway varint
+	f.Add(EncodeRecord(EncodeRecord(nil, "a", []byte("b")), "c", nil))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		key, value, rest, err := DecodeRecord(buf)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(buf) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(buf))
+		}
+		key2, value2, rest2, err := DecodeRecord(EncodeRecord(nil, key, value))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoding failed: %v", err)
+		}
+		if key2 != key || (value2 == nil) != (value == nil) || !bytes.Equal(value2, value) || len(rest2) != 0 {
+			t.Fatalf("record changed across re-encode: %q/%v -> %q/%v", key, value, key2, value2)
+		}
+	})
+}

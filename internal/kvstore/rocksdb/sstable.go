@@ -1,6 +1,10 @@
 package rocksdb
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/holmes-colocation/holmes/internal/kvstore"
+)
 
 // entry is one key-value pair; a nil value is a tombstone.
 type entry struct {
@@ -9,8 +13,16 @@ type entry struct {
 	del   bool
 }
 
+// entryMetaBytes is the per-entry metadata beyond the record encoding
+// itself: sequence number (8) plus type/restart bookkeeping.
+const entryMetaBytes = 13
+
 func entryBytes(e entry) int64 {
-	return int64(len(e.key) + len(e.value) + 16)
+	vlen := len(e.value)
+	if e.del {
+		vlen = -1
+	}
+	return kvstore.EncodedRecordSize(len(e.key), vlen) + entryMetaBytes
 }
 
 // sstable is an immutable sorted string table: sorted entries carved into

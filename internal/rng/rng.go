@@ -71,6 +71,35 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// DeriveSeed derives a decorrelated child seed from a base seed and a
+// textual run key, by folding the key bytes through splitmix64. It is the
+// contract behind the experiment engine's per-run seeding: a run's seed
+// depends only on (base seed, run key) — never on worker count, submission
+// order, or completion order — so a parallel experiment matrix reproduces
+// the serial one bit for bit.
+//
+// The mapping is stable: DeriveSeed(base, k...) returns the same value on
+// every platform and release (TestDeriveSeedGolden pins it). Key parts are
+// length-prefixed into the fold, so ("ab","c") and ("a","bc") derive
+// different seeds.
+func DeriveSeed(base uint64, key ...string) uint64 {
+	state := base
+	out := splitmix64(&state)
+	for _, k := range key {
+		state ^= uint64(len(k)) * 0x9e3779b97f4a7c15
+		out ^= splitmix64(&state)
+		for i := 0; i < len(k); i += 8 {
+			var chunk uint64
+			for j := i; j < i+8 && j < len(k); j++ {
+				chunk = chunk<<8 | uint64(k[j])
+			}
+			state ^= chunk
+			out ^= splitmix64(&state)
+		}
+	}
+	return out
+}
+
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

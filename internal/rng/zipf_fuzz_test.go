@@ -1,0 +1,91 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// sanitizeZipf maps arbitrary fuzz inputs onto the constructor's valid
+// domain: n in [1, 1e6], theta in (0, 1) away from the endpoints.
+func sanitizeZipf(n int64, theta float64) (int64, float64) {
+	if n < 0 {
+		n = -n // MinInt64 stays negative; the modulo below handles it
+	}
+	n = n%1_000_000 + 1
+	if n <= 0 {
+		n += 1_000_000
+	}
+	if theta != theta || math.IsInf(theta, 0) { // NaN or ±Inf
+		theta = 0.5
+	}
+	if theta < 0 {
+		theta = -theta
+	}
+	for theta >= 1 {
+		theta /= 10
+	}
+	if theta < 0.01 {
+		theta += 0.01
+	}
+	if theta > 0.99 {
+		theta = 0.99
+	}
+	return n, theta
+}
+
+// FuzzZipf checks the rejection-inversion generator over arbitrary
+// (seed, n, theta): every draw stays in [0, n) and two generators built
+// from the same inputs produce identical streams.
+func FuzzZipf(f *testing.F) {
+	f.Add(uint64(1), int64(100_000), 0.99)
+	f.Add(uint64(42), int64(1), 0.5)
+	f.Add(uint64(0), int64(2), 0.01)
+	f.Add(uint64(123456789), int64(999_983), 0.7)
+	f.Add(^uint64(0), int64(-50_000), 2.5)
+	f.Fuzz(func(t *testing.T, seed uint64, n int64, theta float64) {
+		n, theta = sanitizeZipf(n, theta)
+		z1 := NewZipf(New(seed), n, theta)
+		z2 := NewZipf(New(seed), n, theta)
+		if z1.N() != n {
+			t.Fatalf("N() = %d, want %d", z1.N(), n)
+		}
+		for i := 0; i < 64; i++ {
+			v1, v2 := z1.Next(), z2.Next()
+			if v1 != v2 {
+				t.Fatalf("draw %d: same seed diverged: %d vs %d", i, v1, v2)
+			}
+			if v1 < 0 || v1 >= n {
+				t.Fatalf("draw %d: %d outside [0, %d)", i, v1, n)
+			}
+		}
+	})
+}
+
+// FuzzScrambledZipf checks the scrambled variant: in-range, deterministic,
+// and — for n > 1 — not collapsed onto a single value (the FNV scramble
+// must preserve spread).
+func FuzzScrambledZipf(f *testing.F) {
+	f.Add(uint64(1), int64(100_000), 0.99)
+	f.Add(uint64(7), int64(2), 0.5)
+	f.Add(uint64(99), int64(1), 0.99)
+	f.Add(uint64(3), int64(12345), 0.3)
+	f.Fuzz(func(t *testing.T, seed uint64, n int64, theta float64) {
+		n, theta = sanitizeZipf(n, theta)
+		s1 := NewScrambledZipf(New(seed), n, theta)
+		s2 := NewScrambledZipf(New(seed), n, theta)
+		seen := map[int64]bool{}
+		for i := 0; i < 128; i++ {
+			v1, v2 := s1.Next(), s2.Next()
+			if v1 != v2 {
+				t.Fatalf("draw %d: same seed diverged: %d vs %d", i, v1, v2)
+			}
+			if v1 < 0 || v1 >= n {
+				t.Fatalf("draw %d: %d outside [0, %d)", i, v1, n)
+			}
+			seen[v1] = true
+		}
+		if n > 100 && len(seen) < 2 {
+			t.Fatalf("scramble collapsed %d draws over n=%d onto one value", 128, n)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+// Package runner provides the bounded worker pool the experiment engine
+// uses to fan independent simulation runs out across goroutines.
+//
+// The pool is deliberately small: tasks are closures that already know
+// where to store their result, errors are reported by the lowest task
+// index (so a run's failure is attributed deterministically no matter
+// which worker hit it first), and a worker count of one degenerates to a
+// plain serial loop with no goroutines at all — the path every
+// determinism test compares against.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism is the worker count used when the caller does not
+// specify one: one worker per available CPU.
+func DefaultParallelism() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every task, at most workers at a time, and waits for all
+// of them. workers <= 1 runs the tasks serially on the calling goroutine
+// (stopping at the first error, exactly like a hand-written loop).
+//
+// With workers > 1 every task runs even if an earlier one fails — each
+// task is an independent simulation whose result lands in caller-owned
+// storage — and the returned error is the lowest-indexed task's error,
+// so the reported failure does not depend on goroutine scheduling.
+func Run(workers int, tasks []func() error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if workers <= 1 || len(tasks) == 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	errs := make([]error, len(tasks))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = tasks[i]()
+			}
+		}()
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDefaultParallelismPositive(t *testing.T) {
+	if DefaultParallelism() < 1 {
+		t.Fatalf("DefaultParallelism() = %d", DefaultParallelism())
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExecutesEveryTask(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		var ran [64]atomic.Bool
+		tasks := make([]func() error, len(ran))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() error { ran[i].Store(true); return nil }
+		}
+		if err := Run(workers, tasks); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Fatalf("workers=%d: task %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Bool
+	err := Run(1, []func() error{
+		func() error { return nil },
+		func() error { return boom },
+		func() error { after.Store(true); return nil },
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if after.Load() {
+		t.Fatal("serial run continued past the first error")
+	}
+}
+
+func TestRunParallelReportsLowestIndexedError(t *testing.T) {
+	first := errors.New("first")
+	second := errors.New("second")
+	// Run many times: whichever worker finishes last, the reported error
+	// must always be the lowest-indexed one.
+	for trial := 0; trial < 50; trial++ {
+		err := Run(4, []func() error{
+			func() error { return nil },
+			func() error { return first },
+			func() error { return second },
+			func() error { return nil },
+		})
+		if err != first {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, first)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	tasks := make([]func() error, 50)
+	for i := range tasks {
+		tasks[i] = func() error {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > max.Load() {
+				max.Store(n)
+			}
+			mu.Unlock()
+			defer cur.Add(-1)
+			return nil
+		}
+	}
+	if err := Run(workers, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", got, workers)
+	}
+}
