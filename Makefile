@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check fuzz-smoke test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check cluster-smoke fuzz-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -16,7 +16,14 @@ vet:
 # -race; the engine's concurrency tests still run).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/cluster/...
+
+# Tiny end-to-end cluster run: two nodes, two services, a short window,
+# both placement policies. Exercises boot -> placement -> heartbeats ->
+# reap -> render without the full default fleet.
+cluster-smoke:
+	$(GO) run ./cmd/holmes-cluster -nodes 2 -cores 4 -services 2 \
+		-warmup 0.2 -duration 0.5 -batch-pods 4 -placer both
 
 # Short fuzz smoke: a few seconds per fuzz target over the codec and
 # generator corpora. CI runs this; `go test` alone only replays seeds.

@@ -1,0 +1,515 @@
+// Package cluster is the multi-node control plane over kubelite nodes:
+// the paper's §8 future work (cluster-manager integration) lifted from
+// one machine to a fleet. Every node is a full simulated machine with a
+// kernel, a cgroup filesystem, a Holmes daemon and a kubelite agent; the
+// control plane coordinates them in heartbeat rounds —
+//
+//   - a node registry holds each node's latest telemetry snapshot
+//     (per-CPU VPI, reserved-pool size, LC utilization, batch occupancy);
+//   - a placement scheduler scores candidate nodes per pod: the
+//     VPI-aware policy spreads Guaranteed pods away from interfered
+//     nodes and backfills BestEffort pods onto lendable SMT capacity,
+//     with plain bin-packing as the baseline;
+//   - a reconciler evicts BestEffort pods off nodes whose smoothed VPI
+//     stays above threshold, rescheduling them with bounded retries and
+//     exponential backoff so draining cannot livelock.
+//
+// Between rounds the nodes are mutually independent, so the cluster
+// advances them on the internal/runner pool; with per-node seeds derived
+// via rng.DeriveSeed the run is byte-identical at any parallelism.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/batch"
+	"github.com/holmes-colocation/holmes/internal/runner"
+	"github.com/holmes-colocation/holmes/internal/stats"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+	"github.com/holmes-colocation/holmes/internal/trace"
+)
+
+// RunOptions are the execution knobs that are not part of the workload
+// description: Workers bounds node-simulation parallelism (<= 1 serial;
+// results identical either way) and Telemetry, when non-nil, receives
+// every node's daemon metrics plus the control plane's own counters.
+type RunOptions struct {
+	Workers   int
+	Telemetry *telemetry.Set
+}
+
+// maxPlaceRetries bounds how many rounds a pending pod is retried when no
+// node fits before it is dropped and counted as a failed placement. Waiting
+// for capacity is normal (pods queue while earlier ones drain), so the
+// bound is generous; it exists to stop a pod the fleet can never fit from
+// circulating forever.
+const maxPlaceRetries = 400
+
+// maxBackoffRounds caps the reconciler's exponential requeue backoff.
+const maxBackoffRounds = 8
+
+// trendAlpha is the per-round EWMA weight for a node's VPI trend.
+const trendAlpha = 0.3
+
+// debugVPI prints per-round node VPI trends (development aid).
+var debugVPI = os.Getenv("HOLMES_CLUSTER_DEBUG") != ""
+
+// pendingPod is one queue entry awaiting placement.
+type pendingPod struct {
+	req  PodRequest
+	svc  *ServiceSpec // non-nil for Guaranteed service pods
+	kind batch.Kind
+	containers, threads, units int
+	retries   int // placement attempts that found no node
+	evictions int // times the reconciler has evicted this pod
+	notBefore int // earliest round for the next attempt
+}
+
+// placedPod tracks a running BestEffort pod for the reconciler.
+type placedPod struct {
+	pending *pendingPod
+	node    int
+	seq     int // placement sequence, for youngest-first eviction
+}
+
+// ServiceResult is one Guaranteed service's measured outcome.
+type ServiceResult struct {
+	Name     string
+	Store    string
+	Workload string
+	Node     int
+	Queries  int64
+	Summary  stats.Summary
+	// SLOViolations is the fraction of measured queries over the SLO.
+	SLOViolations float64
+}
+
+// Result is a cluster run's outcome.
+type Result struct {
+	Spec     Spec
+	Rounds   int
+	Services []ServiceResult
+	// MeanP99/WorstP99 aggregate the services' p99 latency (ns).
+	MeanP99  float64
+	WorstP99 float64
+	// SLOViolationRatio is the query-weighted violation fraction.
+	SLOViolationRatio float64
+	// ClusterUtil is the mean node-wide busy fraction over the window.
+	ClusterUtil float64
+	// BatchCompleted counts finite BestEffort pods finished in-window.
+	BatchCompleted int
+	// PeakSmoothedVPI is the highest per-node VPI trend the registry held
+	// during the measured window (reconciler diagnostics).
+	PeakSmoothedVPI float64
+	// Control-plane statistics (whole run, including warmup).
+	PlacedBatch      int
+	Evictions        int
+	Requeues         int
+	FailedPlacements int
+	PinnedPods       int
+}
+
+// Run executes the cluster described by spec.
+func Run(spec Spec, opt RunOptions) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	placer, err := NewPlacer(spec.placer())
+	if err != nil {
+		return nil, err
+	}
+	kinds, err := spec.Batch.kinds()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	hbNs := spec.heartbeatNs()
+	warmupRounds := int((int64(spec.WarmupSeconds*1e9) + hbNs - 1) / hbNs)
+	measureRounds := int((int64(spec.DurationSeconds*1e9) + hbNs - 1) / hbNs)
+	if measureRounds < 1 {
+		measureRounds = 1
+	}
+	totalRounds := warmupRounds + measureRounds
+
+	var tel clusterTelemetry
+	tel.resolve(opt.Telemetry)
+
+	// Boot the fleet. Nodes are independent, so boot fans out on the
+	// worker pool; each node's seed derives from (spec.Seed, node ID).
+	nodes := make([]*Node, spec.Nodes)
+	boots := make([]func() error, spec.Nodes)
+	for i := range nodes {
+		i := i
+		boots[i] = func() error {
+			n, err := bootNode(spec, i, opt.Telemetry)
+			if err != nil {
+				return err
+			}
+			nodes[i] = n
+			return nil
+		}
+	}
+	if err := runner.Run(workers, boots); err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Stop()
+			}
+		}
+	}()
+
+	// The registry: one state per node, refreshed each round.
+	states := make([]NodeState, spec.Nodes)
+	for i := range states {
+		states[i] = NodeState{ID: i, HB: nodes[i].Heartbeat()}
+	}
+
+	// Pending queue: services first (placed in round 0), then the batch
+	// stream's arrivals.
+	var queue []*pendingPod
+	for i := range spec.Services {
+		ss := spec.Services[i]
+		queue = append(queue, &pendingPod{
+			req: PodRequest{Name: ss.Name, Guaranteed: true, Threads: serviceThreads(ss.Store)},
+			svc: &ss,
+		})
+	}
+	containers, threads, units := spec.Batch.podSpecShape()
+	arrived := 0
+	res := &Result{Spec: spec}
+	serviceNode := map[string]int{}
+	placed := map[string]*placedPod{}
+	placeSeq := 0
+
+	for r := 0; r < totalRounds; r++ {
+		if r == warmupRounds {
+			for _, n := range nodes {
+				n.BeginMeasurement()
+			}
+		}
+
+		// Batch arrivals for this round (PodsPerRound <= 0: all at once).
+		perRound := spec.Batch.PodsPerRound
+		if perRound <= 0 {
+			perRound = spec.Batch.Pods
+		}
+		for a := 0; a < perRound && arrived < spec.Batch.Pods; a++ {
+			name := fmt.Sprintf("batch-%03d", arrived)
+			queue = append(queue, &pendingPod{
+				req:        PodRequest{Name: name, Threads: containers * threads},
+				kind:       kinds[arrived%len(kinds)],
+				containers: containers,
+				threads:    threads,
+				units:      units,
+			})
+			arrived++
+		}
+
+		// Placement pass, in queue order against the current registry.
+		var waiting []*pendingPod
+		for _, p := range queue {
+			if p.notBefore > r {
+				waiting = append(waiting, p)
+				continue
+			}
+			target := placer.Place(states, p.req)
+			if target < 0 {
+				if p.svc != nil {
+					return nil, fmt.Errorf("cluster: no node fits service %s", p.req.Name)
+				}
+				p.retries++
+				if p.retries > maxPlaceRetries {
+					res.FailedPlacements++
+					tel.inc(tel.failed)
+					continue
+				}
+				p.notBefore = r + 1
+				waiting = append(waiting, p)
+				continue
+			}
+			if p.svc != nil {
+				if err := nodes[target].PlaceService(*p.svc); err != nil {
+					return nil, err
+				}
+				serviceNode[p.svc.Name] = target
+				states[target].HB.ServicePods++
+				states[target].HB.ServiceThreads += p.req.Threads
+				tel.inc(tel.placedGuaranteed)
+			} else {
+				if err := nodes[target].PlaceBatch(p.req.Name, p.kind, p.containers, p.threads, p.units); err != nil {
+					return nil, err
+				}
+				res.PlacedBatch++
+				placed[p.req.Name] = &placedPod{pending: p, node: target, seq: placeSeq}
+				placeSeq++
+				states[target].HB.BatchPods++
+				states[target].HB.BatchThreads += p.req.Threads
+				tel.inc(tel.placedBestEffort)
+			}
+		}
+		queue = waiting
+
+		// Advance every node one heartbeat period, fanned out on the
+		// worker pool. Nodes share nothing mid-round, so the outcome is
+		// identical at any worker count.
+		tasks := make([]func() error, len(nodes))
+		for i := range nodes {
+			n := nodes[i]
+			tasks[i] = func() error { n.Advance(hbNs); return nil }
+		}
+		if err := runner.Run(workers, tasks); err != nil {
+			return nil, err
+		}
+
+		// Reap finished pods, then refresh the registry from heartbeats.
+		for _, n := range nodes {
+			done, err := n.ReapFinished()
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range done {
+				delete(placed, name)
+				tel.inc(tel.completed)
+			}
+		}
+		for i, n := range nodes {
+			hb := n.Heartbeat()
+			// Trend smooths the heartbeat VPI one more time at the round
+			// scale: a single bursty heartbeat cannot arm the reconciler,
+			// only a node that keeps reporting interference.
+			states[i].TrendVPI += trendAlpha * (hb.SmoothedVPI - states[i].TrendVPI)
+			if states[i].TrendVPI >= spec.evictVPI() {
+				states[i].Hot++
+			} else {
+				states[i].Hot = 0
+			}
+			states[i].HB = hb
+			if debugVPI {
+				fmt.Printf("round %d node %d hbVPI %.1f trend %.1f hot %d\n",
+					r, i, hb.SmoothedVPI, states[i].TrendVPI, states[i].Hot)
+			}
+			tel.gaugeVPI(i, hb.SmoothedVPI)
+			if r >= warmupRounds && states[i].TrendVPI > res.PeakSmoothedVPI {
+				res.PeakSmoothedVPI = states[i].TrendVPI
+			}
+		}
+
+		// Reconcile: drain one BestEffort pod per persistently hot node.
+		for _, ev := range reconcileDecisions(states, placed, spec.hotRounds(), spec.maxEvictions()) {
+			pp := placed[ev.pod]
+			done := nodes[ev.node].BatchUnitsDone(ev.pod)
+			if err := nodes[ev.node].EvictBatch(ev.pod); err != nil {
+				return nil, err
+			}
+			// Re-arm: the node must stay hot for another full streak before
+			// its next eviction, so draining is paced, not a stampede.
+			states[ev.node].Hot = 0
+			delete(placed, ev.pod)
+			res.Evictions++
+			tel.inc(tel.evictions)
+			p := pp.pending
+			// Checkpoint: the pod resumes from the work it already finished,
+			// so an eviction costs rescheduling latency, not lost cycles.
+			threads := p.containers * p.threads
+			remaining := threads*p.units - done
+			p.units = (remaining + threads - 1) / threads
+			if p.units < 1 {
+				p.units = 1
+			}
+			p.evictions++
+			backoff := 1 << (p.evictions - 1)
+			if backoff > maxBackoffRounds {
+				backoff = maxBackoffRounds
+			}
+			p.notBefore = r + 1 + backoff
+			p.retries = 0
+			queue = append(queue, p)
+			res.Requeues++
+			tel.inc(tel.requeues)
+		}
+	}
+
+	// Collect. Service order follows the spec for stable rendering.
+	res.Rounds = totalRounds
+	windowNs := int64(measureRounds) * hbNs
+	slo := spec.sloNs()
+	var violations, queries float64
+	for _, ss := range spec.Services {
+		node := nodes[serviceNode[ss.Name]]
+		s := node.services[ss.Name]
+		lat := s.svc.Latencies()
+		sr := ServiceResult{
+			Name:          ss.Name,
+			Store:         ss.Store,
+			Workload:      defaultStr(ss.Workload, "a"),
+			Node:          node.ID,
+			Queries:       lat.Count(),
+			Summary:       lat.Summarize(),
+			SLOViolations: lat.FractionAbove(slo),
+		}
+		res.Services = append(res.Services, sr)
+		res.MeanP99 += sr.Summary.P99
+		if sr.Summary.P99 > res.WorstP99 {
+			res.WorstP99 = sr.Summary.P99
+		}
+		violations += sr.SLOViolations * float64(sr.Queries)
+		queries += float64(sr.Queries)
+	}
+	if len(res.Services) > 0 {
+		res.MeanP99 /= float64(len(res.Services))
+	}
+	if queries > 0 {
+		res.SLOViolationRatio = violations / queries
+	}
+	for _, n := range nodes {
+		res.ClusterUtil += n.Utilization(windowNs)
+		res.BatchCompleted += n.CompletedPods()
+	}
+	res.ClusterUtil /= float64(len(nodes))
+	for _, pp := range placed {
+		if pp.pending.evictions >= spec.maxEvictions() {
+			res.PinnedPods++
+		}
+	}
+	return res, nil
+}
+
+// eviction is one reconciler decision.
+type eviction struct {
+	node int
+	pod  string
+}
+
+// reconcileDecisions returns the pods to evict this round: for every node
+// hot for at least hotRounds consecutive heartbeats, the youngest
+// still-evictable BestEffort pod (least sunk work). Pods already evicted
+// maxEvictions times are pinned and never chosen again, which — together
+// with the requeue backoff — bounds the reschedule churn.
+func reconcileDecisions(states []NodeState, placed map[string]*placedPod, hotRounds, maxEvictions int) []eviction {
+	byNode := map[int]*placedPod{}
+	names := make([]string, 0, len(placed))
+	for name := range placed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pp := placed[name]
+		if pp.pending.evictions >= maxEvictions {
+			continue
+		}
+		if cur := byNode[pp.node]; cur == nil || pp.seq > cur.seq {
+			byNode[pp.node] = pp
+		}
+	}
+	var evs []eviction
+	for _, st := range states {
+		if st.Hot < hotRounds {
+			continue
+		}
+		if pp := byNode[st.ID]; pp != nil {
+			evs = append(evs, eviction{node: st.ID, pod: pendingName(pp)})
+		}
+	}
+	return evs
+}
+
+func pendingName(pp *placedPod) string { return pp.pending.req.Name }
+
+// serviceThreads is the declared thread count of a service pod, matching
+// lcservice.DefaultConfigFor (workers + background workers).
+func serviceThreads(store string) int {
+	switch store {
+	case "redis":
+		return 2
+	case "memcached":
+		return 4
+	default:
+		return 6
+	}
+}
+
+// clusterTelemetry pre-resolves the control plane's metric handles.
+type clusterTelemetry struct {
+	set              *telemetry.Set
+	placedGuaranteed *telemetry.Counter
+	placedBestEffort *telemetry.Counter
+	evictions        *telemetry.Counter
+	requeues         *telemetry.Counter
+	failed           *telemetry.Counter
+	completed        *telemetry.Counter
+	nodeVPI          map[int]*telemetry.Gauge
+}
+
+func (t *clusterTelemetry) resolve(set *telemetry.Set) {
+	if set == nil {
+		return
+	}
+	t.set = set
+	reg := set.Registry
+	t.placedGuaranteed = reg.Counter("cluster_pods_placed_total",
+		"pods placed by the cluster scheduler", telemetry.L("qos", "guaranteed"))
+	t.placedBestEffort = reg.Counter("cluster_pods_placed_total",
+		"pods placed by the cluster scheduler", telemetry.L("qos", "besteffort"))
+	t.evictions = reg.Counter("cluster_evictions_total",
+		"best-effort pods evicted by the reconciler")
+	t.requeues = reg.Counter("cluster_requeues_total",
+		"evicted pods returned to the pending queue")
+	t.failed = reg.Counter("cluster_failed_placements_total",
+		"pods dropped after exhausting placement retries")
+	t.completed = reg.Counter("cluster_pods_completed_total",
+		"finite best-effort pods that drained their work")
+	t.nodeVPI = map[int]*telemetry.Gauge{}
+}
+
+func (t *clusterTelemetry) inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (t *clusterTelemetry) gaugeVPI(node int, v float64) {
+	if t.set == nil {
+		return
+	}
+	g, ok := t.nodeVPI[node]
+	if !ok {
+		g = t.set.Registry.Gauge("cluster_node_smoothed_vpi",
+			"mean smoothed VPI across a node's reserved CPUs",
+			telemetry.L("node", fmt.Sprint(node)))
+		t.nodeVPI[node] = g
+	}
+	g.Set(v)
+}
+
+// Render prints the run as a table plus summary lines.
+func (r *Result) Render() string {
+	var b strings.Builder
+	title := r.Spec.Name
+	if title == "" {
+		title = "cluster"
+	}
+	tb := trace.NewTable(fmt.Sprintf("%s: %d nodes x %d cores, %s placement, %d rounds",
+		title, r.Spec.Nodes, r.Spec.CoresPerNode, r.Spec.placer(), r.Rounds),
+		"service", "workload", "node", "queries", "mean us", "p99 us", "SLO viol")
+	for _, s := range r.Services {
+		tb.AddRow(s.Name, "workload-"+s.Workload, s.Node, s.Queries,
+			fmt.Sprintf("%.1f", s.Summary.Mean/1e3),
+			fmt.Sprintf("%.1f", s.Summary.P99/1e3),
+			fmt.Sprintf("%.2f%%", 100*s.SLOViolations))
+	}
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\ncluster utilization: %.1f%%   batch pods completed: %d (placed %d)\n",
+		100*r.ClusterUtil, r.BatchCompleted, r.PlacedBatch)
+	fmt.Fprintf(&b, "reconciler: %d evictions, %d requeues, %d failed placements, %d pinned pods (peak node VPI %.1f)\n",
+		r.Evictions, r.Requeues, r.FailedPlacements, r.PinnedPods, r.PeakSmoothedVPI)
+	return b.String()
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/holmes-colocation/holmes/internal/batch"
+	"github.com/holmes-colocation/holmes/internal/cgroupfs"
+	"github.com/holmes-colocation/holmes/internal/core"
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/kubelite"
+	"github.com/holmes-colocation/holmes/internal/kvstore"
+	"github.com/holmes-colocation/holmes/internal/kvstore/memcached"
+	"github.com/holmes-colocation/holmes/internal/kvstore/redis"
+	"github.com/holmes-colocation/holmes/internal/kvstore/rocksdb"
+	"github.com/holmes-colocation/holmes/internal/kvstore/wiredtiger"
+	"github.com/holmes-colocation/holmes/internal/lcservice"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+	"github.com/holmes-colocation/holmes/internal/ycsb"
+)
+
+// Heartbeat is one node's periodic telemetry snapshot: what the kubelite
+// agent reports to the control plane each round, and everything the
+// placement scheduler and reconciler are allowed to know about the node.
+type Heartbeat struct {
+	Node   int
+	TimeNs int64
+	// CPUVPI is the instantaneous VPI per logical CPU.
+	CPUVPI []float64
+	// SmoothedVPI is the mean EWMA VPI across the reserved (LC) CPUs —
+	// the sustained interference level the reconciler keys on.
+	SmoothedVPI float64
+	// LCUtil is the mean smoothed busy fraction of the reserved CPUs.
+	LCUtil float64
+	// Reserved is the current reserved-pool size (grows under expansion).
+	Reserved int
+	// Lendable counts reserved CPUs whose hyperthread sibling is
+	// currently granted to batch — the node's spare SMT capacity.
+	Lendable int
+	// BatchPods/BatchThreads are the node's BestEffort occupancy.
+	BatchPods    int
+	BatchThreads int
+	// ServicePods/ServiceThreads are the Guaranteed occupancy.
+	ServicePods    int
+	ServiceThreads int
+	// CapacityThreads is the node's thread capacity (logical CPUs).
+	CapacityThreads int
+}
+
+// UsedThreads is the node's total declared thread occupancy.
+func (h Heartbeat) UsedThreads() int { return h.BatchThreads + h.ServiceThreads }
+
+// nodeService is one placed Guaranteed service pod.
+type nodeService struct {
+	spec   ServiceSpec
+	svc    *lcservice.Service
+	client *lcservice.Client
+	store  kvstore.Store
+}
+
+// Node is one cluster member: a full machine + kernel + cgroupfs + Holmes
+// daemon + kubelite agent. Between control-plane rounds a node simulates
+// independently, which is what lets the cluster advance all nodes on the
+// runner pool without any cross-node ordering.
+type Node struct {
+	ID int
+
+	m  *machine.Machine
+	k  *kernel.Kernel
+	fs *cgroupfs.FS
+	kl *kubelite.Kubelet
+
+	seed     uint64
+	services map[string]*nodeService
+
+	// Measurement baselines, captured when the measured window opens.
+	busyBase      float64
+	completedPods int
+}
+
+// bootNode builds one node. Its machine seed derives from (cluster seed,
+// node ID) via rng.DeriveSeed, so the fleet is reproducible at any boot
+// or advance parallelism.
+func bootNode(spec Spec, id int, tel *telemetry.Set) (*Node, error) {
+	mcfg := machine.DefaultConfig()
+	mcfg.Topology.Cores = spec.CoresPerNode
+	mcfg.Topology.Sockets = 1
+	mcfg.Seed = rng.DeriveSeed(spec.Seed, "cluster-node", fmt.Sprint(id))
+	m := machine.New(mcfg)
+	k := kernel.New(m)
+	fs := cgroupfs.NewFS()
+	if tel != nil {
+		k.SetTelemetry(tel)
+		fs.SetTelemetry(tel)
+	}
+
+	kcfg := kubelite.DefaultConfig()
+	kcfg.Holmes = core.DefaultConfig()
+	kcfg.Holmes.ReservedCPUs = spec.reservedCPUs()
+	kcfg.Holmes.SNs = 500_000_000 // compressed quiet period, as in the evaluation
+	kcfg.Holmes.DaemonCPU = mcfg.Topology.LogicalCPUs() - 1
+	kcfg.Holmes.Telemetry = tel
+	kl, err := kubelite.Start(k, fs, kcfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
+	}
+	return &Node{
+		ID:       id,
+		m:        m,
+		k:        k,
+		fs:       fs,
+		kl:       kl,
+		seed:     spec.Seed,
+		services: map[string]*nodeService{},
+	}, nil
+}
+
+// Advance runs the node's simulation for one heartbeat period. Nothing
+// outside the node is touched, so Advance calls on different nodes are
+// safe to run concurrently.
+func (n *Node) Advance(durNs int64) { n.m.RunFor(durNs) }
+
+// Heartbeat snapshots the node's telemetry for the control plane.
+func (n *Node) Heartbeat() Heartbeat {
+	d := n.kl.Holmes()
+	mon := d.Monitor()
+	topo := n.m.Topology()
+	hb := Heartbeat{
+		Node:            n.ID,
+		TimeNs:          n.m.Now(),
+		CPUVPI:          make([]float64, topo.LogicalCPUs()),
+		CapacityThreads: topo.LogicalCPUs(),
+		ServicePods:     len(n.services),
+	}
+	for p := 0; p < topo.LogicalCPUs(); p++ {
+		hb.CPUVPI[p] = mon.VPI(p)
+	}
+	reserved := d.ReservedCPUs().CPUs()
+	hb.Reserved = len(reserved)
+	for _, p := range reserved {
+		hb.SmoothedVPI += mon.SmoothedVPI(p)
+		hb.LCUtil += mon.SmoothedUsage(p)
+		if d.SiblingAllowed(p) {
+			hb.Lendable++
+		}
+	}
+	if len(reserved) > 0 {
+		hb.SmoothedVPI /= float64(len(reserved))
+		hb.LCUtil /= float64(len(reserved))
+	}
+	for _, s := range n.services {
+		hb.ServiceThreads += len(s.svc.Process().Threads())
+	}
+	for _, name := range n.kl.PodNames() {
+		pod := n.kl.Pod(name)
+		if pod.Spec.QoS != kubelite.BestEffort {
+			continue
+		}
+		hb.BatchPods++
+		hb.BatchThreads += pod.Spec.Containers * pod.Spec.ThreadsPerContainer
+	}
+	return hb
+}
+
+// PlaceService launches a Guaranteed service pod on this node: the store
+// is built and preloaded, the service process spawned and registered with
+// the node's Holmes daemon through the kubelite agent, and its open-loop
+// client started. Seeds derive from (cluster seed, service name) only, so
+// a service behaves identically wherever it lands.
+func (n *Node) PlaceService(ss ServiceSpec) error {
+	if _, dup := n.services[ss.Name]; dup {
+		return fmt.Errorf("cluster: node %d already runs service %s", n.ID, ss.Name)
+	}
+	store, err := newStore(ss.Store, rng.DeriveSeed(n.seed, "svc-store", ss.Name))
+	if err != nil {
+		return err
+	}
+	svc := lcservice.Launch(n.k, store, lcservice.DefaultConfigFor(ss.Store))
+	wl, err := ycsb.ByName(defaultStr(ss.Workload, "a"))
+	if err != nil {
+		return err
+	}
+	gcfg := ycsb.DefaultConfig(wl)
+	gcfg.RecordCount = ss.RecordCount
+	if gcfg.RecordCount == 0 {
+		gcfg.RecordCount = 20_000
+	}
+	gcfg.Seed = rng.DeriveSeed(n.seed, "svc-gen", ss.Name)
+	gen := ycsb.NewGenerator(gcfg)
+	svc.Load(gen)
+
+	if _, err := n.kl.RunServicePod(ss.Name, svc.Process()); err != nil {
+		return err
+	}
+	// 10x-compressed bursty traffic, as in the single-node evaluation.
+	tr := ycsb.NewTraffic(6e8, 9e8, 5e7, 1e8, ss.RPS,
+		rng.DeriveSeed(n.seed, "svc-traffic", ss.Name))
+	client := lcservice.NewClient(svc, gen, tr)
+	client.Start()
+	n.services[ss.Name] = &nodeService{spec: ss, svc: svc, client: client, store: store}
+	return nil
+}
+
+// PlaceBatch admits a BestEffort pod through the kubelite agent; the
+// node's Holmes daemon discovers it via the cgroup watch and manages its
+// sibling access from then on.
+func (n *Node) PlaceBatch(name string, kind batch.Kind, containers, threads, units int) error {
+	_, err := n.kl.RunPod(kubelite.PodSpec{
+		Name:                name,
+		QoS:                 kubelite.BestEffort,
+		Containers:          containers,
+		ThreadsPerContainer: threads,
+		Kind:                kind,
+		WorkUnitsPerThread:  units,
+		MemoryBytes:         1 << 30,
+	})
+	return err
+}
+
+// EvictBatch deletes a BestEffort pod (the reconciler's action); the pod
+// resumes from its checkpoint wherever the scheduler re-places it.
+func (n *Node) EvictBatch(name string) error { return n.kl.DeletePod(name) }
+
+// BatchUnitsDone returns a BestEffort pod's completed work units — the
+// checkpoint the reconciler requeues an evicted pod from.
+func (n *Node) BatchUnitsDone(name string) int {
+	if pod := n.kl.Pod(name); pod != nil {
+		return pod.CompletedWorkUnits()
+	}
+	return 0
+}
+
+// ReapFinished deletes every finite BestEffort pod that has drained its
+// work, returning the reclaimed pod names in deterministic order.
+func (n *Node) ReapFinished() ([]string, error) {
+	var done []string
+	for _, name := range n.kl.PodNames() {
+		pod := n.kl.Pod(name)
+		if pod.Spec.QoS != kubelite.BestEffort || !pod.Finished() {
+			continue
+		}
+		if err := n.kl.DeletePod(name); err != nil {
+			return done, err
+		}
+		n.completedPods++
+		done = append(done, name)
+	}
+	return done, nil
+}
+
+// BeginMeasurement opens the measured window: latency histograms reset
+// and the utilization / completion baselines are captured.
+func (n *Node) BeginMeasurement() {
+	for _, s := range n.services {
+		s.svc.ResetLatencies()
+	}
+	n.busyBase = n.totalBusy()
+	n.completedPods = 0
+}
+
+func (n *Node) totalBusy() float64 {
+	var busy float64
+	for p := 0; p < n.m.Topology().LogicalCPUs(); p++ {
+		busy += n.m.BusyCycles(p)
+	}
+	return busy
+}
+
+// Utilization returns the node-wide busy fraction since BeginMeasurement.
+func (n *Node) Utilization(windowNs int64) float64 {
+	nCPU := float64(n.m.Topology().LogicalCPUs())
+	return (n.totalBusy() - n.busyBase) /
+		(n.m.Config().FreqGHz * float64(windowNs) * nCPU)
+}
+
+// CompletedPods returns finite BestEffort pods reaped since
+// BeginMeasurement.
+func (n *Node) CompletedPods() int { return n.completedPods }
+
+// Stop halts the node's daemon and clients.
+func (n *Node) Stop() {
+	for _, s := range n.services {
+		s.client.Stop()
+	}
+	n.kl.Stop()
+}
+
+// newStore mirrors the experiments/scenario constructors (kept local so
+// cluster does not depend on either package).
+func newStore(name string, seed uint64) (kvstore.Store, error) {
+	switch name {
+	case "redis":
+		cfg := redis.DefaultConfig()
+		cfg.Seed = seed
+		return redis.New(cfg), nil
+	case "memcached":
+		return memcached.New(memcached.DefaultConfig()), nil
+	case "rocksdb":
+		cfg := rocksdb.DefaultConfig()
+		cfg.Seed = seed
+		return rocksdb.New(cfg), nil
+	case "wiredtiger":
+		cfg := wiredtiger.DefaultConfig()
+		cfg.Seed = seed
+		return wiredtiger.New(cfg), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown store %q", name)
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import "fmt"
+
+// NodeState is the control plane's registry entry for one node: the
+// latest heartbeat plus the reconciler's hot-streak counter. Placers see
+// only this — never the node itself — so a placement decision is a pure
+// function of the registry, which is what makes one decision benchmarkable
+// and the whole control plane deterministic.
+type NodeState struct {
+	ID int
+	HB Heartbeat
+	// TrendVPI is the round-scale EWMA of the node's heartbeat SmoothedVPI
+	// — the control plane's view of sustained interference.
+	TrendVPI float64
+	// Hot counts consecutive heartbeats with TrendVPI >= the eviction
+	// threshold (reset to zero by the first quiet heartbeat).
+	Hot int
+}
+
+// PodRequest is one placement decision's input.
+type PodRequest struct {
+	Name string
+	// Guaranteed requests hold a service; BestEffort requests batch work.
+	Guaranteed bool
+	// Threads is the pod's declared thread count (capacity accounting).
+	Threads int
+}
+
+// Placer chooses a node for a pod from the registry snapshot, returning
+// the node ID or -1 when nothing fits. Implementations must be
+// deterministic: equal inputs, equal choice.
+type Placer interface {
+	Name() string
+	Place(states []NodeState, req PodRequest) int
+}
+
+// NewPlacer returns the named policy.
+func NewPlacer(name string) (Placer, error) {
+	switch name {
+	case PlacerVPI:
+		return VPIAware{}, nil
+	case PlacerBinPack:
+		return BinPack{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown placer %q", name)
+}
+
+// fits is the shared capacity rule: a pod fits while the node's declared
+// threads stay within its logical-CPU count. Threads time-share beyond
+// that, but admitting past it just builds runqueues.
+func fits(st NodeState, req PodRequest) bool {
+	return st.HB.UsedThreads()+req.Threads <= st.HB.CapacityThreads
+}
+
+// BinPack is the baseline: first-fit by node ID on thread capacity,
+// blind to interference. It concentrates both services and batch pods on
+// the lowest-numbered nodes — exactly what a count-based scheduler does.
+type BinPack struct{}
+
+// Name implements Placer.
+func (BinPack) Name() string { return PlacerBinPack }
+
+// Place implements Placer.
+func (BinPack) Place(states []NodeState, req PodRequest) int {
+	for _, st := range states {
+		if fits(st, req) {
+			return st.ID
+		}
+	}
+	return -1
+}
+
+// VPIAware is the interference-aware policy. Guaranteed pods spread away
+// from interference: lowest smoothed VPI first, then fewest service
+// threads, then lowest ID. BestEffort pods backfill lendable capacity:
+// most free threads plus granted LC siblings first, skipping nodes the
+// reconciler currently considers hot — placing batch where the fleet's
+// VPI says SMT cycles are actually available.
+type VPIAware struct{}
+
+// Name implements Placer.
+func (VPIAware) Name() string { return PlacerVPI }
+
+// Place implements Placer.
+func (VPIAware) Place(states []NodeState, req PodRequest) int {
+	best, bestHot := -1, -1
+	var bestA, bestB, hotA, hotB float64
+	for _, st := range states {
+		if !fits(st, req) {
+			continue
+		}
+		var a, b float64
+		if req.Guaranteed {
+			// Minimize sustained interference, then co-resident service
+			// load, so services land on distinct quiet nodes.
+			a = st.HB.SmoothedVPI
+			b = float64(st.HB.ServiceThreads)
+		} else {
+			// Maximize lendable capacity: free threads plus granted
+			// siblings (negated — we minimize throughout).
+			free := st.HB.CapacityThreads - st.HB.UsedThreads()
+			a = -float64(free + 2*st.HB.Lendable)
+			b = st.HB.SmoothedVPI
+			if st.Hot > 0 {
+				// A node the reconciler is draining only takes new batch
+				// work when nothing quiet fits — placing beats dropping.
+				if bestHot < 0 || a < hotA || (a == hotA && b < hotB) {
+					bestHot, hotA, hotB = st.ID, a, b
+				}
+				continue
+			}
+		}
+		if best < 0 || a < bestA || (a == bestA && b < bestB) {
+			best, bestA, bestB = st.ID, a, b
+		}
+	}
+	if best < 0 {
+		return bestHot
+	}
+	return best
+}

@@ -23,6 +23,11 @@ type Monitor struct {
 	// constant). Instantaneous 100 µs windows flip between 0 and 1 on a
 	// bursty service; expansion decisions need the sustained level.
 	smoothed []float64
+	// smoothedVPI is the same EWMA over the VPI. The per-interval VPI
+	// spikes with individual bursts; cluster-level decisions (is this
+	// *node* persistently interfered?) need the sustained level, not the
+	// instantaneous one the per-CPU sibling control reacts to.
+	smoothedVPI []float64
 	// Per-physical-core aggregates (both hardware threads accumulated,
 	// §4.2 "aggregated per core").
 	coreVPI   []float64
@@ -41,9 +46,10 @@ func NewMonitor(m *machine.Machine, cfg Config) (*Monitor, error) {
 		cfg:       cfg,
 		vpiGroups: make([]*perf.VPIGroup, n),
 		prevBusy:  make([]float64, n),
-		vpi:       make([]float64, n),
-		usage:     make([]float64, n),
-		smoothed:  make([]float64, n),
+		vpi:         make([]float64, n),
+		usage:       make([]float64, n),
+		smoothed:    make([]float64, n),
+		smoothedVPI: make([]float64, n),
 		coreVPI:   make([]float64, m.Topology().PhysicalCores()),
 		coreUsage: make([]float64, m.Topology().PhysicalCores()),
 		coreIndex: make([]int, n),
@@ -84,6 +90,7 @@ func (mon *Monitor) Sample(nowNs int64) {
 			alpha = 1
 		}
 		mon.smoothed[p] += alpha * (mon.usage[p] - mon.smoothed[p])
+		mon.smoothedVPI[p] += alpha * (mon.vpi[p] - mon.smoothedVPI[p])
 		c := mon.coreIndex[p]
 		mon.coreVPI[c] += mon.vpi[p]
 		mon.coreUsage[c] += mon.usage[p]
@@ -98,6 +105,10 @@ func (mon *Monitor) Usage(p int) float64 { return mon.usage[p] }
 
 // SmoothedUsage returns the EWMA busy fraction of logical CPU p.
 func (mon *Monitor) SmoothedUsage(p int) float64 { return mon.smoothed[p] }
+
+// SmoothedVPI returns the EWMA VPI of logical CPU p (~10 ms time
+// constant) — the sustained interference level node heartbeats report.
+func (mon *Monitor) SmoothedVPI(p int) float64 { return mon.smoothedVPI[p] }
 
 // CoreVPI returns the last sampled per-core VPI sum for physical core c.
 func (mon *Monitor) CoreVPI(c int) float64 { return mon.coreVPI[c] }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/cluster"
+)
+
+// ClusterResult pairs the two placement policies' runs of the same spec.
+type ClusterResult struct {
+	VPI     *cluster.Result
+	BinPack *cluster.Result
+}
+
+// RunCluster runs the multi-node placement comparison: the same fleet,
+// services, batch stream and seed under the VPI-aware placer and under
+// plain bin-packing. Quick profiles use a 4-node fleet; Full uses 8.
+func RunCluster(o Options) (*ClusterResult, error) {
+	spec := cluster.DefaultSpec()
+	spec.Nodes = 4
+	if o.Full {
+		spec.Nodes = 8
+	}
+	spec.WarmupSeconds = float64(o.scaled(1_000_000_000)) / 1e9
+	spec.DurationSeconds = float64(o.colocDuration()) / 1e9
+	if o.Seed != 0 {
+		spec.Seed = o.Seed
+	}
+	opt := cluster.RunOptions{Workers: o.workers(), Telemetry: o.Telemetry}
+
+	res := &ClusterResult{}
+	var err error
+	spec.Placer = cluster.PlacerVPI
+	if res.VPI, err = cluster.Run(spec, opt); err != nil {
+		return nil, err
+	}
+	spec.Placer = cluster.PlacerBinPack
+	if res.BinPack, err = cluster.Run(spec, opt); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints both runs plus a head-to-head summary.
+func (r *ClusterResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.VPI.Render())
+	b.WriteString("\n")
+	b.WriteString(r.BinPack.Render())
+	fmt.Fprintf(&b, "\nhead to head (vpi vs binpack): mean p99 %.1f vs %.1f us, SLO violations %.2f%% vs %.2f%%, utilization %.1f%% vs %.1f%%, batch completed %d vs %d\n",
+		r.VPI.MeanP99/1e3, r.BinPack.MeanP99/1e3,
+		100*r.VPI.SLOViolationRatio, 100*r.BinPack.SLOViolationRatio,
+		100*r.VPI.ClusterUtil, 100*r.BinPack.ClusterUtil,
+		r.VPI.BatchCompleted, r.BinPack.BatchCompleted)
+	return b.String()
+}

@@ -174,6 +174,13 @@ func Registry() map[string]Experiment {
 			return r.Render(), nil
 		}},
 		{"ablations", "Design-choice ablations (CPS metric, usage trigger, interval)", renderAblations},
+		{"cluster", "Multi-node placement: VPI-aware vs bin-packing", func(o Options) (string, error) {
+			r, err := RunCluster(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 	}
 	// Per-service latency CDF figures.
 	for _, store := range StoreNames() {
@@ -211,7 +218,7 @@ func orderKey(id string) string {
 		"fig2": "02", "fig3": "03", "table1": "04", "fig4": "05", "fig5": "06",
 		"fig7": "07", "fig8": "08", "fig9": "09", "fig10": "10", "fig11": "11",
 		"fig12": "12", "fig13": "13", "table3": "14", "fig14": "15",
-		"table4": "16", "overhead": "17", "ablations": "18",
+		"table4": "16", "overhead": "17", "ablations": "18", "cluster": "19",
 	}
 	if k, ok := order[id]; ok {
 		return k

@@ -16,12 +16,14 @@ package kubelite
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/holmes-colocation/holmes/internal/batch"
 	"github.com/holmes-colocation/holmes/internal/cgroupfs"
 	"github.com/holmes-colocation/holmes/internal/core"
 	"github.com/holmes-colocation/holmes/internal/cpuid"
 	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
 	"github.com/holmes-colocation/holmes/internal/workload"
 )
 
@@ -60,11 +62,16 @@ type PodSpec struct {
 
 // Pod is a running pod.
 type Pod struct {
-	Spec    PodSpec
-	Cgroup  *cgroupfs.Group
-	Procs   []*kernel.Process
-	deleted bool
+	Spec      PodSpec
+	Cgroup    *cgroupfs.Group
+	Procs     []*kernel.Process
+	deleted   bool
+	unitsDone int
 }
+
+// CompletedWorkUnits counts the batch work units the pod's threads have
+// finished so far — the checkpoint a rescheduler can resume from.
+func (p *Pod) CompletedWorkUnits() int { return p.unitsDone }
 
 // Kubelet manages pods on one simulated node.
 type Kubelet struct {
@@ -111,6 +118,17 @@ func (kl *Kubelet) Pods() int { return len(kl.pods) }
 
 // Pod returns a running pod by name, or nil.
 func (kl *Kubelet) Pod(name string) *Pod { return kl.pods[name] }
+
+// PodNames returns the running pods' names in sorted order, so callers
+// that act on every pod (reapers, reconcilers) iterate deterministically.
+func (kl *Kubelet) PodNames() []string {
+	names := make([]string, 0, len(kl.pods))
+	for name := range kl.pods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Stop halts the node's daemon (pods keep running unmanaged).
 func (kl *Kubelet) Stop() { kl.holmes.Stop() }
@@ -187,7 +205,7 @@ func (kl *Kubelet) RunPod(spec PodSpec) (*Pod, error) {
 		cg.AddPid(proc.PID) // triggers Holmes discovery for besteffort
 		unit := spec.Kind.UnitCost()
 		for _, th := range proc.Threads() {
-			kl.startChain(th, unit, spec.WorkUnitsPerThread)
+			kl.startChain(pod, th, unit, spec.WorkUnitsPerThread)
 		}
 		pod.Procs = append(pod.Procs, proc)
 		if pod.Cgroup == nil {
@@ -198,8 +216,25 @@ func (kl *Kubelet) RunPod(spec PodSpec) (*Pod, error) {
 	return pod, nil
 }
 
+// Finished reports whether a finite pod has drained all its work: every
+// container thread is idle with no queued items. Pods sized with
+// WorkUnitsPerThread == 0 run until deleted and are never finished.
+func (p *Pod) Finished() bool {
+	if p.deleted || p.Spec.WorkUnitsPerThread <= 0 {
+		return false
+	}
+	for _, proc := range p.Procs {
+		for _, th := range proc.Threads() {
+			if th.HW.State() != machine.Idle {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // startChain feeds a container thread; 0 remaining means endless.
-func (kl *Kubelet) startChain(th *kernel.Thread, unit workload.Cost, remaining int) {
+func (kl *Kubelet) startChain(pod *Pod, th *kernel.Thread, unit workload.Cost, remaining int) {
 	endless := remaining <= 0
 	var push func(int64)
 	count := remaining
@@ -210,7 +245,10 @@ func (kl *Kubelet) startChain(th *kernel.Thread, unit workload.Cost, remaining i
 				return
 			}
 		}
-		th.HW.Push(workload.Item{Cost: unit, OnComplete: push})
+		th.HW.Push(workload.Item{Cost: unit, OnComplete: func(t int64) {
+			pod.unitsDone++
+			push(t)
+		}})
 	}
 	push(0)
 }

@@ -223,3 +223,79 @@ func TestStartPropagatesHolmesConfigErrors(t *testing.T) {
 		t.Fatal("invalid Holmes config accepted")
 	}
 }
+
+// TestDeleteRecreatePod is the reschedule path a cluster reconciler
+// relies on: a BestEffort pod deleted mid-run must release its cgroup,
+// stop its threads, and leave the name free for an immediate re-create —
+// repeatedly, with work-unit progress tracked across each incarnation.
+func TestDeleteRecreatePod(t *testing.T) {
+	m, _, fs, kl := newNode(t)
+	defer kl.Stop()
+	spec := PodSpec{
+		Name: "migrant", QoS: BestEffort, Containers: 2,
+		ThreadsPerContainer: 2, Kind: batch.Sort, WorkUnitsPerThread: 2000,
+	}
+	for round := 0; round < 3; round++ {
+		pod, err := kl.RunPod(spec)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		m.RunFor(20_000_000) // mid-run: some units done, many remain
+		done := pod.CompletedWorkUnits()
+		if done == 0 {
+			t.Fatalf("round %d: no progress before deletion", round)
+		}
+		total := spec.Containers * spec.ThreadsPerContainer * spec.WorkUnitsPerThread
+		if done >= total {
+			t.Fatalf("round %d: pod already drained; shrink the run window", round)
+		}
+		if err := kl.DeletePod("migrant"); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if fs.Lookup("/kubepods/besteffort/pod-migrant") != nil {
+			t.Fatalf("round %d: pod cgroup survived deletion", round)
+		}
+		if kl.Pod("migrant") != nil || kl.Pods() != 0 {
+			t.Fatalf("round %d: pod still tracked after deletion", round)
+		}
+		for _, proc := range pod.Procs {
+			if !proc.Exited() {
+				t.Fatalf("round %d: container process still alive", round)
+			}
+			for _, th := range proc.Threads() {
+				if th.HW != nil && th.HW.State() == machine.Runnable {
+					t.Fatalf("round %d: thread still runnable after deletion", round)
+				}
+			}
+		}
+		// The machine must go quiet: no orphaned work keeps burning CPU
+		// (the Holmes daemon's own periodic tick is the only activity).
+		before := busySum(m)
+		m.RunFor(10_000_000)
+		if grew := busySum(m) - before; grew > 1e6 {
+			t.Fatalf("round %d: %.0f busy cycles after all pods deleted", round, grew)
+		}
+	}
+	// A fresh incarnation still runs to completion.
+	spec.WorkUnitsPerThread = 3
+	pod, err := kl.RunPod(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(1_000_000_000)
+	if !pod.Finished() {
+		t.Fatal("re-created pod did not finish")
+	}
+	total := spec.Containers * spec.ThreadsPerContainer * spec.WorkUnitsPerThread
+	if pod.CompletedWorkUnits() != total {
+		t.Fatalf("completed %d units, want %d", pod.CompletedWorkUnits(), total)
+	}
+}
+
+func busySum(m *machine.Machine) float64 {
+	var sum float64
+	for p := 0; p < m.Topology().LogicalCPUs(); p++ {
+		sum += m.BusyCycles(p)
+	}
+	return sum
+}

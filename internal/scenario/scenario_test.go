@@ -50,21 +50,42 @@ func TestLoadRejectsUnknownFields(t *testing.T) {
 }
 
 func TestValidateErrors(t *testing.T) {
-	cases := []func(*Spec){
-		func(s *Spec) { s.Services = nil },
-		func(s *Spec) { s.Services[0].Store = "cassandra" },
-		func(s *Spec) { s.Services[0].Workload = "z" },
-		func(s *Spec) { s.Services[0].RPS = 0 },
-		func(s *Spec) { s.Scheduler = "bogus" },
-		func(s *Spec) { s.DurationSeconds = 0 },
-		func(s *Spec) { s.Machine.Cores = 1000 },
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string // substring the error message must carry
+	}{
+		{"empty services", func(s *Spec) { s.Services = nil }, "at least one service"},
+		{"unknown store", func(s *Spec) { s.Services[0].Store = "cassandra" }, `unknown store "cassandra"`},
+		{"unknown workload", func(s *Spec) { s.Services[0].Workload = "z" }, "z"},
+		{"zero rps", func(s *Spec) { s.Services[0].RPS = 0 }, "positive rps"},
+		{"unknown scheduler", func(s *Spec) { s.Scheduler = "bogus" }, `unknown scheduler "bogus"`},
+		{"zero duration", func(s *Spec) { s.DurationSeconds = 0 }, "duration_seconds must be positive"},
+		{"negative duration", func(s *Spec) { s.DurationSeconds = -3 }, "duration_seconds must be positive"},
+		{"cores out of range", func(s *Spec) { s.Machine.Cores = 1000 }, "cores 1000 out of range"},
 	}
-	for i, mut := range cases {
-		spec := minimalSpec()
-		mut(&spec)
-		if spec.Validate() == nil {
-			t.Fatalf("case %d accepted: %+v", i, spec)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := minimalSpec()
+			tc.mutate(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Fatalf("accepted: %+v", spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadReportsValidationErrors pins the parse path: Load must surface
+// Validate's message, so a bad JSON spec fails with a usable diagnostic.
+func TestLoadReportsValidationErrors(t *testing.T) {
+	doc := `{"scheduler": "rr", "services": [{"store":"redis","rps":1}], "duration_seconds": 1}`
+	_, err := Load(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), `unknown scheduler "rr"`) {
+		t.Fatalf("want unknown-scheduler error, got %v", err)
 	}
 }
 
