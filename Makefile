@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check cluster-smoke fuzz-smoke test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check cluster-smoke chaos-smoke fuzz-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -16,7 +16,7 @@ vet:
 # -race; the engine's concurrency tests still run).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/cluster/...
+	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/cluster/... ./internal/faults/...
 
 # Tiny end-to-end cluster run: two nodes, two services, a short window,
 # both placement policies. Exercises boot -> placement -> heartbeats ->
@@ -25,6 +25,15 @@ cluster-smoke:
 	$(GO) run ./cmd/holmes-cluster -nodes 2 -cores 4 -services 2 \
 		-warmup 0.2 -duration 0.5 -batch-pods 4 -placer both
 
+# Tiny chaos run: the same small fleet under the default deterministic
+# fault schedule, once with graceful degradation and once without, so CI
+# exercises watchdog/safe-mode, the failure detector and rescheduling.
+chaos-smoke:
+	$(GO) run ./cmd/holmes-cluster -nodes 3 -cores 4 -services 2 \
+		-warmup 0.2 -duration 1.0 -batch-pods 6 -chaos
+	$(GO) run ./cmd/holmes-cluster -nodes 3 -cores 4 -services 2 \
+		-warmup 0.2 -duration 1.0 -batch-pods 6 -chaos -no-degrade
+
 # Short fuzz smoke: a few seconds per fuzz target over the codec and
 # generator corpora. CI runs this; `go test` alone only replays seeds.
 fuzz-smoke:
@@ -32,6 +41,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/kvstore
 	$(GO) test -run=^$$ -fuzz=FuzzZipf -fuzztime=10s ./internal/rng
 	$(GO) test -run=^$$ -fuzz=FuzzScrambledZipf -fuzztime=10s ./internal/rng
+	$(GO) test -run=^$$ -fuzz=FuzzChaosSpec -fuzztime=10s ./internal/faults
 
 test: check
 	$(GO) test ./...

@@ -7,9 +7,11 @@
 //	holmes-bench [-full] [-seed N] all
 //
 // Experiment ids follow the paper: fig2, fig3, table1, fig4, fig5,
-// fig7..fig14, table3, table4, overhead. The default profile runs
-// time-compressed windows that finish in seconds to minutes; -full uses
-// the paper-faithful windows. -parallel N fans independent simulation
+// fig7..fig14, table3, table4, overhead — plus extensions: ablations,
+// cluster (multi-node placement) and chaos (deterministic fault
+// injection with and without graceful degradation). The default profile
+// runs time-compressed windows that finish in seconds to minutes; -full
+// uses the paper-faithful windows. -parallel N fans independent simulation
 // runs across N workers; every run derives its seed from (seed, run key),
 // so the output is byte-identical at any parallelism.
 package main
@@ -133,6 +135,10 @@ Usage:
   holmes-bench [flags] <id>...          run specific experiments
   holmes-bench [flags] all              run everything in paper order
   holmes-bench [flags] report           write an HTML report with SVG figures
+
+Beyond the paper's figures, "cluster" compares multi-node placement
+policies and "chaos" runs the deterministic fault-injection experiment
+(fault-free vs faults-with-degradation vs faults-without).
 
 Flags:
   -full                paper-faithful measurement windows (minutes of simulated time)

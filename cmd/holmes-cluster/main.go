@@ -8,47 +8,94 @@
 //	holmes-cluster [flags]                   run the default 6-node cluster
 //	holmes-cluster -placer both [flags]      compare VPI-aware vs bin-packing
 //	holmes-cluster -spec cluster.json        run a JSON-described cluster
+//	holmes-cluster -chaos [flags]            inject the default fault schedule
+//	holmes-cluster -chaos-spec faults.json   inject a JSON-described schedule
 //
 // Every run is deterministic: per-node seeds derive from (seed, node ID),
-// so -parallel N changes wall-clock time, never the output.
+// so -parallel N changes wall-clock time, never the output. Fault
+// schedules are equally seed-derived, so chaos runs replay exactly.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/holmes-colocation/holmes/internal/cluster"
+	"github.com/holmes-colocation/holmes/internal/faults"
 	"github.com/holmes-colocation/holmes/internal/runner"
 )
 
 func main() {
-	specPath := flag.String("spec", "", "JSON cluster spec (overrides the shape flags)")
-	nodes := flag.Int("nodes", 0, "fleet size (default 6)")
-	cores := flag.Int("cores", 0, "physical cores per node (default 8)")
-	placer := flag.String("placer", "", `placement policy: "vpi", "binpack" or "both" (default vpi)`)
-	duration := flag.Float64("duration", 0, "measured window, simulated seconds (default 3)")
-	warmup := flag.Float64("warmup", -1, "warmup before measurement, simulated seconds (default 1)")
-	batchPods := flag.Int("batch-pods", -1, "total BestEffort pods submitted (default 48)")
-	services := flag.Int("services", 0, "run only the first N services of the spec (0 = all)")
-	evictVPI := flag.Float64("evict-vpi", 0, "reconciler eviction threshold (default 25)")
-	hotRounds := flag.Int("hot-rounds", 0, "consecutive hot heartbeats before eviction (default 2)")
-	seed := flag.Uint64("seed", 0, "simulation seed (default 1)")
-	parallel := flag.Int("parallel", runner.DefaultParallelism(),
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("holmes-cluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "JSON cluster spec (overrides the shape flags)")
+	nodes := fs.Int("nodes", 0, "fleet size (default 6)")
+	cores := fs.Int("cores", 0, "physical cores per node (default 8)")
+	placer := fs.String("placer", "", `placement policy: "vpi", "binpack" or "both" (default vpi)`)
+	duration := fs.Float64("duration", 0, "measured window, simulated seconds (default 3)")
+	warmup := fs.Float64("warmup", -1, "warmup before measurement, simulated seconds (default 1)")
+	batchPods := fs.Int("batch-pods", -1, "total BestEffort pods submitted (default 48)")
+	services := fs.Int("services", 0, "run only the first N services of the spec (0 = all)")
+	evictVPI := fs.Float64("evict-vpi", 0, "reconciler eviction threshold (default 25)")
+	hotRounds := fs.Int("hot-rounds", 0, "consecutive hot heartbeats before eviction (default 2)")
+	seed := fs.Uint64("seed", 0, "simulation seed (default 1)")
+	chaos := fs.Bool("chaos", false, "inject the default fault schedule (faults.DefaultSchedule)")
+	chaosSpec := fs.String("chaos-spec", "", "JSON fault schedule to inject (overrides -chaos)")
+	noDegrade := fs.Bool("no-degrade", false, "disable graceful degradation (watchdog, re-scan, failure detector)")
+	parallel := fs.Int("parallel", runner.DefaultParallelism(),
 		"max concurrent node simulations (1 = serial; output identical either way)")
-	flag.Usage = usage
-	flag.Parse()
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "holmes-cluster: "+format+"\n", a...)
+		return 1
+	}
+	// Reject nonsense values the "0 means default" convention would
+	// otherwise swallow silently.
+	if *nodes < 0 {
+		return fail("-nodes %d must be positive", *nodes)
+	}
+	if *cores < 0 {
+		return fail("-cores %d must be positive", *cores)
+	}
+	if *duration < 0 {
+		return fail("-duration %g must be positive (simulated seconds)", *duration)
+	}
+	if *batchPods < -1 {
+		return fail("-batch-pods %d must not be negative", *batchPods)
+	}
+	if *services < 0 {
+		return fail("-services %d must not be negative", *services)
+	}
+	if *evictVPI < 0 {
+		return fail("-evict-vpi %g must be positive (VPI threshold, e.g. 25)", *evictVPI)
+	}
+	if *hotRounds < 0 {
+		return fail("-hot-rounds %d must be positive", *hotRounds)
+	}
+	if *parallel < 1 {
+		return fail("-parallel %d must be at least 1", *parallel)
+	}
 
 	spec := cluster.DefaultSpec()
 	if *specPath != "" {
 		f, err := os.Open(*specPath)
 		if err != nil {
-			fatal(err)
+			return fail("%v", err)
 		}
 		spec, err = cluster.Load(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail("%v", err)
 		}
 	}
 	if *nodes > 0 {
@@ -78,6 +125,24 @@ func main() {
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
+	if *chaosSpec != "" {
+		f, err := os.Open(*chaosSpec)
+		if err != nil {
+			return fail("%v", err)
+		}
+		sched, err := faults.Load(f)
+		f.Close()
+		if err != nil {
+			return fail("-chaos-spec %s: %v", *chaosSpec, err)
+		}
+		spec.Chaos = &sched
+	} else if *chaos {
+		sched := faults.DefaultSchedule()
+		spec.Chaos = &sched
+	}
+	if *noDegrade {
+		spec.DisableDegradation = true
+	}
 
 	opt := cluster.RunOptions{Workers: *parallel}
 	placers := []string{spec.Placer}
@@ -92,38 +157,39 @@ func main() {
 		spec.Placer = p
 		res, err := cluster.Run(spec, opt)
 		if err != nil {
-			fatal(err)
+			return fail("%v", err)
 		}
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Print(res.Render())
+		fmt.Fprint(stdout, res.Render())
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
-}
-
-func usage() {
-	fmt.Fprintf(os.Stderr, `holmes-cluster runs a simulated multi-node cluster under the
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `holmes-cluster runs a simulated multi-node cluster under the
 VPI-aware placement scheduler (internal/cluster).
 
 Flags:
-  -spec FILE      JSON cluster spec; flags below override its shape fields
-  -nodes N        fleet size (default 6)
-  -cores N        physical cores per node (default 8)
-  -placer P       "vpi", "binpack", or "both" for a side-by-side comparison
-  -duration S     measured window in simulated seconds (default 3)
-  -warmup S       warmup in simulated seconds (default 1)
-  -batch-pods N   total BestEffort pods submitted (default 48)
-  -services N     run only the first N services of the spec (0 = all)
-  -evict-vpi V    reconciler eviction threshold on the node VPI trend (default 25)
-  -hot-rounds N   consecutive hot heartbeats before an eviction (default 2)
-  -seed N         simulation seed (default 1)
-  -parallel N     max concurrent node simulations (default GOMAXPROCS);
-                  per-node seeds derive from (seed, node ID), so the
-                  output is byte-identical at any parallelism
+  -spec FILE        JSON cluster spec; flags below override its shape fields
+  -nodes N          fleet size (default 6)
+  -cores N          physical cores per node (default 8)
+  -placer P         "vpi", "binpack", or "both" for a side-by-side comparison
+  -duration S       measured window in simulated seconds (default 3)
+  -warmup S         warmup in simulated seconds (default 1)
+  -batch-pods N     total BestEffort pods submitted (default 48)
+  -services N       run only the first N services of the spec (0 = all)
+  -evict-vpi V      reconciler eviction threshold on the node VPI trend (default 25)
+  -hot-rounds N     consecutive hot heartbeats before an eviction (default 2)
+  -seed N           simulation seed (default 1)
+  -chaos            inject the default deterministic fault schedule
+                    (counter faults, cgroup event loss, node crashes)
+  -chaos-spec FILE  JSON fault schedule (see internal/faults); overrides -chaos
+  -no-degrade       disable graceful degradation: no daemon watchdog or
+                    cgroupfs re-scan, no failure detector or rescheduling
+  -parallel N       max concurrent node simulations (default GOMAXPROCS);
+                    per-node seeds derive from (seed, node ID), so the
+                    output is byte-identical at any parallelism
 `)
 }

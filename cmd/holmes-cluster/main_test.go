@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI captures run's exit code and both streams.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative nodes", []string{"-nodes", "-3"}, "-nodes -3 must be positive"},
+		{"negative cores", []string{"-cores", "-1"}, "-cores -1 must be positive"},
+		{"negative duration", []string{"-duration", "-2"}, "-duration -2 must be positive"},
+		{"negative evict-vpi", []string{"-evict-vpi", "-25"}, "-evict-vpi -25 must be positive"},
+		{"negative hot-rounds", []string{"-hot-rounds", "-2"}, "-hot-rounds -2 must be positive"},
+		{"zero parallel", []string{"-parallel", "0"}, "-parallel 0 must be at least 1"},
+		{"negative services", []string{"-services", "-1"}, "-services -1 must not be negative"},
+		{"missing spec", []string{"-spec", "/does/not/exist.json"}, "no such file"},
+		{"missing chaos spec", []string{"-chaos-spec", "/does/not/exist.json"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(tc.args...)
+			if code == 0 {
+				t.Fatalf("run(%v) accepted invalid flags", tc.args)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnknownFlagFails(t *testing.T) {
+	code, _, stderr := runCLI("-scheduler", "vpi")
+	if code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "scheduler") {
+		t.Fatalf("stderr %q does not name the bad flag", stderr)
+	}
+}
+
+func TestBadChaosSpecJSONFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(path, []byte(`{"counters": {"drop_rate": 2.0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI("-chaos-spec", path)
+	if code == 0 {
+		t.Fatal("run accepted an out-of-range fault schedule")
+	}
+	if !strings.Contains(stderr, "drop_rate") {
+		t.Fatalf("stderr %q does not explain the bad field", stderr)
+	}
+}
+
+// smallArgs keeps CLI runs fast: 3 nodes, 2 services, short windows.
+func smallArgs(extra ...string) []string {
+	return append([]string{
+		"-nodes", "3", "-services", "2", "-batch-pods", "6",
+		"-warmup", "0.2", "-duration", "0.6", "-parallel", "4",
+	}, extra...)
+}
+
+func TestRunCleanCluster(t *testing.T) {
+	code, stdout, stderr := runCLI(smallArgs()...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"vpi placement", "cluster utilization"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "chaos:") {
+		t.Fatalf("fault-free run printed chaos stats:\n%s", stdout)
+	}
+}
+
+func TestRunChaosFlag(t *testing.T) {
+	code, stdout, stderr := runCLI(smallArgs("-chaos")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"chaos:", "recovery:"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestChaosSpecFileAndNoDegrade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.json")
+	sched := `{"nodes": {"heartbeat_loss_rate": 0.1}}`
+	if err := os.WriteFile(path, []byte(sched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(smallArgs("-chaos-spec", path, "-no-degrade")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "heartbeats lost") {
+		t.Fatalf("chaos-spec run shows no heartbeat loss:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "safe-mode entries 0") {
+		t.Fatalf("-no-degrade run still reports safe-mode entries:\n%s", stdout)
+	}
+}
+
+func TestDeterministicAcrossParallel(t *testing.T) {
+	_, serial, _ := runCLI(smallArgs("-chaos", "-parallel", "1")...)
+	_, par, _ := runCLI(smallArgs("-chaos", "-parallel", "8")...)
+	if serial != par {
+		t.Fatalf("output differs between -parallel 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, par)
+	}
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/faults"
+)
+
+func TestRequeueBackoff(t *testing.T) {
+	cases := []struct{ evictions, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 8}, {5, 8}, {10, 8},
+	}
+	for _, tc := range cases {
+		if got := requeueBackoff(tc.evictions); got != tc.want {
+			t.Errorf("requeueBackoff(%d) = %d, want %d", tc.evictions, got, tc.want)
+		}
+	}
+}
+
+// TestMaxEvictionsNeverLivelocks drives the reconciler as hard as it can
+// go: every node is permanently "hot", so without the pinning bound each
+// pod would be evicted and re-placed onto another hot node forever. The
+// eviction total must respect pods x MaxEvictions and the run must still
+// finish its batch work.
+func TestMaxEvictionsNeverLivelocks(t *testing.T) {
+	spec := testSpec()
+	spec.EvictVPI = 0.001 // any activity at all reads as hot
+	spec.HotRounds = 1
+	spec.MaxEvictions = 1
+	spec.DurationSeconds = 1.2
+	res, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("scenario never exercised the reconciler")
+	}
+	ceiling := spec.Batch.Pods * spec.MaxEvictions
+	if res.Evictions > ceiling {
+		t.Fatalf("%d evictions exceed the pinning ceiling %d — pods are cycling",
+			res.Evictions, ceiling)
+	}
+	if res.BatchCompleted == 0 {
+		t.Fatal("no batch pod ever completed under eviction pressure")
+	}
+}
+
+// chaosSpec is testSpec under the full default fault schedule.
+func chaosSpec() Spec {
+	s := testSpec()
+	s.DurationSeconds = 1.0
+	ch := faults.DefaultSchedule()
+	s.Chaos = &ch
+	return s
+}
+
+func TestChaosDeterministicAcrossWorkers(t *testing.T) {
+	spec := chaosSpec()
+	r1, err := Run(spec, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(spec, RunOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Render() != r8.Render() {
+		t.Fatalf("chaos run differs between Workers 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			r1.Render(), r8.Render())
+	}
+}
+
+// TestCrashedNodeDetectedAndRescheduled crashes the batch-only node for
+// good: the detector must declare it dead and the run must still finish
+// with every service measured.
+func TestCrashedNodeDetectedAndRescheduled(t *testing.T) {
+	spec := testSpec()
+	spec.DurationSeconds = 1.2
+	// testSpec places its two services on nodes 0 and 1 (empty-registry
+	// ties break by lowest ID), leaving node 2 batch-only.
+	spec.Chaos = &faults.Spec{Nodes: faults.NodeSpec{
+		Crashes: []faults.NodeCrash{{Node: 2, Round: 8}},
+	}}
+	res, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", res.Crashes)
+	}
+	if res.NodesDied != 1 {
+		t.Fatalf("detector declared %d nodes dead, want 1", res.NodesDied)
+	}
+	if res.Reboots != 0 || res.NodesRejoined != 0 {
+		t.Fatalf("node 2 should stay down: %d reboots, %d rejoins", res.Reboots, res.NodesRejoined)
+	}
+	for _, s := range res.Services {
+		if s.Lost || s.Queries == 0 {
+			t.Fatalf("service %s lost measurement to a batch-node crash", s.Name)
+		}
+	}
+	if res.BatchCompleted == 0 {
+		t.Fatal("no batch pods completed despite two healthy nodes")
+	}
+}
+
+// TestServiceFailsOverFromCrashedNode kills a service-hosting node and
+// expects the control plane to re-place the service elsewhere.
+func TestServiceFailsOverFromCrashedNode(t *testing.T) {
+	spec := testSpec()
+	spec.DurationSeconds = 1.6
+	spec.Chaos = &faults.Spec{Nodes: faults.NodeSpec{
+		Crashes: []faults.NodeCrash{{Node: 0, Round: 6}},
+	}}
+	res, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServiceFailovers == 0 {
+		t.Fatal("no service failover recorded for a crashed service node")
+	}
+	for _, s := range res.Services {
+		if s.Lost {
+			t.Fatalf("service %s never failed over", s.Name)
+		}
+		if s.Node == 0 {
+			t.Fatalf("service %s still booked on the dead node", s.Name)
+		}
+		if s.Queries == 0 {
+			t.Fatalf("failed-over service %s measured no queries", s.Name)
+		}
+	}
+}
+
+// TestFalseDeathRejoinFences partitions a healthy node long enough to be
+// declared dead. When its heartbeats come back, the control plane must
+// count a rejoin and fence the zombie service instance it already failed
+// over elsewhere.
+func TestFalseDeathRejoinFences(t *testing.T) {
+	spec := testSpec()
+	spec.DurationSeconds = 1.6
+	spec.Chaos = &faults.Spec{Nodes: faults.NodeSpec{
+		Partitions: []faults.NodePartition{{Node: 1, Round: 6, Rounds: 8}},
+	}}
+	res, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 0 {
+		t.Fatalf("partition counted as %d crashes", res.Crashes)
+	}
+	if res.NodesDied != 1 || res.NodesRejoined != 1 {
+		t.Fatalf("died %d / rejoined %d, want 1 / 1", res.NodesDied, res.NodesRejoined)
+	}
+	if res.FencedPods == 0 {
+		t.Fatal("rejoining node kept its zombie pods — fencing never ran")
+	}
+	for _, s := range res.Services {
+		if s.Lost {
+			t.Fatalf("service %s lost after failover + rejoin", s.Name)
+		}
+	}
+}
+
+// TestHeartbeatLossTolerated: scattered single-round losses must raise
+// suspicion at most, never a death.
+func TestHeartbeatLossTolerated(t *testing.T) {
+	spec := testSpec()
+	spec.Chaos = &faults.Spec{Nodes: faults.NodeSpec{HeartbeatLossRate: 0.1}}
+	res, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeartbeatsMissed == 0 {
+		t.Fatal("scenario lost no heartbeats")
+	}
+	if res.NodesDied != 0 {
+		t.Fatalf("detector killed %d nodes over scattered heartbeat loss", res.NodesDied)
+	}
+	for _, s := range res.Services {
+		if s.Lost || s.Queries == 0 {
+			t.Fatalf("service %s disrupted by heartbeat loss alone", s.Name)
+		}
+	}
+}
+
+// TestDarkCountersTriggerSafeMode wires only the counter fault: every
+// node's counters die partway in, and the per-node watchdogs must all
+// fall back to the static partition.
+func TestDarkCountersTriggerSafeMode(t *testing.T) {
+	spec := testSpec()
+	spec.Chaos = &faults.Spec{Counters: faults.CounterSpec{DeadAtFraction: 0.4}}
+	res, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafeModeEntries == 0 {
+		t.Fatal("no node entered safe mode on dark counters")
+	}
+	ctrl := spec
+	ctrl.DisableDegradation = true
+	cres, err := Run(ctrl, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.SafeModeEntries != 0 {
+		t.Fatalf("control arm entered safe mode %d times with degradation disabled", cres.SafeModeEntries)
+	}
+}
+
+// TestNoChaosResultHasNoFaultStats pins that a fault-free run reports
+// zeroes everywhere the chaos machinery could leak.
+func TestNoChaosResultHasNoFaultStats(t *testing.T) {
+	res, err := Run(testSpec(), RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes+res.Reboots+res.HeartbeatsMissed+res.SlowRounds+
+		res.NodesDied+res.NodesRejoined+res.CheckpointRequeues+
+		res.ServiceFailovers+res.FencedPods != 0 || res.SafeModeEntries != 0 || res.RescanRepairs != 0 {
+		t.Fatalf("fault-free run reports fault activity: %+v", res)
+	}
+}

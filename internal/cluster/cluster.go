@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/batch"
+	"github.com/holmes-colocation/holmes/internal/faults"
 	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/stats"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
@@ -59,13 +60,13 @@ var debugVPI = os.Getenv("HOLMES_CLUSTER_DEBUG") != ""
 
 // pendingPod is one queue entry awaiting placement.
 type pendingPod struct {
-	req  PodRequest
-	svc  *ServiceSpec // non-nil for Guaranteed service pods
-	kind batch.Kind
+	req                        PodRequest
+	svc                        *ServiceSpec // non-nil for Guaranteed service pods
+	kind                       batch.Kind
 	containers, threads, units int
-	retries   int // placement attempts that found no node
-	evictions int // times the reconciler has evicted this pod
-	notBefore int // earliest round for the next attempt
+	retries                    int // placement attempts that found no node
+	evictions                  int // times the reconciler has evicted this pod
+	notBefore                  int // earliest round for the next attempt
 }
 
 // placedPod tracks a running BestEffort pod for the reconciler.
@@ -85,6 +86,9 @@ type ServiceResult struct {
 	Summary  stats.Summary
 	// SLOViolations is the fraction of measured queries over the SLO.
 	SLOViolations float64
+	// Lost marks a service whose node died and that never found a new
+	// home by run end; it contributes no latency numbers.
+	Lost bool
 }
 
 // Result is a cluster run's outcome.
@@ -110,6 +114,18 @@ type Result struct {
 	Requeues         int
 	FailedPlacements int
 	PinnedPods       int
+	// Fault and degradation statistics (all zero in fault-free runs).
+	Crashes            int
+	Reboots            int
+	HeartbeatsMissed   int
+	SlowRounds         int
+	NodesDied          int
+	NodesRejoined      int
+	CheckpointRequeues int
+	ServiceFailovers   int
+	FencedPods         int
+	SafeModeEntries    int64
+	RescanRepairs      int64
 }
 
 // Run executes the cluster described by spec.
@@ -131,15 +147,28 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	}
 
 	hbNs := spec.heartbeatNs()
-	warmupRounds := int((int64(spec.WarmupSeconds*1e9) + hbNs - 1) / hbNs)
-	measureRounds := int((int64(spec.DurationSeconds*1e9) + hbNs - 1) / hbNs)
-	if measureRounds < 1 {
-		measureRounds = 1
-	}
+	warmupRounds, measureRounds := spec.rounds()
 	totalRounds := warmupRounds + measureRounds
 
 	var tel clusterTelemetry
 	tel.resolve(opt.Telemetry)
+
+	// The node-fault schedule, fixed up front from per-node seed streams:
+	// what happens to node i never depends on fleet size changes above i
+	// or on the advance parallelism.
+	var schedule [][]faults.RoundFault
+	if spec.Chaos != nil && spec.Chaos.Nodes.Enabled() {
+		schedule = spec.Chaos.Nodes.Schedule(spec.Seed, spec.Nodes, totalRounds)
+	}
+	degrade := !spec.DisableDegradation
+	var fd *failureDetector
+	if degrade {
+		fd = newFailureDetector(spec.Nodes,
+			float64(spec.suspectRounds()), float64(spec.deadRounds()))
+	}
+	down := make([]bool, spec.Nodes)    // crashed, simulation frozen
+	rebootAt := make([]int, spec.Nodes) // round the node comes back (-1: never)
+	gen := make([]int, spec.Nodes)      // boot generation per node slot
 
 	// Boot the fleet. Nodes are independent, so boot fans out on the
 	// worker pool; each node's seed derives from (spec.Seed, node ID).
@@ -148,7 +177,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	for i := range nodes {
 		i := i
 		boots[i] = func() error {
-			n, err := bootNode(spec, i, opt.Telemetry)
+			n, err := bootNode(spec, i, 0, opt.Telemetry)
 			if err != nil {
 				return err
 			}
@@ -190,10 +219,122 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	placed := map[string]*placedPod{}
 	placeSeq := 0
 
+	// nodeLost reschedules everything the control plane had booked on a
+	// node it now considers gone: BestEffort pods resume elsewhere from
+	// their last heartbeat checkpoint, services fail over to a fresh
+	// instance. Only called with degradation enabled.
+	nodeLost := func(i, r int) {
+		var names []string
+		for name, pp := range placed {
+			if pp.node == i {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pp := placed[name]
+			delete(placed, name)
+			p := pp.pending
+			done := 0
+			for _, prog := range states[i].HB.Progress {
+				if prog.Name == name {
+					done = prog.Units
+				}
+			}
+			// Work since the last heartbeat is lost — that is the price of
+			// checkpointing at heartbeat granularity.
+			threadsPer := p.containers * p.threads
+			remaining := threadsPer*p.units - done
+			p.units = (remaining + threadsPer - 1) / threadsPer
+			if p.units < 1 {
+				p.units = 1
+			}
+			p.notBefore = r + 1
+			p.retries = 0
+			queue = append(queue, p)
+			res.CheckpointRequeues++
+		}
+		var svcs []string
+		for name, idx := range serviceNode {
+			if idx == i {
+				svcs = append(svcs, name)
+			}
+		}
+		sort.Strings(svcs)
+		for _, name := range svcs {
+			delete(serviceNode, name)
+			for si := range spec.Services {
+				if spec.Services[si].Name != name {
+					continue
+				}
+				ss := spec.Services[si]
+				queue = append(queue, &pendingPod{
+					req: PodRequest{Name: ss.Name, Guaranteed: true,
+						Threads: serviceThreads(ss.Store)},
+					svc:       &ss,
+					notBefore: r + 1,
+				})
+			}
+			res.ServiceFailovers++
+		}
+	}
+
 	for r := 0; r < totalRounds; r++ {
+		// Reboots due this round, then freshly scheduled crashes.
+		for i := range nodes {
+			if !down[i] || rebootAt[i] != r {
+				continue
+			}
+			// Harvest the dead incarnation's degradation counters before
+			// it is replaced, then boot a fresh machine under a
+			// generation-salted seed.
+			st := nodes[i].DaemonStats()
+			res.SafeModeEntries += st.SafeModeEntries
+			res.RescanRepairs += st.RescanRepairs
+			gen[i]++
+			nn, err := bootNode(spec, i, gen[i], opt.Telemetry)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i] = nn
+			down[i] = false
+			rebootAt[i] = -1
+			res.Reboots++
+			if degrade {
+				// Everything booked on the old incarnation is gone:
+				// reschedule from checkpoints, fail services over.
+				nodeLost(i, r)
+				fd.reset(i)
+			}
+			if states[i].Dead {
+				res.NodesRejoined++
+			}
+			states[i] = NodeState{ID: i, HB: nn.Heartbeat()}
+		}
+		if schedule != nil {
+			for i := range nodes {
+				f := schedule[i][r]
+				if !f.Crash || down[i] {
+					continue
+				}
+				if spec.Chaos.Nodes.SpareServiceNodes && len(nodes[i].services) > 0 {
+					continue
+				}
+				down[i] = true
+				res.Crashes++
+				if f.DownRounds > 0 {
+					rebootAt[i] = r + f.DownRounds
+				} else {
+					rebootAt[i] = -1
+				}
+			}
+		}
+
 		if r == warmupRounds {
-			for _, n := range nodes {
-				n.BeginMeasurement()
+			for i, n := range nodes {
+				if !down[i] {
+					n.BeginMeasurement()
+				}
 			}
 		}
 
@@ -223,11 +364,15 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			}
 			target := placer.Place(states, p.req)
 			if target < 0 {
-				if p.svc != nil {
+				if p.svc != nil && !anyNodeCouldFit(states, p.req) {
 					return nil, fmt.Errorf("cluster: no node fits service %s", p.req.Name)
 				}
 				p.retries++
 				if p.retries > maxPlaceRetries {
+					if p.svc != nil {
+						return nil, fmt.Errorf("cluster: service %s unplaced after %d rounds",
+							p.req.Name, maxPlaceRetries)
+					}
 					res.FailedPlacements++
 					tel.inc(tel.failed)
 					continue
@@ -258,30 +403,98 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		}
 		queue = waiting
 
-		// Advance every node one heartbeat period, fanned out on the
+		// Advance every live node one heartbeat period, fanned out on the
 		// worker pool. Nodes share nothing mid-round, so the outcome is
-		// identical at any worker count.
-		tasks := make([]func() error, len(nodes))
+		// identical at any worker count. Crashed nodes are frozen; slow
+		// nodes make proportionally less simulated progress (straggler
+		// semantics without breaking the lockstep rounds).
+		var tasks []func() error
 		for i := range nodes {
+			if down[i] {
+				continue
+			}
 			n := nodes[i]
-			tasks[i] = func() error { n.Advance(hbNs); return nil }
+			dur := hbNs
+			if schedule != nil {
+				if f := schedule[i][r]; f.Slow > 1 {
+					dur = int64(float64(hbNs) / f.Slow)
+					res.SlowRounds++
+				}
+			}
+			tasks = append(tasks, func() error { n.Advance(dur); return nil })
 		}
 		if err := runner.Run(workers, tasks); err != nil {
 			return nil, err
 		}
 
 		// Reap finished pods, then refresh the registry from heartbeats.
-		for _, n := range nodes {
+		for i, n := range nodes {
+			if down[i] {
+				continue
+			}
 			done, err := n.ReapFinished()
 			if err != nil {
 				return nil, err
 			}
 			for _, name := range done {
 				delete(placed, name)
+				if r >= warmupRounds {
+					res.BatchCompleted++
+				}
 				tel.inc(tel.completed)
 			}
 		}
 		for i, n := range nodes {
+			hbLost := schedule != nil && schedule[i][r].LoseHeartbeat
+			if down[i] || hbLost {
+				// No heartbeat this round: the registry keeps its stale
+				// entry and the failure detector accrues suspicion.
+				if !down[i] {
+					res.HeartbeatsMissed++
+				}
+				if degrade {
+					fd.observe(i, false)
+					states[i].MissedHB++
+					if !states[i].Dead {
+						states[i].Suspect = fd.suspect(i)
+						if fd.dead(i) {
+							states[i].Dead = true
+							states[i].Suspect = true
+							res.NodesDied++
+							nodeLost(i, r)
+						}
+					}
+				}
+				continue
+			}
+			if degrade && states[i].Dead {
+				// A node declared dead is talking again — a false positive
+				// (the schedule lost its heartbeats, the node kept going).
+				// Its pods were already re-placed elsewhere; fence the
+				// zombies before readmitting it to the registry.
+				keep := map[string]bool{}
+				for name, pp := range placed {
+					if pp.node == i {
+						keep[name] = true
+					}
+				}
+				fenced, err := n.Fence(keep, func(svc string) bool {
+					idx, ok := serviceNode[svc]
+					return ok && idx == i
+				})
+				if err != nil {
+					return nil, err
+				}
+				res.FencedPods += fenced
+				res.NodesRejoined++
+				fd.reset(i)
+				states[i] = NodeState{ID: i}
+			}
+			if degrade {
+				fd.observe(i, true)
+				states[i].MissedHB = 0
+				states[i].Suspect = false
+			}
 			hb := n.Heartbeat()
 			// Trend smooths the heartbeat VPI one more time at the round
 			// scale: a single bursty heartbeat cannot arm the reconciler,
@@ -305,7 +518,18 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 
 		// Reconcile: drain one BestEffort pod per persistently hot node.
 		for _, ev := range reconcileDecisions(states, placed, spec.hotRounds(), spec.maxEvictions()) {
+			if down[ev.node] || states[ev.node].Dead {
+				// The eviction RPC cannot reach the node; the detector (or
+				// a reboot) will deal with its pods.
+				continue
+			}
 			pp := placed[ev.pod]
+			if !nodes[ev.node].HasBatch(ev.pod) {
+				// Stale booking: the node rebooted under the control
+				// plane's feet (degradation off) and the pod is gone.
+				delete(placed, ev.pod)
+				continue
+			}
 			done := nodes[ev.node].BatchUnitsDone(ev.pod)
 			if err := nodes[ev.node].EvictBatch(ev.pod); err != nil {
 				return nil, err
@@ -326,11 +550,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				p.units = 1
 			}
 			p.evictions++
-			backoff := 1 << (p.evictions - 1)
-			if backoff > maxBackoffRounds {
-				backoff = maxBackoffRounds
-			}
-			p.notBefore = r + 1 + backoff
+			p.notBefore = r + 1 + requeueBackoff(p.evictions)
 			p.retries = 0
 			queue = append(queue, p)
 			res.Requeues++
@@ -343,20 +563,37 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	windowNs := int64(measureRounds) * hbNs
 	slo := spec.sloNs()
 	var violations, queries float64
+	measuredServices := 0
 	for _, ss := range spec.Services {
-		node := nodes[serviceNode[ss.Name]]
-		s := node.services[ss.Name]
+		idx, booked := serviceNode[ss.Name]
+		var s *nodeService
+		if booked {
+			s = nodes[idx].services[ss.Name]
+		}
+		if s == nil {
+			// The service's node died and no failover landed before the
+			// run ended: worst-case outcome, reported as lost.
+			res.Services = append(res.Services, ServiceResult{
+				Name:     ss.Name,
+				Store:    ss.Store,
+				Workload: defaultStr(ss.Workload, "a"),
+				Node:     -1,
+				Lost:     true,
+			})
+			continue
+		}
 		lat := s.svc.Latencies()
 		sr := ServiceResult{
 			Name:          ss.Name,
 			Store:         ss.Store,
 			Workload:      defaultStr(ss.Workload, "a"),
-			Node:          node.ID,
+			Node:          idx,
 			Queries:       lat.Count(),
 			Summary:       lat.Summarize(),
 			SLOViolations: lat.FractionAbove(slo),
 		}
 		res.Services = append(res.Services, sr)
+		measuredServices++
 		res.MeanP99 += sr.Summary.P99
 		if sr.Summary.P99 > res.WorstP99 {
 			res.WorstP99 = sr.Summary.P99
@@ -364,15 +601,14 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		violations += sr.SLOViolations * float64(sr.Queries)
 		queries += float64(sr.Queries)
 	}
-	if len(res.Services) > 0 {
-		res.MeanP99 /= float64(len(res.Services))
+	if measuredServices > 0 {
+		res.MeanP99 /= float64(measuredServices)
 	}
 	if queries > 0 {
 		res.SLOViolationRatio = violations / queries
 	}
 	for _, n := range nodes {
 		res.ClusterUtil += n.Utilization(windowNs)
-		res.BatchCompleted += n.CompletedPods()
 	}
 	res.ClusterUtil /= float64(len(nodes))
 	for _, pp := range placed {
@@ -380,7 +616,37 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			res.PinnedPods++
 		}
 	}
+	// Fleet-wide degradation counters from the surviving incarnations
+	// (crashed-and-replaced ones were harvested at reboot).
+	for _, n := range nodes {
+		st := n.DaemonStats()
+		res.SafeModeEntries += st.SafeModeEntries
+		res.RescanRepairs += st.RescanRepairs
+	}
 	return res, nil
+}
+
+// anyNodeCouldFit reports whether the request would fit some node if that
+// node were empty — distinguishing "can never be placed" (a spec error)
+// from "no capacity right now" (retry next round).
+func anyNodeCouldFit(states []NodeState, req PodRequest) bool {
+	for _, st := range states {
+		if req.Threads <= st.HB.CapacityThreads {
+			return true
+		}
+	}
+	return false
+}
+
+// requeueBackoff is how many rounds an evicted pod waits before its next
+// placement attempt: exponential in its eviction count, capped so a
+// pinning-bound pod cannot be delayed unboundedly.
+func requeueBackoff(evictions int) int {
+	b := 1 << (evictions - 1)
+	if b > maxBackoffRounds {
+		b = maxBackoffRounds
+	}
+	return b
 }
 
 // eviction is one reconciler decision.
@@ -501,6 +767,10 @@ func (r *Result) Render() string {
 		title, r.Spec.Nodes, r.Spec.CoresPerNode, r.Spec.placer(), r.Rounds),
 		"service", "workload", "node", "queries", "mean us", "p99 us", "SLO viol")
 	for _, s := range r.Services {
+		if s.Lost {
+			tb.AddRow(s.Name, "workload-"+s.Workload, "lost", 0, "-", "-", "-")
+			continue
+		}
 		tb.AddRow(s.Name, "workload-"+s.Workload, s.Node, s.Queries,
 			fmt.Sprintf("%.1f", s.Summary.Mean/1e3),
 			fmt.Sprintf("%.1f", s.Summary.P99/1e3),
@@ -511,5 +781,11 @@ func (r *Result) Render() string {
 		100*r.ClusterUtil, r.BatchCompleted, r.PlacedBatch)
 	fmt.Fprintf(&b, "reconciler: %d evictions, %d requeues, %d failed placements, %d pinned pods (peak node VPI %.1f)\n",
 		r.Evictions, r.Requeues, r.FailedPlacements, r.PinnedPods, r.PeakSmoothedVPI)
+	if r.Spec.Chaos != nil {
+		fmt.Fprintf(&b, "chaos: %d crashes (%d reboots), %d heartbeats lost, %d slow rounds; detector: %d declared dead, %d rejoined\n",
+			r.Crashes, r.Reboots, r.HeartbeatsMissed, r.SlowRounds, r.NodesDied, r.NodesRejoined)
+		fmt.Fprintf(&b, "recovery: %d checkpoint requeues, %d service failovers, %d fenced pods; safe-mode entries %d, rescan repairs %d\n",
+			r.CheckpointRequeues, r.ServiceFailovers, r.FencedPods, r.SafeModeEntries, r.RescanRepairs)
+	}
 	return b.String()
 }

@@ -1,0 +1,75 @@
+package cluster
+
+// failureDetector is a phi-accrual-style heartbeat failure detector
+// (after Hayashibara et al.), simplified to the control plane's
+// synchronous rounds: instead of fitting a distribution over
+// inter-arrival times it keeps an EWMA of each node's inter-heartbeat
+// gap (in rounds) and scores suspicion as
+//
+//	phi = roundsSinceLastHeartbeat / meanGap
+//
+// A node whose history says it never misses grows suspicious after a
+// couple of silent rounds; a node with chronically lossy heartbeats
+// earns proportional tolerance. The mean gap is clamped to
+// [1, maxMeanGap] so a truly dead node is always declared within
+// maxMeanGap*deadPhi rounds no matter how flaky its past.
+type failureDetector struct {
+	suspectPhi float64
+	deadPhi    float64
+	meanGap    []float64
+	since      []int
+}
+
+const (
+	// gapAlpha is the EWMA weight of the latest observed gap.
+	gapAlpha = 0.2
+	// maxMeanGap bounds the learned tolerance: even a node that loses
+	// every other heartbeat is declared dead after 2*deadPhi silent
+	// rounds.
+	maxMeanGap = 2.0
+)
+
+func newFailureDetector(nodes int, suspectPhi, deadPhi float64) *failureDetector {
+	fd := &failureDetector{
+		suspectPhi: suspectPhi,
+		deadPhi:    deadPhi,
+		meanGap:    make([]float64, nodes),
+		since:      make([]int, nodes),
+	}
+	for i := range fd.meanGap {
+		fd.meanGap[i] = 1
+	}
+	return fd
+}
+
+// observe records one round's outcome for node i: a delivered heartbeat
+// closes the current gap into the EWMA; a miss just widens it.
+func (fd *failureDetector) observe(i int, delivered bool) {
+	if !delivered {
+		fd.since[i]++
+		return
+	}
+	gap := float64(fd.since[i] + 1)
+	fd.meanGap[i] += gapAlpha * (gap - fd.meanGap[i])
+	if fd.meanGap[i] > maxMeanGap {
+		fd.meanGap[i] = maxMeanGap
+	}
+	if fd.meanGap[i] < 1 {
+		fd.meanGap[i] = 1
+	}
+	fd.since[i] = 0
+}
+
+func (fd *failureDetector) phi(i int) float64 {
+	return float64(fd.since[i]) / fd.meanGap[i]
+}
+
+func (fd *failureDetector) suspect(i int) bool { return fd.phi(i) >= fd.suspectPhi }
+func (fd *failureDetector) dead(i int) bool    { return fd.phi(i) >= fd.deadPhi }
+
+// reset forgets node i's history — used when a node reboots or rejoins,
+// so its fresh incarnation starts with a clean record.
+func (fd *failureDetector) reset(i int) {
+	fd.meanGap[i] = 1
+	fd.since[i] = 0
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/holmes-colocation/holmes/internal/batch"
 	"github.com/holmes-colocation/holmes/internal/cgroupfs"
 	"github.com/holmes-colocation/holmes/internal/core"
+	"github.com/holmes-colocation/holmes/internal/faults"
 	"github.com/holmes-colocation/holmes/internal/kernel"
 	"github.com/holmes-colocation/holmes/internal/kubelite"
 	"github.com/holmes-colocation/holmes/internal/kvstore"
@@ -46,6 +47,25 @@ type Heartbeat struct {
 	ServiceThreads int
 	// CapacityThreads is the node's thread capacity (logical CPUs).
 	CapacityThreads int
+	// SafeMode reports the node daemon's watchdog state: true while the
+	// daemon distrusts its counters and holds the static partition.
+	SafeMode bool
+	// Gen is the node's boot generation (0 = first boot); it bumps on
+	// every reboot so the control plane can tell a fresh incarnation
+	// from the one it placed pods on.
+	Gen int
+	// Progress checkpoints every BestEffort pod's completed work units.
+	// If the node dies before the next heartbeat, this is all the control
+	// plane has to reschedule from.
+	Progress []PodProgress
+}
+
+// PodProgress is one BestEffort pod's work-unit checkpoint, carried in
+// each heartbeat so a dead node's pods can resume elsewhere from the
+// last reported state instead of from zero.
+type PodProgress struct {
+	Name  string
+	Units int
 }
 
 // UsedThreads is the node's total declared thread occupancy.
@@ -72,6 +92,7 @@ type Node struct {
 	kl *kubelite.Kubelet
 
 	seed     uint64
+	gen      int
 	services map[string]*nodeService
 
 	// Measurement baselines, captured when the measured window opens.
@@ -81,12 +102,19 @@ type Node struct {
 
 // bootNode builds one node. Its machine seed derives from (cluster seed,
 // node ID) via rng.DeriveSeed, so the fleet is reproducible at any boot
-// or advance parallelism.
-func bootNode(spec Spec, id int, tel *telemetry.Set) (*Node, error) {
+// or advance parallelism. gen > 0 is a reboot: the seed is additionally
+// salted with the generation, so a rebooted node is a genuinely fresh
+// machine, not a replay of its first life — while gen 0 keeps the exact
+// seed key of fault-free runs.
+func bootNode(spec Spec, id, gen int, tel *telemetry.Set) (*Node, error) {
 	mcfg := machine.DefaultConfig()
 	mcfg.Topology.Cores = spec.CoresPerNode
 	mcfg.Topology.Sockets = 1
-	mcfg.Seed = rng.DeriveSeed(spec.Seed, "cluster-node", fmt.Sprint(id))
+	seedKey := []string{"cluster-node", fmt.Sprint(id)}
+	if gen > 0 {
+		seedKey = append(seedKey, "reboot", fmt.Sprint(gen))
+	}
+	mcfg.Seed = rng.DeriveSeed(spec.Seed, seedKey...)
 	m := machine.New(mcfg)
 	k := kernel.New(m)
 	fs := cgroupfs.NewFS()
@@ -101,6 +129,23 @@ func bootNode(spec Spec, id int, tel *telemetry.Set) (*Node, error) {
 	kcfg.Holmes.SNs = 500_000_000 // compressed quiet period, as in the evaluation
 	kcfg.Holmes.DaemonCPU = mcfg.Topology.LogicalCPUs() - 1
 	kcfg.Holmes.Telemetry = tel
+	if !spec.DisableDegradation {
+		// Counter-health watchdog + periodic cgroupfs re-scan: the node
+		// defends itself against lying counters and lost events.
+		kcfg.Holmes.WatchdogWindow = 128
+		kcfg.Holmes.RescanIntervalNs = spec.heartbeatNs()
+	}
+	if c := spec.Chaos; c != nil {
+		if cs := c.Counters; cs.Enabled() {
+			kcfg.Holmes.CounterFault = faults.NewCounterInjector(
+				cs.Resolve(spec.totalSimNs()),
+				rng.DeriveSeed(spec.Seed, "chaos-counters", fmt.Sprint(id), fmt.Sprint(gen)))
+		}
+		if cg := c.Cgroup; cg.Enabled() {
+			kcfg.Holmes.CgroupFault = faults.NewCgroupInjector(cg,
+				rng.DeriveSeed(spec.Seed, "chaos-cgroup", fmt.Sprint(id), fmt.Sprint(gen)))
+		}
+	}
 	kl, err := kubelite.Start(k, fs, kcfg)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
@@ -112,6 +157,7 @@ func bootNode(spec Spec, id int, tel *telemetry.Set) (*Node, error) {
 		fs:       fs,
 		kl:       kl,
 		seed:     spec.Seed,
+		gen:      gen,
 		services: map[string]*nodeService{},
 	}, nil
 }
@@ -132,6 +178,8 @@ func (n *Node) Heartbeat() Heartbeat {
 		CPUVPI:          make([]float64, topo.LogicalCPUs()),
 		CapacityThreads: topo.LogicalCPUs(),
 		ServicePods:     len(n.services),
+		SafeMode:        d.SafeMode(),
+		Gen:             n.gen,
 	}
 	for p := 0; p < topo.LogicalCPUs(); p++ {
 		hb.CPUVPI[p] = mon.VPI(p)
@@ -159,6 +207,7 @@ func (n *Node) Heartbeat() Heartbeat {
 		}
 		hb.BatchPods++
 		hb.BatchThreads += pod.Spec.Containers * pod.Spec.ThreadsPerContainer
+		hb.Progress = append(hb.Progress, PodProgress{Name: name, Units: pod.CompletedWorkUnits()})
 	}
 	return hb
 }
@@ -221,6 +270,49 @@ func (n *Node) PlaceBatch(name string, kind batch.Kind, containers, threads, uni
 // EvictBatch deletes a BestEffort pod (the reconciler's action); the pod
 // resumes from its checkpoint wherever the scheduler re-places it.
 func (n *Node) EvictBatch(name string) error { return n.kl.DeletePod(name) }
+
+// HasBatch reports whether a BestEffort pod by that name still runs on
+// this node — the control plane's bookings can go stale across a reboot.
+func (n *Node) HasBatch(name string) bool {
+	pod := n.kl.Pod(name)
+	return pod != nil && pod.Spec.QoS == kubelite.BestEffort
+}
+
+// Fence reconciles a rejoining node against the control plane's current
+// view: every BestEffort pod not in keepPods and every service the
+// control plane no longer books here (keepService false) is deleted.
+// A node that was falsely declared dead may have been doing work the
+// scheduler already re-placed elsewhere; fencing kills the zombies so
+// two instances never run at once. Returns the number of pods removed.
+func (n *Node) Fence(keepPods map[string]bool, keepService func(string) bool) (int, error) {
+	fenced := 0
+	for _, name := range n.kl.PodNames() {
+		pod := n.kl.Pod(name)
+		switch pod.Spec.QoS {
+		case kubelite.BestEffort:
+			if keepPods[name] {
+				continue
+			}
+		default:
+			s := n.services[name]
+			if s == nil || keepService(name) {
+				continue
+			}
+			s.client.Stop()
+			delete(n.services, name)
+		}
+		if err := n.kl.DeletePod(name); err != nil {
+			return fenced, err
+		}
+		fenced++
+	}
+	return fenced, nil
+}
+
+// DaemonStats exposes the node daemon's counters (safe-mode entries,
+// re-scan repairs, ...) so the cluster result can aggregate degradation
+// activity across the fleet.
+func (n *Node) DaemonStats() core.DaemonStats { return n.kl.Holmes().Snapshot() }
 
 // BatchUnitsDone returns a BestEffort pod's completed work units — the
 // checkpoint the reconciler requeues an evicted pod from.

@@ -16,6 +16,15 @@ type NodeState struct {
 	// Hot counts consecutive heartbeats with TrendVPI >= the eviction
 	// threshold (reset to zero by the first quiet heartbeat).
 	Hot int
+	// MissedHB counts consecutive rounds without a delivered heartbeat.
+	MissedHB int
+	// Suspect is the failure detector's soft verdict: the node has missed
+	// enough heartbeats that placement avoids it when anything else fits.
+	Suspect bool
+	// Dead is the hard verdict: the node's pods have been rescheduled and
+	// no placement may target it until it rejoins. Always false when
+	// degradation is disabled — the control plane then schedules blind.
+	Dead bool
 }
 
 // PodRequest is one placement decision's input.
@@ -48,9 +57,10 @@ func NewPlacer(name string) (Placer, error) {
 
 // fits is the shared capacity rule: a pod fits while the node's declared
 // threads stay within its logical-CPU count. Threads time-share beyond
-// that, but admitting past it just builds runqueues.
+// that, but admitting past it just builds runqueues. Nodes the failure
+// detector declared dead never fit.
 func fits(st NodeState, req PodRequest) bool {
-	return st.HB.UsedThreads()+req.Threads <= st.HB.CapacityThreads
+	return !st.Dead && st.HB.UsedThreads()+req.Threads <= st.HB.CapacityThreads
 }
 
 // BinPack is the baseline: first-fit by node ID on thread capacity,
@@ -84,13 +94,17 @@ func (VPIAware) Name() string { return PlacerVPI }
 
 // Place implements Placer.
 func (VPIAware) Place(states []NodeState, req PodRequest) int {
-	best, bestHot := -1, -1
-	var bestA, bestB, hotA, hotB float64
+	best, bestAvoid := -1, -1
+	var bestA, bestB, avoidA, avoidB float64
 	for _, st := range states {
 		if !fits(st, req) {
 			continue
 		}
 		var a, b float64
+		// Suspect nodes (missed heartbeats, maybe dying) and hot nodes
+		// (the reconciler is draining them) only take new work when
+		// nothing healthy fits — placing beats dropping.
+		avoid := st.Suspect
 		if req.Guaranteed {
 			// Minimize sustained interference, then co-resident service
 			// load, so services land on distinct quiet nodes.
@@ -102,21 +116,20 @@ func (VPIAware) Place(states []NodeState, req PodRequest) int {
 			free := st.HB.CapacityThreads - st.HB.UsedThreads()
 			a = -float64(free + 2*st.HB.Lendable)
 			b = st.HB.SmoothedVPI
-			if st.Hot > 0 {
-				// A node the reconciler is draining only takes new batch
-				// work when nothing quiet fits — placing beats dropping.
-				if bestHot < 0 || a < hotA || (a == hotA && b < hotB) {
-					bestHot, hotA, hotB = st.ID, a, b
-				}
-				continue
+			avoid = avoid || st.Hot > 0
+		}
+		if avoid {
+			if bestAvoid < 0 || a < avoidA || (a == avoidA && b < avoidB) {
+				bestAvoid, avoidA, avoidB = st.ID, a, b
 			}
+			continue
 		}
 		if best < 0 || a < bestA || (a == bestA && b < bestB) {
 			best, bestA, bestB = st.ID, a, b
 		}
 	}
 	if best < 0 {
-		return bestHot
+		return bestAvoid
 	}
 	return best
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"github.com/holmes-colocation/holmes/internal/batch"
+	"github.com/holmes-colocation/holmes/internal/faults"
 	"github.com/holmes-colocation/holmes/internal/ycsb"
 )
 
@@ -46,6 +47,25 @@ type Spec struct {
 	// pinned in place (0 = 2); with the placement retry bound this keeps
 	// rescheduling from livelocking.
 	MaxEvictions int `json:"max_evictions"`
+
+	// Chaos, when non-nil, applies the fault schedule to the run: counter
+	// and cgroup faults are injected into every node's daemon, node-level
+	// faults (crash, heartbeat loss, slow node) into the control-plane
+	// rounds. See internal/faults.
+	Chaos *faults.Spec `json:"chaos,omitempty"`
+	// SuspectRounds/DeadRounds tune the phi-style failure detector: a
+	// node is suspected (soft-avoided by placement) at phi >=
+	// SuspectRounds and declared dead (pods rescheduled from checkpoints)
+	// at phi >= DeadRounds, where phi is missed rounds normalized by the
+	// node's own heartbeat-gap history (0 = 3 and 6).
+	SuspectRounds int `json:"suspect_rounds"`
+	DeadRounds    int `json:"dead_rounds"`
+	// DisableDegradation switches off every graceful-degradation
+	// mechanism — the daemon watchdog and re-scan, the failure detector,
+	// checkpoint rescheduling — so the control plane schedules on
+	// whatever garbage the faults produce. The chaos experiment's
+	// control arm.
+	DisableDegradation bool `json:"disable_degradation"`
 
 	Services []ServiceSpec `json:"services"`
 	Batch    BatchStream   `json:"batch"`
@@ -176,6 +196,18 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	if s.SuspectRounds < 0 || s.DeadRounds < 0 {
+		return fmt.Errorf("cluster: detector rounds must not be negative")
+	}
+	if s.deadRounds() <= s.suspectRounds() {
+		return fmt.Errorf("cluster: dead_rounds %d must exceed suspect_rounds %d",
+			s.deadRounds(), s.suspectRounds())
+	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -229,6 +261,38 @@ func (s Spec) placer() string {
 		return PlacerVPI
 	}
 	return s.Placer
+}
+
+func (s Spec) suspectRounds() int {
+	if s.SuspectRounds == 0 {
+		return 3
+	}
+	return s.SuspectRounds
+}
+
+func (s Spec) deadRounds() int {
+	if s.DeadRounds == 0 {
+		return 6
+	}
+	return s.DeadRounds
+}
+
+// rounds converts the warmup/duration seconds into heartbeat rounds.
+func (s Spec) rounds() (warmup, measure int) {
+	hbNs := s.heartbeatNs()
+	warmup = int((int64(s.WarmupSeconds*1e9) + hbNs - 1) / hbNs)
+	measure = int((int64(s.DurationSeconds*1e9) + hbNs - 1) / hbNs)
+	if measure < 1 {
+		measure = 1
+	}
+	return
+}
+
+// totalSimNs is the full simulated length of the run (warmup included),
+// the horizon fault schedules are resolved against.
+func (s Spec) totalSimNs() int64 {
+	w, m := s.rounds()
+	return int64(w+m) * s.heartbeatNs()
 }
 
 func (b BatchStream) podSpecShape() (containers, threads, units int) {

@@ -32,6 +32,23 @@ const (
 	MetricUsage Metric = "usage"
 )
 
+// CounterFaultFilter intercepts every per-CPU VPI sample before the
+// monitor stores it — the hook internal/faults uses to model counter
+// multiplexing noise, stuck reads, and dead counters. Implementations
+// run inside the machine's simulation and must be deterministic.
+type CounterFaultFilter interface {
+	// FilterVPI returns the reading the monitor should store for logical
+	// CPU cpu at simulated time nowNs, given the true sample vpi.
+	FilterVPI(cpu int, nowNs int64, vpi float64) float64
+}
+
+// CgroupFaultFilter decides how many times each cgroup watch event
+// reaches the daemon's discovery path: 0 drops it (a lost inotify
+// event), 2 duplicates it. Implementations must be deterministic.
+type CgroupFaultFilter interface {
+	Deliveries() int
+}
+
 // Config holds Holmes's tunables. Defaults are the paper's §5 settings.
 type Config struct {
 	// ReservedCPUs is the number of logical CPUs initially reserved for
@@ -73,6 +90,36 @@ type Config struct {
 	// pool (an extension; the paper only describes expansion). The pool
 	// never shrinks below ReservedCPUs.
 	EnableShrink bool
+	// CounterFault, when non-nil, filters every VPI sample before the
+	// monitor stores it (fault injection; see internal/faults).
+	CounterFault CounterFaultFilter
+	// CgroupFault, when non-nil, drops or duplicates cgroup watch events
+	// before they reach batch-job discovery (fault injection).
+	CgroupFault CgroupFaultFilter
+	// WatchdogWindow enables the counter-health watchdog: every this
+	// many busy-CPU VPI samples the daemon checks what fraction looked
+	// implausible (stuck, zero-while-busy, negative, or absurdly large)
+	// and, past WatchdogSuspectFraction, falls back to safe mode — a
+	// conservative static partition with every sibling withheld and the
+	// reserved pool frozen — until readings stabilize for
+	// SafeModeQuietNs. 0 disables the watchdog (the default: a
+	// single-machine run with healthy counters should behave exactly as
+	// before this knob existed).
+	WatchdogWindow int
+	// WatchdogSuspectFraction is the implausible-sample fraction that
+	// trips safe mode (0 = 0.5).
+	WatchdogSuspectFraction float64
+	// WatchdogMaxVPI is the largest VPI reading considered physically
+	// plausible (0 = 100*E).
+	WatchdogMaxVPI float64
+	// SafeModeQuietNs is how long the VPI stream must stay plausible
+	// before safe mode lifts (0 = SNs).
+	SafeModeQuietNs int64
+	// RescanIntervalNs, when positive, re-walks the cgroup tree under
+	// YarnRoot every interval, adopting containers whose creation events
+	// were lost and dropping tracked containers whose groups vanished —
+	// the reconciliation pass for a lossy watch path. 0 disables it.
+	RescanIntervalNs int64
 	// Telemetry, when non-nil, receives the daemon's metrics and decision
 	// events. The record path is allocation-free; when DaemonCPU enables
 	// overhead modeling, the cycles spent recording are charged to the
@@ -115,6 +162,15 @@ func (c Config) Validate() error {
 	case "", MetricVPI, MetricUsage:
 	default:
 		return fmt.Errorf("core: unknown trigger metric %q", c.TriggerMetric)
+	}
+	if c.WatchdogWindow < 0 || c.RescanIntervalNs < 0 || c.SafeModeQuietNs < 0 {
+		return fmt.Errorf("core: watchdog/rescan parameters must not be negative")
+	}
+	if c.WatchdogSuspectFraction < 0 || c.WatchdogSuspectFraction > 1 {
+		return fmt.Errorf("core: WatchdogSuspectFraction must be in [0,1]")
+	}
+	if c.WatchdogMaxVPI < 0 {
+		return fmt.Errorf("core: WatchdogMaxVPI must not be negative")
 	}
 	return nil
 }

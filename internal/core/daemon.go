@@ -52,6 +52,29 @@ type Daemon struct {
 	// last, so shrinking releases them in reverse order.
 	expansionOrder []int
 
+	// Counter-health watchdog (Config.WatchdogWindow > 0). wdLast/wdRun
+	// track, per logical CPU, the previous reading and how many
+	// consecutive ticks it has repeated exactly while the CPU was busy —
+	// real VPI streams carry continuous measurement noise, so a long
+	// identical run (including an all-zero run on a CPU doing memory
+	// work) means the counters, not the workload, went flat.
+	wdLast     []float64
+	wdRun      []int
+	wdSamples  int   // busy-CPU samples accumulated this window
+	wdSuspects int   // of which looked implausible
+	lastBadNs  int64 // last implausible sample (gates safe-mode exit)
+
+	// Safe mode: conservative static partition while counters are
+	// untrusted — every sibling withheld, reserved pool frozen.
+	safeMode        bool
+	safeModeEntries int64
+	safeModeExits   int64
+
+	// Cgroup re-scan reconciliation (Config.RescanIntervalNs > 0).
+	lastRescanNs  int64
+	rescans       int64
+	rescanRepairs int64
+
 	// Statistics.
 	invocations   int64
 	deallocations int64
@@ -110,10 +133,28 @@ func Start(k *kernel.Kernel, fs *cgroupfs.FS, cfg Config) (*Daemon, error) {
 		cfg.Telemetry.PublishInfo("holmes.trigger_metric", string(cfg.TriggerMetric))
 	}
 
+	if cfg.WatchdogWindow > 0 {
+		n := m.Topology().LogicalCPUs()
+		d.wdLast = make([]float64, n)
+		d.wdRun = make([]int, n)
+	}
+	d.lastRescanNs = m.Now()
+
 	// Discover batch containers through the cgroup tree (paper §4.2:
 	// "Holmes monitors directories in the cgroup file system to detect
-	// batch jobs").
-	fs.Watch(d.onCgroupEvent)
+	// batch jobs"). With a fault filter installed, each event is
+	// delivered 0..2 times — the daemon's discovery path has to survive
+	// losses (the re-scan repairs them) and duplicates (discovery is
+	// keyed by path, so redelivery is a no-op).
+	if cfg.CgroupFault != nil {
+		fs.Watch(func(ev cgroupfs.Event) {
+			for n := d.cfg.CgroupFault.Deliveries(); n > 0; n-- {
+				d.onCgroupEvent(ev)
+			}
+		})
+	} else {
+		fs.Watch(d.onCgroupEvent)
+	}
 	d.adoptExistingContainers()
 
 	// Trace the initial sibling state after adoption so a decision log
@@ -274,6 +315,20 @@ func (d *Daemon) tick(nowNs int64) {
 	d.mon.Sample(nowNs)
 	d.reapExitedLC()
 
+	if d.cfg.RescanIntervalNs > 0 && nowNs-d.lastRescanNs >= d.cfg.RescanIntervalNs {
+		d.lastRescanNs = nowNs
+		d.rescanCgroups()
+	}
+	if d.cfg.WatchdogWindow > 0 {
+		d.watchdogScan(nowNs)
+	}
+	if d.safeMode {
+		// Safe mode: no sibling decisions, no pool changes — the static
+		// partition holds until the counter stream looks sane again.
+		d.chargeOverhead()
+		return
+	}
+
 	changed := false
 	sampleTick := d.tel.enabled() && d.invocations%monitorSampleEvery == 0
 
@@ -332,10 +387,13 @@ func (d *Daemon) tick(nowNs int64) {
 		d.applyBatchMask()
 		d.updatePoolGauges()
 	}
+	d.chargeOverhead()
+}
 
-	// Overhead modeling: the invocation's own CPU cost, plus the modeled
-	// cost of whatever telemetry this tick recorded. The telemetry share
-	// is accumulated separately so §6.6 can split daemon-vs-telemetry.
+// chargeOverhead models the invocation's own CPU cost, plus the modeled
+// cost of whatever telemetry this tick recorded. The telemetry share is
+// accumulated separately so §6.6 can split daemon-vs-telemetry.
+func (d *Daemon) chargeOverhead() {
 	telCycles := d.tel.drainCycles()
 	d.telemetryCycles += telCycles
 	if d.daemonProc != nil && !d.daemonProc.Exited() {
@@ -490,6 +548,184 @@ func (d *Daemon) sortedContainerPaths() []string {
 	sort.Strings(paths)
 	return paths
 }
+
+// Watchdog tuning. A reading is only evidence when its CPU executed work
+// this interval (watchdogBusyFloor, a small floor rather than a majority
+// threshold — bursty LC services rarely fill a 100 µs window): idle CPUs
+// legitimately report zero. A CPU that did run something yet reads
+// exactly zero means the counters, not the workload, went flat — a
+// latency-critical service executing even one query issues loads and
+// stores, so its true VPI is strictly positive — but one zero can be a
+// benign sampling artifact, so it takes watchdogZeroRun consecutive
+// zeros to count. A reading that repeats *exactly* (bit-identical) is
+// normal for short stretches — counter noise has a finite update
+// granularity — and implausible only past watchdogFlatRun consecutive
+// ticks, the signature of a latched register.
+const (
+	watchdogBusyFloor = 0.02
+	watchdogZeroRun   = 8
+	watchdogFlatRun   = 256
+)
+
+// suspectFraction returns the safe-mode trip threshold with its default.
+func (d *Daemon) suspectFraction() float64 {
+	if d.cfg.WatchdogSuspectFraction <= 0 {
+		return 0.5
+	}
+	return d.cfg.WatchdogSuspectFraction
+}
+
+// safeModeQuietNs returns how long the stream must stay plausible before
+// safe mode lifts, defaulting to the sibling quiet period SNs.
+func (d *Daemon) safeModeQuietNs() int64 {
+	if d.cfg.SafeModeQuietNs > 0 {
+		return d.cfg.SafeModeQuietNs
+	}
+	return d.cfg.SNs
+}
+
+// watchdogScan is the counter-health check, run every tick (including in
+// safe mode, where it decides when to come back out). It inspects the
+// reserved LC CPUs — the ones whose readings drive sibling evictions —
+// and counts implausible samples over a tumbling window of busy samples.
+func (d *Daemon) watchdogScan(nowNs int64) {
+	maxVPI := d.cfg.WatchdogMaxVPI
+	if maxVPI <= 0 {
+		maxVPI = 100 * d.cfg.E
+	}
+	for _, lc := range d.reserved.CPUs() {
+		vpi, usage := d.mon.VPI(lc), d.mon.Usage(lc)
+		if usage < watchdogBusyFloor {
+			// An idle CPU is evidence of nothing: reset the streak so a
+			// quiet spell cannot accumulate into a false alarm.
+			d.wdRun[lc] = 0
+			d.wdLast[lc] = vpi
+			continue
+		}
+		if vpi == d.wdLast[lc] {
+			d.wdRun[lc]++
+		} else {
+			d.wdRun[lc] = 0
+		}
+		d.wdLast[lc] = vpi
+		suspect := vpi < 0 || vpi > maxVPI ||
+			(vpi == 0 && d.wdRun[lc] >= watchdogZeroRun) ||
+			d.wdRun[lc] >= watchdogFlatRun
+		d.wdSamples++
+		if suspect {
+			d.wdSuspects++
+			d.lastBadNs = nowNs
+		}
+	}
+	if d.wdSamples >= d.cfg.WatchdogWindow {
+		frac := float64(d.wdSuspects) / float64(d.wdSamples)
+		d.wdSamples, d.wdSuspects = 0, 0
+		if !d.safeMode && frac >= d.suspectFraction() {
+			d.enterSafeMode(nowNs, frac)
+		}
+	}
+	if d.safeMode && nowNs-d.lastBadNs >= d.safeModeQuietNs() {
+		d.exitSafeMode(nowNs)
+	}
+}
+
+// enterSafeMode falls back to the conservative static partition: every
+// LC sibling is withheld from batch (the fault-free worst case Holmes
+// improves on) and the reserved pool freezes. Deliberately not counted
+// as deallocations — these are defensive withdrawals on untrusted data,
+// not Algorithm 2 decisions.
+func (d *Daemon) enterSafeMode(nowNs int64, frac float64) {
+	d.safeMode = true
+	d.safeModeEntries++
+	d.tel.inc(d.tel.safeModeEntries)
+	d.tel.gauge(d.tel.safeModeG, 1)
+	for _, lc := range d.reserved.CPUs() {
+		d.siblingAllowed[lc] = false
+		d.quietSince[lc] = -1
+	}
+	d.emit(telemetry.Event{Type: telemetry.SafeModeEntered, CPU: -1,
+		Threshold: d.suspectFraction(),
+		Detail:    fmt.Sprintf("suspect fraction %.2f", frac)})
+	d.applyBatchMask()
+	d.updatePoolGauges()
+}
+
+// exitSafeMode resumes normal scheduling once the stream has stayed
+// plausible for the quiet period. Siblings stay withheld; the regular
+// SNs quiet-period machinery re-grants them one by one, so recovery is
+// as conservative as a post-interference re-offer.
+func (d *Daemon) exitSafeMode(nowNs int64) {
+	d.safeMode = false
+	d.safeModeExits++
+	d.tel.inc(d.tel.safeModeExits)
+	d.tel.gauge(d.tel.safeModeG, 0)
+	for _, lc := range d.reserved.CPUs() {
+		d.quietSince[lc] = nowNs
+	}
+	d.emit(telemetry.Event{Type: telemetry.SafeModeExited, CPU: -1})
+}
+
+// SafeMode reports whether the daemon is currently in the conservative
+// static-partition fallback.
+func (d *Daemon) SafeMode() bool { return d.safeMode }
+
+// SafeModeTransitions returns how many times safe mode was entered and
+// exited.
+func (d *Daemon) SafeModeTransitions() (entries, exits int64) {
+	return d.safeModeEntries, d.safeModeExits
+}
+
+// rescanCgroups reconciles the container table against the cgroup tree,
+// repairing both directions of event loss: groups that appeared without
+// a delivered creation event are adopted, and tracked paths whose groups
+// vanished without a removal event are dropped.
+func (d *Daemon) rescanCgroups() {
+	d.rescans++
+	d.tel.inc(d.tel.rescans)
+	seen := map[string]bool{}
+	if root := d.fs.Lookup(d.cfg.YarnRoot); root != nil {
+		root.Walk(func(g *cgroupfs.Group) {
+			path := g.Path()
+			seen[path] = true
+			if _, known := d.containers[path]; known {
+				return
+			}
+			for _, pid := range g.Pids() {
+				proc := d.k.Process(pid)
+				if proc == nil || proc.Exited() {
+					continue
+				}
+				d.containers[path] = proc
+				d.rescanRepairs++
+				d.tel.inc(d.tel.batchFound)
+				d.tel.inc(d.tel.rescanRepairsC)
+				d.emit(telemetry.Event{Type: telemetry.RescanRepaired, CPU: -1, PID: pid, Detail: path})
+				_ = proc.SetAffinity(d.BatchMask())
+				break
+			}
+		})
+	}
+	for _, path := range d.sortedContainerPaths() {
+		if seen[path] {
+			continue
+		}
+		delete(d.containers, path)
+		d.rescanRepairs++
+		d.tel.inc(d.tel.rescanRepairsC)
+		d.emit(telemetry.Event{Type: telemetry.RescanRepaired, CPU: -1, Detail: path})
+	}
+	d.tel.gauge(d.tel.containers, float64(len(d.containers)))
+}
+
+// RescanStats returns how many reconciliation scans ran and how many
+// discrepancies (missed creations or removals) they repaired.
+func (d *Daemon) RescanStats() (rescans, repairs int64) {
+	return d.rescans, d.rescanRepairs
+}
+
+// Containers returns the number of batch containers the daemon currently
+// tracks.
+func (d *Daemon) Containers() int { return len(d.containers) }
 
 // sortedLCPids returns the registered LC pids in ascending order, for
 // deterministic iteration.

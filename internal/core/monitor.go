@@ -42,18 +42,18 @@ type Monitor struct {
 func NewMonitor(m *machine.Machine, cfg Config) (*Monitor, error) {
 	n := m.Topology().LogicalCPUs()
 	mon := &Monitor{
-		m:         m,
-		cfg:       cfg,
-		vpiGroups: make([]*perf.VPIGroup, n),
-		prevBusy:  make([]float64, n),
+		m:           m,
+		cfg:         cfg,
+		vpiGroups:   make([]*perf.VPIGroup, n),
+		prevBusy:    make([]float64, n),
 		vpi:         make([]float64, n),
 		usage:       make([]float64, n),
 		smoothed:    make([]float64, n),
 		smoothedVPI: make([]float64, n),
-		coreVPI:   make([]float64, m.Topology().PhysicalCores()),
-		coreUsage: make([]float64, m.Topology().PhysicalCores()),
-		coreIndex: make([]int, n),
-		lastNs:    m.Now(),
+		coreVPI:     make([]float64, m.Topology().PhysicalCores()),
+		coreUsage:   make([]float64, m.Topology().PhysicalCores()),
+		coreIndex:   make([]int, n),
+		lastNs:      m.Now(),
 	}
 	for p := 0; p < n; p++ {
 		mon.coreIndex[p] = m.Topology().CoreOf(p)
@@ -78,7 +78,14 @@ func (mon *Monitor) Sample(nowNs int64) {
 		mon.coreUsage[i] = 0
 	}
 	for p := range mon.vpiGroups {
-		mon.vpi[p] = mon.vpiGroups[p].Sample()
+		v := mon.vpiGroups[p].Sample()
+		if mon.cfg.CounterFault != nil {
+			// Fault injection: everything downstream — the daemon's
+			// sibling decisions, the EWMA, the cluster heartbeat — sees
+			// only what the (possibly lying) counters report.
+			v = mon.cfg.CounterFault.FilterVPI(p, nowNs, v)
+		}
+		mon.vpi[p] = v
 		busy := mon.m.BusyCycles(p)
 		if window > 0 {
 			mon.usage[p] = clamp01((busy - mon.prevBusy[p]) /

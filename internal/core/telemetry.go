@@ -30,17 +30,22 @@ type daemonTelemetry struct {
 	set    *telemetry.Set
 	tracer *telemetry.Tracer
 
-	invocations   *telemetry.Counter
-	deallocations *telemetry.Counter
-	reallocations *telemetry.Counter
-	expansions    *telemetry.Counter
-	shrinks       *telemetry.Counter
-	batchFound    *telemetry.Counter
-	reservedCPUs  *telemetry.Gauge
-	batchCPUs     *telemetry.Gauge
-	containers    *telemetry.Gauge
-	lcServices    *telemetry.Gauge
-	lcVPI         *telemetry.Histogram
+	invocations     *telemetry.Counter
+	deallocations   *telemetry.Counter
+	reallocations   *telemetry.Counter
+	expansions      *telemetry.Counter
+	shrinks         *telemetry.Counter
+	batchFound      *telemetry.Counter
+	safeModeEntries *telemetry.Counter
+	safeModeExits   *telemetry.Counter
+	rescans         *telemetry.Counter
+	rescanRepairsC  *telemetry.Counter
+	safeModeG       *telemetry.Gauge
+	reservedCPUs    *telemetry.Gauge
+	batchCPUs       *telemetry.Gauge
+	containers      *telemetry.Gauge
+	lcServices      *telemetry.Gauge
+	lcVPI           *telemetry.Histogram
 
 	// Cost accounting for the current tick, drained by drainCycles.
 	recordOps int64
@@ -62,6 +67,11 @@ func (dt *daemonTelemetry) resolve(set *telemetry.Set) {
 	dt.expansions = r.Counter("holmes_expansions_total", "reserved-pool expansions (usage > T)")
 	dt.shrinks = r.Counter("holmes_shrinks_total", "reserved-pool contractions")
 	dt.batchFound = r.Counter("holmes_batch_discovered_total", "batch containers discovered via cgroupfs")
+	dt.safeModeEntries = r.Counter("holmes_safe_mode_entries_total", "watchdog fallbacks to the static partition")
+	dt.safeModeExits = r.Counter("holmes_safe_mode_exits_total", "safe-mode recoveries after a quiet period")
+	dt.rescans = r.Counter("holmes_rescans_total", "cgroupfs reconciliation scans")
+	dt.rescanRepairsC = r.Counter("holmes_rescan_repairs_total", "missed cgroup events repaired by re-scan")
+	dt.safeModeG = r.Gauge("holmes_safe_mode", "1 while the daemon is in the static-partition fallback")
 	dt.reservedCPUs = r.Gauge("holmes_reserved_cpus", "logical CPUs in the reserved LC pool")
 	dt.batchCPUs = r.Gauge("holmes_batch_cpus", "logical CPUs batch jobs may currently use")
 	dt.containers = r.Gauge("holmes_batch_containers", "live batch containers under the yarn root")
@@ -142,6 +152,12 @@ type DaemonStats struct {
 	Reallocations int64
 	Expansions    int64
 	Shrinks       int64
+	// Graceful-degradation counters (zero unless the watchdog/re-scan
+	// knobs are enabled).
+	SafeModeEntries int64
+	SafeModeExits   int64
+	Rescans         int64
+	RescanRepairs   int64
 	// TelemetryCPUTimeNs is the simulated CPU time spent on telemetry
 	// recording — a subset of CPUTimeNs when overhead modeling is on.
 	TelemetryCPUTimeNs float64
@@ -156,6 +172,10 @@ func (d *Daemon) Snapshot() DaemonStats {
 		Reallocations:      d.reallocations,
 		Expansions:         d.expansions,
 		Shrinks:            d.shrinks,
+		SafeModeEntries:    d.safeModeEntries,
+		SafeModeExits:      d.safeModeExits,
+		Rescans:            d.rescans,
+		RescanRepairs:      d.rescanRepairs,
 		TelemetryCPUTimeNs: d.TelemetryCPUTimeNs(),
 	}
 }

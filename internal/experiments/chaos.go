@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/cluster"
+	"github.com/holmes-colocation/holmes/internal/faults"
+)
+
+// ChaosResult holds the three arms of the fault-injection experiment on
+// the same fleet, services, batch stream and seed:
+//
+//   - Clean: no faults — the baseline every delta is measured against;
+//   - Degraded: the default fault schedule with graceful degradation on
+//     (daemon watchdog + cgroupfs re-scan, failure detector, checkpoint
+//     rescheduling, fencing);
+//   - Control: the same faults with every degradation mechanism disabled,
+//     so the stack schedules on whatever the faults feed it.
+type ChaosResult struct {
+	Clean    *cluster.Result
+	Degraded *cluster.Result
+	Control  *cluster.Result
+}
+
+// chaosSLOHeadroom is the acceptance band for graceful degradation: the
+// degraded arm must keep SLO violations within 2x the fault-free run,
+// plus a small absolute floor so a near-zero baseline does not demand
+// the impossible of a run with real faults in it.
+const (
+	chaosSLOFactor = 2.0
+	chaosSLOFloor  = 0.0025 // 0.25 percentage points
+)
+
+// RunChaos runs the three arms under faults.DefaultSchedule.
+func RunChaos(o Options) (*ChaosResult, error) {
+	// One node more than the default service count, so the schedule's
+	// SpareServiceNodes guard still leaves a batch-only node to crash.
+	spec := cluster.DefaultSpec()
+	spec.Nodes = 5
+	if o.Full {
+		spec.Nodes = 8
+	}
+	spec.WarmupSeconds = float64(o.scaled(1_000_000_000)) / 1e9
+	spec.DurationSeconds = float64(o.colocDuration()) / 1e9
+	if o.Seed != 0 {
+		spec.Seed = o.Seed
+	}
+	opt := cluster.RunOptions{Workers: o.workers(), Telemetry: o.Telemetry}
+
+	res := &ChaosResult{}
+	var err error
+	clean := spec
+	clean.Name = "chaos: fault-free"
+	if res.Clean, err = cluster.Run(clean, opt); err != nil {
+		return nil, err
+	}
+	sched := faults.DefaultSchedule()
+	// The random crash draw is fleet-global and usually lands on a
+	// service node, where SpareServiceNodes vetoes it. Script one crash
+	// of the batch-only node (services fill the lowest IDs) a quarter
+	// into the measured window, with a reboot, so the experiment always
+	// demonstrates death detection, checkpoint rescheduling and rejoin
+	// fencing. Out-of-range rounds are skipped, so tiny runs stay valid.
+	hbMs := spec.HeartbeatMs
+	warm := int((int64(spec.WarmupSeconds*1000) + hbMs - 1) / hbMs)
+	meas := int((int64(spec.DurationSeconds*1000) + hbMs - 1) / hbMs)
+	down := meas / 4
+	if down < 10 {
+		down = 10
+	}
+	sched.Nodes.Crashes = append(sched.Nodes.Crashes, faults.NodeCrash{
+		Node: spec.Nodes - 1, Round: warm + meas/4, DownRounds: down,
+	})
+	degraded := spec
+	degraded.Name = "chaos: faults + graceful degradation"
+	degraded.Chaos = &sched
+	if res.Degraded, err = cluster.Run(degraded, opt); err != nil {
+		return nil, err
+	}
+	control := spec
+	control.Name = "chaos: faults, degradation disabled"
+	control.Chaos = &sched
+	control.DisableDegradation = true
+	if res.Control, err = cluster.Run(control, opt); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SLOBound is the degraded arm's acceptance ceiling for this result.
+func (r *ChaosResult) SLOBound() float64 {
+	return chaosSLOFactor*r.Clean.SLOViolationRatio + chaosSLOFloor
+}
+
+// DegradedWithinBound reports whether graceful degradation held the SLO.
+func (r *ChaosResult) DegradedWithinBound() bool {
+	return r.Degraded.SLOViolationRatio <= r.SLOBound()
+}
+
+// ControlWorse reports whether the no-degradation control demonstrably
+// lost more SLO than the degraded arm under identical faults.
+func (r *ChaosResult) ControlWorse() bool {
+	return r.Control.SLOViolationRatio > r.Degraded.SLOViolationRatio
+}
+
+// Render prints the three arms plus the deltas and verdicts.
+func (r *ChaosResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Clean.Render())
+	b.WriteString("\n")
+	b.WriteString(r.Degraded.Render())
+	b.WriteString("\n")
+	b.WriteString(r.Control.Render())
+	fmt.Fprintf(&b, "\nfaults vs fault-free: SLO violations %.2f%% -> %.2f%% degraded / %.2f%% control; mean p99 %.1f -> %.1f / %.1f us; utilization %.1f%% -> %.1f%% / %.1f%%; batch completed %d -> %d / %d\n",
+		100*r.Clean.SLOViolationRatio, 100*r.Degraded.SLOViolationRatio, 100*r.Control.SLOViolationRatio,
+		r.Clean.MeanP99/1e3, r.Degraded.MeanP99/1e3, r.Control.MeanP99/1e3,
+		100*r.Clean.ClusterUtil, 100*r.Degraded.ClusterUtil, 100*r.Control.ClusterUtil,
+		r.Clean.BatchCompleted, r.Degraded.BatchCompleted, r.Control.BatchCompleted)
+	verdict := "PASS"
+	if !r.DegradedWithinBound() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "graceful degradation: SLO violations %.2f%% vs bound %.2f%% (%gx fault-free + %.2fpp): %s\n",
+		100*r.Degraded.SLOViolationRatio, 100*r.SLOBound(),
+		chaosSLOFactor, 100*chaosSLOFloor, verdict)
+	cmp := "WORSE than degraded (as expected)"
+	if !r.ControlWorse() {
+		cmp = "NOT worse than degraded"
+	}
+	fmt.Fprintf(&b, "no-degradation control: SLO violations %.2f%% — %s\n",
+		100*r.Control.SLOViolationRatio, cmp)
+	return b.String()
+}

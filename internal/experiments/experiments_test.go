@@ -266,7 +266,7 @@ func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	want := []string{"fig2", "fig3", "table1", "fig4", "fig5", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "table3", "fig14", "table4",
-		"overhead", "cluster"}
+		"overhead", "cluster", "chaos"}
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
 			t.Fatalf("experiment %s missing from registry", id)
@@ -276,7 +276,7 @@ func TestRegistryComplete(t *testing.T) {
 	if len(ids) != len(want)+1 { // +1 for the ablations entry
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want)+1)
 	}
-	if ids[0] != "fig2" || ids[len(ids)-1] != "cluster" {
+	if ids[0] != "fig2" || ids[len(ids)-1] != "chaos" {
 		t.Fatalf("ordering wrong: %v", ids)
 	}
 }
@@ -497,5 +497,38 @@ func TestHTMLReportGenerates(t *testing.T) {
 	}
 	if strings.Count(out, "<svg") < 10 {
 		t.Fatalf("report has only %d figures", strings.Count(out, "<svg"))
+	}
+}
+
+// TestChaosGracefulDegradation runs the three chaos arms at test scale
+// and pins the experiment's acceptance contract: degradation holds the
+// SLO within the bound while the no-degradation control pays for the
+// same faults, and the degraded arm actually exercised its machinery.
+func TestChaosGracefulDegradation(t *testing.T) {
+	skipHeavyUnderRace(t)
+	r, err := RunChaos(Options{Seed: 42, Scale: 0.3, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.DegradedWithinBound() {
+		t.Fatalf("degraded SLO %.4f%% exceeds bound %.4f%%",
+			100*r.Degraded.SLOViolationRatio, 100*r.SLOBound())
+	}
+	if !r.ControlWorse() {
+		t.Fatalf("control SLO %.4f%% not worse than degraded %.4f%%",
+			100*r.Control.SLOViolationRatio, 100*r.Degraded.SLOViolationRatio)
+	}
+	if r.Degraded.SafeModeEntries == 0 && r.Degraded.RescanRepairs == 0 &&
+		r.Degraded.NodesDied == 0 && r.Degraded.HeartbeatsMissed == 0 {
+		t.Fatal("degraded arm shows no fault activity — schedule never fired")
+	}
+	if r.Control.SafeModeEntries != 0 || r.Control.RescanRepairs != 0 {
+		t.Fatal("control arm ran degradation machinery despite DisableDegradation")
+	}
+	out := r.Render()
+	for _, want := range []string{"graceful degradation:", "no-degradation control:", "faults vs fault-free:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -1,0 +1,235 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	spec := DefaultSchedule().Nodes
+	a := spec.Schedule(42, 8, 200)
+	b := spec.Schedule(42, 8, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := spec.Schedule(43, 8, 200)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestSchedulePerNodeStreams(t *testing.T) {
+	// Growing the fleet must not perturb the schedule of existing nodes:
+	// each node draws from its own derived stream.
+	spec := NodeSpec{HeartbeatLossRate: 0.3, SlowRate: 0.1}
+	small := spec.Schedule(7, 2, 100)
+	big := spec.Schedule(7, 6, 100)
+	for i := 0; i < 2; i++ {
+		if !reflect.DeepEqual(small[i], big[i]) {
+			t.Fatalf("node %d schedule changed when fleet grew", i)
+		}
+	}
+}
+
+func TestScheduleRespectsMaxCrashes(t *testing.T) {
+	spec := NodeSpec{CrashRate: 0.5, MaxCrashes: 2, CrashDownRounds: 3}
+	sched := spec.Schedule(1, 4, 100)
+	crashes := 0
+	for _, node := range sched {
+		for _, f := range node {
+			if f.Crash {
+				crashes++
+			}
+		}
+	}
+	if crashes != 2 {
+		t.Fatalf("scheduled %d crashes, MaxCrashes is 2", crashes)
+	}
+}
+
+func TestScheduleDownNodesStayQuiet(t *testing.T) {
+	// While a node is scheduled down it must not accrue heartbeat-loss or
+	// slow faults — the whole node is gone, not flaky.
+	spec := NodeSpec{Crashes: []NodeCrash{{Node: 0, Round: 10, DownRounds: 0}}}
+	sched := NodeSpec{
+		HeartbeatLossRate: 1,
+		Crashes:           spec.Crashes,
+	}.Schedule(1, 1, 40)
+	// Note: the targeted crash is stamped after random draws, so rounds
+	// after 10 may still carry LoseHeartbeat flags — the cluster ignores
+	// faults on down nodes at runtime. What must hold: the crash exists.
+	if !sched[0][10].Crash {
+		t.Fatal("targeted crash missing")
+	}
+	// A *random* permanent crash silences the rest of the node's schedule.
+	sched2 := NodeSpec{CrashRate: 1, HeartbeatLossRate: 1}.Schedule(1, 1, 40)
+	crashed := false
+	for r, f := range sched2[0] {
+		if f.Crash {
+			crashed = true
+			if f.DownRounds != 0 {
+				t.Fatalf("round %d: random crash DownRounds = %d, want 0", r, f.DownRounds)
+			}
+			continue
+		}
+		if crashed && (f.LoseHeartbeat || f.Slow > 0) {
+			t.Fatalf("round %d faults scheduled after permanent crash", r)
+		}
+	}
+	if !crashed {
+		t.Fatal("CrashRate 1 scheduled no crash")
+	}
+}
+
+func TestTargetedPartition(t *testing.T) {
+	spec := NodeSpec{Partitions: []NodePartition{{Node: 1, Round: 5, Rounds: 4}}}
+	sched := spec.Schedule(9, 3, 20)
+	for r := 0; r < 20; r++ {
+		want := r >= 5 && r < 9
+		if sched[1][r].LoseHeartbeat != want {
+			t.Fatalf("round %d: LoseHeartbeat = %v, want %v", r, sched[1][r].LoseHeartbeat, want)
+		}
+	}
+	for r := 0; r < 20; r++ {
+		if sched[0][r].LoseHeartbeat || sched[2][r].LoseHeartbeat {
+			t.Fatal("partition leaked onto other nodes")
+		}
+	}
+}
+
+func TestCounterInjectorDeterministic(t *testing.T) {
+	spec := CounterSpec{DropRate: 0.2, NoiseStd: 0.1, StuckRate: 0.05, ZeroRate: 0.05}
+	a := NewCounterInjector(spec, 11)
+	b := NewCounterInjector(spec, 11)
+	for i := 0; i < 5000; i++ {
+		now := int64(i) * 100_000
+		v := float64(i%97) * 0.7
+		if got, want := a.FilterVPI(i%4, now, v), b.FilterVPI(i%4, now, v); got != want {
+			t.Fatalf("sample %d: %g != %g", i, got, want)
+		}
+	}
+}
+
+func TestCounterInjectorDeadAfter(t *testing.T) {
+	ci := NewCounterInjector(CounterSpec{DeadAfterMs: 1}, 3)
+	if got := ci.FilterVPI(0, 500_000, 42); got != 42 {
+		t.Fatalf("before death: got %g, want 42", got)
+	}
+	if got := ci.FilterVPI(0, 1_000_000, 42); got != 0 {
+		t.Fatalf("at death: got %g, want 0", got)
+	}
+	if got := ci.FilterVPI(0, 2_000_000, 42); got != 0 {
+		t.Fatalf("after death: got %g, want 0", got)
+	}
+}
+
+func TestCounterInjectorDropReplaysLastValue(t *testing.T) {
+	ci := NewCounterInjector(CounterSpec{DropRate: 1}, 5)
+	// Nothing delivered yet: a drop replays the zero value.
+	if got := ci.FilterVPI(0, 0, 10); got != 0 {
+		t.Fatalf("first dropped sample: got %g, want 0", got)
+	}
+	if got := ci.FilterVPI(0, 100, 20); got != 0 {
+		t.Fatalf("dropped samples must replay the last delivered value, got %g", got)
+	}
+}
+
+func TestCounterInjectorStuckLatches(t *testing.T) {
+	ci := NewCounterInjector(CounterSpec{StuckRate: 1, StuckDurationMs: 1}, 5)
+	// First call latches at the previous delivered value (zero).
+	if got := ci.FilterVPI(0, 0, 33); got != 0 {
+		t.Fatalf("stuck sample: got %g, want latched 0", got)
+	}
+	if got := ci.FilterVPI(0, 500_000, 44); got != 0 {
+		t.Fatalf("within latch window: got %g, want 0", got)
+	}
+	// After the window a new latch begins, again at the last delivered
+	// value — still zero, since nothing was ever delivered cleanly.
+	if got := ci.FilterVPI(0, 2_000_000, 55); got != 0 {
+		t.Fatalf("after latch window: got %g, want re-latched 0", got)
+	}
+}
+
+func TestCounterInjectorNoiseClampsAtZero(t *testing.T) {
+	ci := NewCounterInjector(CounterSpec{NoiseStd: 10}, 9)
+	for i := 0; i < 1000; i++ {
+		if got := ci.FilterVPI(0, int64(i), 1); got < 0 {
+			t.Fatalf("noisy sample went negative: %g", got)
+		}
+	}
+}
+
+func TestCgroupInjector(t *testing.T) {
+	drop := NewCgroupInjector(CgroupSpec{DropRate: 1}, 1)
+	dup := NewCgroupInjector(CgroupSpec{DuplicateRate: 1}, 1)
+	clean := NewCgroupInjector(CgroupSpec{}, 1)
+	for i := 0; i < 100; i++ {
+		if n := drop.Deliveries(); n != 0 {
+			t.Fatalf("DropRate 1: got %d deliveries", n)
+		}
+		if n := dup.Deliveries(); n != 2 {
+			t.Fatalf("DuplicateRate 1: got %d deliveries", n)
+		}
+		if n := clean.Deliveries(); n != 1 {
+			t.Fatalf("no faults: got %d deliveries", n)
+		}
+	}
+}
+
+func TestResolveDeadFraction(t *testing.T) {
+	c := CounterSpec{DeadAtFraction: 0.5}.Resolve(4_000_000_000)
+	if c.DeadAfterMs != 2000 {
+		t.Fatalf("Resolve: DeadAfterMs = %g, want 2000", c.DeadAfterMs)
+	}
+	// An explicit absolute time wins.
+	c = CounterSpec{DeadAfterMs: 100, DeadAtFraction: 0.5}.Resolve(4_000_000_000)
+	if c.DeadAfterMs != 100 {
+		t.Fatalf("Resolve: explicit DeadAfterMs overridden to %g", c.DeadAfterMs)
+	}
+}
+
+func TestLoadRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"garbage", "{nope", "faults:"},
+		{"unknown field", `{"typo": 1}`, "unknown field"},
+		{"bad rate", `{"counters": {"drop_rate": 1.5}}`, "out of range"},
+		{"negative noise", `{"counters": {"noise_std": -1}}`, "noise_std"},
+		{"bad slow factor", `{"nodes": {"slow_factor": 0.5}}`, "slow_factor"},
+		{"bad partition", `{"nodes": {"partitions": [{"node": 0, "round": 0, "rounds": 0}]}}`, "partition"},
+		{"bad crash", `{"nodes": {"crashes": [{"node": -1, "round": 0}]}}`, "targeted crash"},
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c.in)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	in := `{
+		"counters": {"drop_rate": 0.1, "noise_std": 0.05, "dead_at_fraction": 0.3},
+		"cgroup": {"drop_rate": 0.2, "duplicate_rate": 0.1},
+		"nodes": {"crash_rate": 0.01, "max_crashes": 1, "crash_down_rounds": 10,
+		          "heartbeat_loss_rate": 0.05, "spare_service_nodes": true,
+		          "crashes": [{"node": 1, "round": 7, "down_rounds": 5}]}
+	}`
+	s, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Counters.Enabled() || !s.Cgroup.Enabled() || !s.Nodes.Enabled() {
+		t.Fatal("loaded spec reports fault classes disabled")
+	}
+	if len(s.Nodes.Crashes) != 1 || s.Nodes.Crashes[0].Round != 7 {
+		t.Fatalf("targeted crash lost in load: %+v", s.Nodes.Crashes)
+	}
+}
+
+func TestDefaultScheduleValid(t *testing.T) {
+	if err := DefaultSchedule().Validate(); err != nil {
+		t.Fatalf("DefaultSchedule fails its own validation: %v", err)
+	}
+}

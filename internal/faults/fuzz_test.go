@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzChaosSpec hammers the -chaos-spec JSON parser: Load must never
+// panic, and any spec it accepts must survive a marshal -> reload round
+// trip and still validate.
+func FuzzChaosSpec(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"counters": {"drop_rate": 0.5}}`)
+	f.Add(`{"cgroup": {"drop_rate": 1, "duplicate_rate": 0}}`)
+	f.Add(`{"nodes": {"crash_rate": 0.01, "crashes": [{"node": 0, "round": 3}]}}`)
+	f.Add(`{"nodes": {"partitions": [{"node": 1, "round": 5, "rounds": 4}]}}`)
+	f.Add(`{"counters": {"dead_at_fraction": 0.4, "stuck_rate": 1e-3}}`)
+	f.Add(`{"nodes": {"slow_rate": 0.1, "slow_factor": 2.5, "slow_rounds": 3}}`)
+	if b, err := json.Marshal(DefaultSchedule()); err == nil {
+		f.Add(string(b))
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Load(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		s2, err := Load(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nspec: %s", err, b)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("round-tripped spec invalid: %v", err)
+		}
+	})
+}

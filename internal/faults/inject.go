@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"fmt"
+
+	"github.com/holmes-colocation/holmes/internal/rng"
+)
+
+// CounterInjector corrupts one node's VPI sample stream according to a
+// CounterSpec. It implements core.CounterFaultFilter: the monitor calls
+// FilterVPI once per logical CPU per sampling tick, and the injector
+// decides what the daemon actually gets to see.
+//
+// The injector is node-local and single-threaded (it runs inside the
+// node's simulation), and all randomness comes from the seed it was
+// built with, so a faulted run stays deterministic.
+type CounterInjector struct {
+	spec CounterSpec
+	r    *rng.Source
+	cpus []counterState
+}
+
+type counterState struct {
+	last       float64 // last value delivered to the reader
+	stuckUntil int64   // latched until this simulated time
+	stuckVal   float64
+}
+
+// NewCounterInjector builds an injector for one node. Derive the seed via
+// rng.DeriveSeed(baseSeed, "chaos-counters", nodeID, ...) so distinct
+// nodes fault independently.
+func NewCounterInjector(spec CounterSpec, seed uint64) *CounterInjector {
+	return &CounterInjector{spec: spec, r: rng.New(seed)}
+}
+
+// FilterVPI returns the (possibly corrupted) reading the monitor should
+// store for logical CPU cpu at simulated time nowNs, given the true
+// sample v.
+func (ci *CounterInjector) FilterVPI(cpu int, nowNs int64, v float64) float64 {
+	for cpu >= len(ci.cpus) {
+		ci.cpus = append(ci.cpus, counterState{})
+	}
+	st := &ci.cpus[cpu]
+	s := ci.spec
+	if s.DeadAfterMs > 0 && float64(nowNs) >= s.DeadAfterMs*1e6 {
+		st.last = 0
+		return 0
+	}
+	if st.stuckUntil > nowNs {
+		return st.stuckVal
+	}
+	if s.StuckRate > 0 && ci.r.Float64() < s.StuckRate {
+		st.stuckUntil = nowNs + int64(s.stuckDurationMs()*1e6)
+		st.stuckVal = st.last
+		return st.stuckVal
+	}
+	if s.ZeroRate > 0 && ci.r.Float64() < s.ZeroRate {
+		return 0
+	}
+	if s.DropRate > 0 && ci.r.Float64() < s.DropRate {
+		return st.last
+	}
+	if s.NoiseStd > 0 {
+		v *= 1 + s.NoiseStd*ci.r.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+	}
+	st.last = v
+	return v
+}
+
+// CgroupInjector loses or duplicates cgroup watch events. It implements
+// core.CgroupFaultFilter: the daemon asks Deliveries() once per incoming
+// watch event and dispatches the event that many times (0 = dropped).
+// Node-local and single-threaded, like CounterInjector.
+type CgroupInjector struct {
+	spec CgroupSpec
+	r    *rng.Source
+}
+
+// NewCgroupInjector builds an injector for one node's watch path.
+func NewCgroupInjector(spec CgroupSpec, seed uint64) *CgroupInjector {
+	return &CgroupInjector{spec: spec, r: rng.New(seed)}
+}
+
+// Deliveries returns how many times the next watch event is delivered.
+func (gi *CgroupInjector) Deliveries() int {
+	if gi.spec.DropRate > 0 && gi.r.Float64() < gi.spec.DropRate {
+		return 0
+	}
+	if gi.spec.DuplicateRate > 0 && gi.r.Float64() < gi.spec.DuplicateRate {
+		return 2
+	}
+	return 1
+}
+
+// RoundFault is the node-level fault (if any) scheduled for one node in
+// one heartbeat round.
+type RoundFault struct {
+	// Crash takes the node down this round; DownRounds is how many rounds
+	// it stays down before rebooting (0 = stays down for good).
+	Crash      bool
+	DownRounds int
+	// LoseHeartbeat drops this round's heartbeat (the node keeps running).
+	LoseHeartbeat bool
+	// Slow, when > 1, divides the node's simulated-time advancement this
+	// round by the factor.
+	Slow float64
+}
+
+// Schedule precomputes the full node-fault schedule for a fleet of nodes
+// over rounds heartbeat rounds, indexed [node][round]. Each node draws
+// from its own stream, rng.DeriveSeed(seed, "chaos-node", id), so the
+// schedule is independent of execution order and parallelism; targeted
+// crashes and partitions are stamped on top. Random crashes are capped
+// fleet-wide by MaxCrashes, counted in node order.
+func (n NodeSpec) Schedule(seed uint64, nodes, rounds int) [][]RoundFault {
+	sched := make([][]RoundFault, nodes)
+	crashes := 0
+	for i := 0; i < nodes; i++ {
+		sched[i] = make([]RoundFault, rounds)
+		r := rng.New(rng.DeriveSeed(seed, "chaos-node", fmt.Sprint(i)))
+		slowLeft, downUntil := 0, -1
+		for round := 0; round < rounds; round++ {
+			f := &sched[i][round]
+			if round < downUntil {
+				continue // node is scheduled down; nothing else can fault
+			}
+			if n.CrashRate > 0 && r.Float64() < n.CrashRate &&
+				(n.MaxCrashes == 0 || crashes < n.MaxCrashes) {
+				crashes++
+				f.Crash = true
+				f.DownRounds = n.CrashDownRounds
+				if f.DownRounds > 0 {
+					downUntil = round + f.DownRounds
+				} else {
+					downUntil = rounds
+				}
+				slowLeft = 0
+				continue
+			}
+			if n.HeartbeatLossRate > 0 && r.Float64() < n.HeartbeatLossRate {
+				f.LoseHeartbeat = true
+			}
+			if slowLeft > 0 {
+				slowLeft--
+				f.Slow = n.slowFactor()
+			} else if n.SlowRate > 0 && r.Float64() < n.SlowRate {
+				slowLeft = n.slowRounds() - 1
+				f.Slow = n.slowFactor()
+			}
+		}
+	}
+	for _, c := range n.Crashes {
+		if c.Node >= nodes || c.Round >= rounds {
+			continue
+		}
+		f := &sched[c.Node][c.Round]
+		f.Crash = true
+		f.DownRounds = c.DownRounds
+		if f.DownRounds == 0 {
+			f.DownRounds = n.CrashDownRounds
+		}
+	}
+	for _, p := range n.Partitions {
+		if p.Node >= nodes {
+			continue
+		}
+		for r := p.Round; r < p.Round+p.Rounds && r < rounds; r++ {
+			sched[p.Node][r].LoseHeartbeat = true
+		}
+	}
+	return sched
+}

@@ -1,0 +1,251 @@
+// Package faults is the deterministic fault-injection layer: a chaos
+// schedule for the simulated stack, built entirely from rng.DeriveSeed so
+// a faulted run is exactly as reproducible as a clean one — byte-identical
+// at any -parallel, because every injector draws from its own per-node
+// stream and never from shared state.
+//
+// Three fault classes map onto the three fragile inputs Holmes consumes:
+//
+//   - counter faults (CounterSpec) corrupt the HPE sample stream at the
+//     perf/monitor boundary: dropped samples (the reader sees a stale
+//     value, as under counter multiplexing), scaling noise, latched
+//     ("stuck") reads, spurious zeros, and counters that go permanently
+//     dark partway through a run;
+//   - cgroup faults (CgroupSpec) lose or duplicate the watch events the
+//     daemon's batch-job discovery depends on — the inotify-queue-overflow
+//     failure mode of the real deployment;
+//   - node faults (NodeSpec) act at cluster scope: crashes (with optional
+//     reboot), heartbeat loss and network partitions, and slow nodes.
+//
+// A Spec is pure data (JSON-loadable for holmes-cluster -chaos-spec); the
+// consumers in internal/core and internal/cluster decide how to degrade
+// gracefully when the injectors fire.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Spec is a complete fault schedule. The zero value injects nothing.
+type Spec struct {
+	Counters CounterSpec `json:"counters"`
+	Cgroup   CgroupSpec  `json:"cgroup"`
+	Nodes    NodeSpec    `json:"nodes"`
+}
+
+// CounterSpec corrupts per-CPU VPI samples. All rates are per-sample
+// probabilities in [0,1].
+type CounterSpec struct {
+	// DropRate loses a sample: the reader sees the previous value again
+	// (a stale read, as when the PMU slot was multiplexed away).
+	DropRate float64 `json:"drop_rate"`
+	// NoiseStd applies multiplicative Gaussian noise: v *= 1 + N(0, std),
+	// clamped at zero — multiplexing extrapolation error.
+	NoiseStd float64 `json:"noise_std"`
+	// StuckRate latches the counter at its previous reading for
+	// StuckDurationMs of simulated time.
+	StuckRate       float64 `json:"stuck_rate"`
+	StuckDurationMs float64 `json:"stuck_duration_ms"`
+	// ZeroRate returns a spurious zero for one sample.
+	ZeroRate float64 `json:"zero_rate"`
+	// DeadAfterMs kills the counters outright: every read from this
+	// simulated time on returns zero (0 = never).
+	DeadAfterMs float64 `json:"dead_after_ms"`
+	// DeadAtFraction is DeadAfterMs expressed as a fraction of the total
+	// run (warmup + measurement), resolved by the consumer via Resolve;
+	// it lets one schedule serve runs of any length (0 = unset).
+	DeadAtFraction float64 `json:"dead_at_fraction"`
+}
+
+// Enabled reports whether any counter fault is configured.
+func (c CounterSpec) Enabled() bool {
+	return c.DropRate > 0 || c.NoiseStd > 0 || c.StuckRate > 0 ||
+		c.ZeroRate > 0 || c.DeadAfterMs > 0 || c.DeadAtFraction > 0
+}
+
+// Resolve converts DeadAtFraction into an absolute DeadAfterMs for a run
+// of totalNs simulated nanoseconds. An explicit DeadAfterMs wins.
+func (c CounterSpec) Resolve(totalNs int64) CounterSpec {
+	if c.DeadAfterMs == 0 && c.DeadAtFraction > 0 {
+		c.DeadAfterMs = c.DeadAtFraction * float64(totalNs) / 1e6
+	}
+	return c
+}
+
+// stuckDurationMs returns the latch duration with its default.
+func (c CounterSpec) stuckDurationMs() float64 {
+	if c.StuckDurationMs <= 0 {
+		return 10
+	}
+	return c.StuckDurationMs
+}
+
+// CgroupSpec loses or duplicates cgroup watch events before they reach
+// the daemon's discovery path.
+type CgroupSpec struct {
+	DropRate      float64 `json:"drop_rate"`
+	DuplicateRate float64 `json:"duplicate_rate"`
+}
+
+// Enabled reports whether any cgroup fault is configured.
+func (c CgroupSpec) Enabled() bool { return c.DropRate > 0 || c.DuplicateRate > 0 }
+
+// NodeSpec schedules node-level faults, drawn per (node, round) from the
+// node's own derived stream plus explicit targeted events.
+type NodeSpec struct {
+	// CrashRate is the per-node-per-round probability of a crash; at most
+	// MaxCrashes random crashes are scheduled fleet-wide (0 = unlimited).
+	CrashRate  float64 `json:"crash_rate"`
+	MaxCrashes int     `json:"max_crashes"`
+	// CrashDownRounds is how many rounds a crashed node stays down before
+	// rebooting and rejoining (0 = it stays down for good).
+	CrashDownRounds int `json:"crash_down_rounds"`
+	// HeartbeatLossRate drops a node's heartbeat for one round.
+	HeartbeatLossRate float64 `json:"heartbeat_loss_rate"`
+	// SlowRate starts a slowdown: the node advances simulated time at
+	// 1/SlowFactor speed for SlowRounds rounds.
+	SlowRate   float64 `json:"slow_rate"`
+	SlowFactor float64 `json:"slow_factor"` // 0 = 4
+	SlowRounds int     `json:"slow_rounds"` // 0 = 4
+	// SpareServiceNodes skips scheduled crashes on nodes currently
+	// hosting Guaranteed service pods (applied at runtime).
+	SpareServiceNodes bool `json:"spare_service_nodes"`
+	// Crashes are explicit, targeted crash events.
+	Crashes []NodeCrash `json:"crashes,omitempty"`
+	// Partitions are explicit heartbeat-loss streaks (the node keeps
+	// running, the control plane just stops hearing from it).
+	Partitions []NodePartition `json:"partitions,omitempty"`
+}
+
+// NodeCrash is one targeted crash: node goes down at Round, rebooting
+// after DownRounds (0 = inherit NodeSpec.CrashDownRounds).
+type NodeCrash struct {
+	Node       int `json:"node"`
+	Round      int `json:"round"`
+	DownRounds int `json:"down_rounds"`
+}
+
+// NodePartition is one targeted heartbeat-loss streak of Rounds rounds.
+type NodePartition struct {
+	Node   int `json:"node"`
+	Round  int `json:"round"`
+	Rounds int `json:"rounds"`
+}
+
+// Enabled reports whether any node fault is configured.
+func (n NodeSpec) Enabled() bool {
+	return n.CrashRate > 0 || n.HeartbeatLossRate > 0 || n.SlowRate > 0 ||
+		len(n.Crashes) > 0 || len(n.Partitions) > 0
+}
+
+// slowFactor returns the slowdown factor with its default.
+func (n NodeSpec) slowFactor() float64 {
+	if n.SlowFactor <= 1 {
+		return 4
+	}
+	return n.SlowFactor
+}
+
+// slowRounds returns the slowdown length with its default.
+func (n NodeSpec) slowRounds() int {
+	if n.SlowRounds <= 0 {
+		return 4
+	}
+	return n.SlowRounds
+}
+
+// Load parses a JSON chaos spec, rejecting unknown fields so typos fail
+// loudly, and validates it.
+func Load(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("faults: %w", err)
+	}
+	return s, s.Validate()
+}
+
+// Validate checks the spec and returns a descriptive error for the first
+// problem found.
+func (s Spec) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("faults: %s %g out of range [0,1]", name, v)
+		}
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"counters.drop_rate", s.Counters.DropRate},
+		{"counters.stuck_rate", s.Counters.StuckRate},
+		{"counters.zero_rate", s.Counters.ZeroRate},
+		{"counters.dead_at_fraction", s.Counters.DeadAtFraction},
+		{"cgroup.drop_rate", s.Cgroup.DropRate},
+		{"cgroup.duplicate_rate", s.Cgroup.DuplicateRate},
+		{"nodes.crash_rate", s.Nodes.CrashRate},
+		{"nodes.heartbeat_loss_rate", s.Nodes.HeartbeatLossRate},
+		{"nodes.slow_rate", s.Nodes.SlowRate},
+	} {
+		if err := check(p.name, p.v); err != nil {
+			return err
+		}
+	}
+	if s.Counters.NoiseStd < 0 {
+		return fmt.Errorf("faults: counters.noise_std must not be negative")
+	}
+	if s.Counters.StuckDurationMs < 0 || s.Counters.DeadAfterMs < 0 {
+		return fmt.Errorf("faults: counter fault durations must not be negative")
+	}
+	if s.Nodes.MaxCrashes < 0 || s.Nodes.CrashDownRounds < 0 || s.Nodes.SlowRounds < 0 {
+		return fmt.Errorf("faults: node fault counts must not be negative")
+	}
+	if s.Nodes.SlowFactor < 0 || (s.Nodes.SlowFactor > 0 && s.Nodes.SlowFactor < 1) {
+		return fmt.Errorf("faults: nodes.slow_factor %g must be >= 1", s.Nodes.SlowFactor)
+	}
+	for _, c := range s.Nodes.Crashes {
+		if c.Node < 0 || c.Round < 0 || c.DownRounds < 0 {
+			return fmt.Errorf("faults: targeted crash {node %d round %d} must be non-negative", c.Node, c.Round)
+		}
+	}
+	for _, p := range s.Nodes.Partitions {
+		if p.Node < 0 || p.Round < 0 || p.Rounds < 1 {
+			return fmt.Errorf("faults: partition {node %d round %d rounds %d} invalid", p.Node, p.Round, p.Rounds)
+		}
+	}
+	return nil
+}
+
+// DefaultSchedule is the reference chaos schedule used by the `chaos`
+// experiment and holmes-cluster -chaos: mild counter noise throughout,
+// counters going dark at 40% of the run (the main SLO threat: a daemon
+// that believes its dark counters grants every sibling into live
+// interference), lossy cgroup discovery, moderate heartbeat loss, an
+// occasional slow node, and one crash-with-reboot that spares service
+// nodes so Guaranteed latency stays comparable across arms.
+func DefaultSchedule() Spec {
+	return Spec{
+		Counters: CounterSpec{
+			DropRate:        0.02,
+			NoiseStd:        0.05,
+			StuckRate:       0.0005,
+			StuckDurationMs: 20,
+			DeadAtFraction:  0.4,
+		},
+		Cgroup: CgroupSpec{DropRate: 0.10, DuplicateRate: 0.05},
+		Nodes: NodeSpec{
+			CrashRate:         0.01,
+			MaxCrashes:        1,
+			CrashDownRounds:   12,
+			HeartbeatLossRate: 0.08,
+			SlowRate:          0.02,
+			SlowFactor:        3,
+			SlowRounds:        4,
+			SpareServiceNodes: true,
+		},
+	}
+}

@@ -299,3 +299,44 @@ func busySum(m *machine.Machine) float64 {
 	}
 	return sum
 }
+
+// TestDeleteServicePodFencesInstance is the cluster fencing path: a
+// rejoining node's zombie Guaranteed service pod is deleted, its process
+// killed and its cgroup removed, and a replacement instance can register
+// under the same pod name without tripping duplicate detection.
+func TestDeleteServicePodFencesInstance(t *testing.T) {
+	m, k, fs, kl := newNode(t)
+	defer kl.Stop()
+	zombie := k.Spawn("svc-old", 2)
+	for _, th := range zombie.Threads() {
+		chain(th, lcCost())
+	}
+	if _, err := kl.RunServicePod("svc", zombie); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(5_000_000)
+	if err := kl.DeletePod("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if !zombie.Exited() {
+		t.Fatal("fenced service process still alive")
+	}
+	if fs.Lookup("/kubepods/guaranteed/pod-svc") != nil {
+		t.Fatal("service pod cgroup survived fencing")
+	}
+	if kl.Pod("svc") != nil {
+		t.Fatal("fenced pod still tracked")
+	}
+	// The daemon must reap the exited LC so a fresh instance can bind.
+	m.RunFor(5_000_000)
+	fresh := k.Spawn("svc-new", 2)
+	if _, err := kl.RunServicePod("svc", fresh); err != nil {
+		t.Fatalf("replacement instance rejected: %v", err)
+	}
+	for _, th := range fresh.Threads() {
+		if !th.Affinity().Equal(kl.Holmes().ReservedCPUs()) {
+			t.Fatalf("replacement affinity %v != reserved %v",
+				th.Affinity(), kl.Holmes().ReservedCPUs().CPUs())
+		}
+	}
+}

@@ -24,6 +24,9 @@ const (
 	LCExited
 	BatchDiscovered
 	MonitorSample
+	SafeModeEntered
+	SafeModeExited
+	RescanRepaired
 
 	numEventTypes
 )
@@ -47,6 +50,12 @@ func (t EventType) String() string {
 		return "BatchDiscovered"
 	case MonitorSample:
 		return "MonitorSample"
+	case SafeModeEntered:
+		return "SafeModeEntered"
+	case SafeModeExited:
+		return "SafeModeExited"
+	case RescanRepaired:
+		return "RescanRepaired"
 	}
 	return fmt.Sprintf("EventType(%d)", int(t))
 }

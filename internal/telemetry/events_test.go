@@ -102,6 +102,9 @@ func TestEventTypeNames(t *testing.T) {
 		LCExited:        "LCExited",
 		BatchDiscovered: "BatchDiscovered",
 		MonitorSample:   "MonitorSample",
+		SafeModeEntered: "SafeModeEntered",
+		SafeModeExited:  "SafeModeExited",
+		RescanRepaired:  "RescanRepaired",
 	}
 	if len(want) != int(numEventTypes) {
 		t.Fatalf("test covers %d of %d event types", len(want), numEventTypes)
