@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check cluster-smoke chaos-smoke fuzz-smoke test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check cluster-smoke chaos-smoke fuzz-smoke bench-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -42,6 +42,13 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzZipf -fuzztime=10s ./internal/rng
 	$(GO) test -run=^$$ -fuzz=FuzzScrambledZipf -fuzztime=10s ./internal/rng
 	$(GO) test -run=^$$ -fuzz=FuzzChaosSpec -fuzztime=10s ./internal/faults
+
+# Tick-engine performance trajectory: runs the perfbench scenarios and
+# regenerates BENCH_tick.json (machine ticks/sec, ns/tick, allocs/tick,
+# end-to-end experiment wall time). CI uploads the file as an artifact so
+# every commit carries its measured numbers.
+bench-smoke:
+	$(GO) run ./cmd/holmes-bench -perf -perf-out BENCH_tick.json
 
 test: check
 	$(GO) test ./...

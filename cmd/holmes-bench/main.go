@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 
 	"github.com/holmes-colocation/holmes/internal/experiments"
+	"github.com/holmes-colocation/holmes/internal/perfbench"
 	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
@@ -34,10 +35,19 @@ func main() {
 		"max concurrent simulation runs (1 = serial; output identical either way)")
 	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
 	telemetryOut := flag.String("telemetry-out", "", "stream scheduler decision events to this JSONL file")
+	perfMode := flag.Bool("perf", false, "benchmark the tick engine and write BENCH_tick.json")
+	perfOut := flag.String("perf-out", "BENCH_tick.json", "output path for -perf")
 	flag.Usage = usage
 	flag.Parse()
 
 	args := flag.Args()
+	if *perfMode {
+		if err := runPerf(*perfOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -126,6 +136,31 @@ func main() {
 	}
 }
 
+// runPerf measures the tick-engine scenarios and writes the JSON report,
+// printing the human-readable block to stdout.
+func runPerf(path string, seed uint64) error {
+	opts := perfbench.Quick()
+	opts.Seed = seed
+	rep, err := perfbench.Collect(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `holmes-bench regenerates the tables and figures of
 "Holmes: SMT Interference Diagnosis and CPU Scheduling for Job Co-location" (HPDC'22).
@@ -148,5 +183,7 @@ Flags:
                        output is byte-identical at any parallelism
   -o DIR               also write each experiment's output to DIR/<id>.txt
   -telemetry-out FILE  stream scheduler decision events (JSONL) to FILE
+  -perf                benchmark the tick engine instead of running experiments
+  -perf-out FILE       where -perf writes its JSON report (default BENCH_tick.json)
 `)
 }

@@ -128,6 +128,18 @@ type Result struct {
 	RescanRepairs      int64
 }
 
+// TotalQueries returns the completed, measured queries summed over the
+// run's non-lost services — the denominator behind SLOViolationRatio. A
+// verdict derived from that ratio is only meaningful when this is large
+// enough; with zero completed queries the ratio is vacuously 0.
+func (r *Result) TotalQueries() int64 {
+	var n int64
+	for _, s := range r.Services {
+		n += s.Queries
+	}
+	return n
+}
+
 // Run executes the cluster described by spec.
 func Run(spec Spec, opt RunOptions) (*Result, error) {
 	if err := spec.Validate(); err != nil {
@@ -769,6 +781,13 @@ func (r *Result) Render() string {
 	for _, s := range r.Services {
 		if s.Lost {
 			tb.AddRow(s.Name, "workload-"+s.Workload, "lost", 0, "-", "-", "-")
+			continue
+		}
+		if !s.Summary.Valid {
+			// A live service that measured nothing (every request lost to
+			// faults) has no latency distribution; printing the zero-valued
+			// Summary would read as perfect latency and 0% violations.
+			tb.AddRow(s.Name, "workload-"+s.Workload, s.Node, 0, "n/a", "n/a", "n/a")
 			continue
 		}
 		tb.AddRow(s.Name, "workload-"+s.Workload, s.Node, s.Queries,

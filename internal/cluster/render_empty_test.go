@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/stats"
+)
+
+// TestRenderUnmeasuredService pins the empty-summary rendering: a live
+// service that completed zero queries must show "n/a" latency columns,
+// not the zero-valued summary that reads as a perfect 0 µs p99.
+func TestRenderUnmeasuredService(t *testing.T) {
+	measured := stats.NewSample(4)
+	measured.AddAll([]float64{1000, 2000, 3000})
+	r := &Result{
+		Spec: DefaultSpec(),
+		Services: []ServiceResult{
+			{Name: "svc-ok", Workload: "a", Node: 0, Queries: 3, Summary: measured.Summarize()},
+			{Name: "svc-starved", Workload: "a", Node: 1, Queries: 0, Summary: stats.NewSample(0).Summarize()},
+			{Name: "svc-lost", Workload: "a", Lost: true},
+		},
+	}
+	out := r.Render()
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "svc-starved"):
+			if !strings.Contains(line, "n/a") {
+				t.Fatalf("unmeasured service row lacks n/a: %q", line)
+			}
+		case strings.Contains(line, "svc-ok"):
+			if strings.Contains(line, "n/a") {
+				t.Fatalf("measured service row rendered as unmeasured: %q", line)
+			}
+		case strings.Contains(line, "svc-lost"):
+			if !strings.Contains(line, "lost") {
+				t.Fatalf("lost service row lacks lost marker: %q", line)
+			}
+		}
+	}
+	if r.TotalQueries() != 3 {
+		t.Fatalf("TotalQueries = %d, want 3", r.TotalQueries())
+	}
+}

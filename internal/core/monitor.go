@@ -15,6 +15,9 @@ type Monitor struct {
 	vpiGroups []*perf.VPIGroup
 	prevBusy  []float64
 	lastNs    int64
+	// freqGHz caches Config().FreqGHz: Config returns the whole struct by
+	// value and Sample needs just this field, every 100 µs, per CPU.
+	freqGHz float64
 
 	// Latest samples, per logical CPU.
 	vpi   []float64
@@ -54,6 +57,7 @@ func NewMonitor(m *machine.Machine, cfg Config) (*Monitor, error) {
 		coreUsage:   make([]float64, m.Topology().PhysicalCores()),
 		coreIndex:   make([]int, n),
 		lastNs:      m.Now(),
+		freqGHz:     m.Config().FreqGHz,
 	}
 	for p := 0; p < n; p++ {
 		mon.coreIndex[p] = m.Topology().CoreOf(p)
@@ -69,13 +73,25 @@ func NewMonitor(m *machine.Machine, cfg Config) (*Monitor, error) {
 	return mon, nil
 }
 
-// Sample refreshes all metrics for the interval since the last call.
+// Sample refreshes all metrics for the interval since the last call. A
+// call with no elapsed simulated time is a no-op: re-sampling a zero-width
+// window would clear the per-interval VPI readings (the groups were just
+// reset) and recompute the core aggregates and EWMAs from those zeros,
+// silently corrupting every consumer of the previous sample.
 func (mon *Monitor) Sample(nowNs int64) {
 	window := nowNs - mon.lastNs
+	if window <= 0 {
+		return
+	}
 	mon.lastNs = nowNs
 	for i := range mon.coreVPI {
 		mon.coreVPI[i] = 0
 		mon.coreUsage[i] = 0
+	}
+	cycleBudget := mon.freqGHz * float64(window)
+	alpha := float64(window) / 10e6 // ~10 ms time constant
+	if alpha > 1 {
+		alpha = 1
 	}
 	for p := range mon.vpiGroups {
 		v := mon.vpiGroups[p].Sample()
@@ -87,15 +103,8 @@ func (mon *Monitor) Sample(nowNs int64) {
 		}
 		mon.vpi[p] = v
 		busy := mon.m.BusyCycles(p)
-		if window > 0 {
-			mon.usage[p] = clamp01((busy - mon.prevBusy[p]) /
-				(mon.m.Config().FreqGHz * float64(window)))
-		}
+		mon.usage[p] = clamp01((busy - mon.prevBusy[p]) / cycleBudget)
 		mon.prevBusy[p] = busy
-		alpha := float64(window) / 10e6 // ~10 ms time constant
-		if alpha > 1 {
-			alpha = 1
-		}
 		mon.smoothed[p] += alpha * (mon.usage[p] - mon.smoothed[p])
 		mon.smoothedVPI[p] += alpha * (mon.vpi[p] - mon.smoothedVPI[p])
 		c := mon.coreIndex[p]

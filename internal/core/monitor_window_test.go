@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+)
+
+// TestMonitorSampleZeroWindow pins the re-sample fix: calling Sample
+// twice at the same simulated instant must leave every reading untouched.
+// Before the fix the second call re-read the just-reset counter groups
+// (all zeros), zeroed the per-CPU VPI and usage, recomputed the core
+// aggregates from those zeros, and dragged the EWMAs toward zero — the
+// daemon and the cluster heartbeat then acted on phantom idleness.
+func TestMonitorSampleZeroWindow(t *testing.T) {
+	m, k, _ := newEnv()
+	mon, err := NewMonitor(m, testDaemonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.Spawn("w", 1)
+	_ = k.SetAffinity(p.Threads()[0].TID, cpuid.MaskOf(3))
+	chain(p.Threads()[0], lcCost())
+	m.RunFor(1_000_000)
+	mon.Sample(m.Now())
+
+	if mon.VPI(3) <= 0 || mon.Usage(3) <= 0 {
+		t.Fatal("scenario produced no activity to protect")
+	}
+	vpi, usage := mon.VPI(3), mon.Usage(3)
+	sm, smVPI := mon.SmoothedUsage(3), mon.SmoothedVPI(3)
+	coreVPI, coreUsage := mon.CoreVPI(3), mon.CoreUsage(3)
+
+	mon.Sample(m.Now()) // zero elapsed time: must be a no-op
+	mon.Sample(m.Now() - 1)
+
+	if mon.VPI(3) != vpi || mon.Usage(3) != usage {
+		t.Fatalf("zero-window re-sample clobbered readings: vpi %v -> %v, usage %v -> %v",
+			vpi, mon.VPI(3), usage, mon.Usage(3))
+	}
+	if mon.SmoothedUsage(3) != sm || mon.SmoothedVPI(3) != smVPI {
+		t.Fatalf("zero-window re-sample moved EWMAs: %v -> %v, %v -> %v",
+			sm, mon.SmoothedUsage(3), smVPI, mon.SmoothedVPI(3))
+	}
+	if mon.CoreVPI(3) != coreVPI || mon.CoreUsage(3) != coreUsage {
+		t.Fatalf("zero-window re-sample rebuilt core aggregates: %v -> %v, %v -> %v",
+			coreVPI, mon.CoreVPI(3), coreUsage, mon.CoreUsage(3))
+	}
+
+	// A later real window still works after the no-op calls.
+	m.RunFor(1_000_000)
+	mon.Sample(m.Now())
+	if mon.Usage(3) < 0.9 {
+		t.Fatalf("sampling broken after zero-window calls: usage = %v", mon.Usage(3))
+	}
+}
+
+// TestMonitorSampleAllocs guards the monitor's 100 µs cadence: one
+// Sample over all logical CPUs must not allocate.
+func TestMonitorSampleAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard not meaningful under -race")
+	}
+	m, k, _ := newEnv()
+	mon, err := NewMonitor(m, testDaemonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.Spawn("w", 2)
+	chain(p.Threads()[0], lcCost())
+	chain(p.Threads()[1], batchCost())
+
+	now := m.Now()
+	sample := func() {
+		m.RunFor(100_000)
+		now += 100_000
+		mon.Sample(now)
+	}
+	sample() // settle
+	if n := testing.AllocsPerRun(100, sample); n != 0 {
+		t.Fatalf("Monitor.Sample allocates: %v allocs per 100 µs interval", n)
+	}
+}

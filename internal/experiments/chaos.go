@@ -32,6 +32,12 @@ const (
 	chaosSLOFloor  = 0.0025 // 0.25 percentage points
 )
 
+// chaosMinQueries is the minimum number of completed service queries the
+// degraded arm must have measured before its SLO ratio can earn a PASS.
+// With no (or almost no) completed requests, FractionAbove is vacuously
+// ~0 — a fleet whose services all died would otherwise "pass".
+const chaosMinQueries = 100
+
 // RunChaos runs the three arms under faults.DefaultSchedule.
 func RunChaos(o Options) (*ChaosResult, error) {
 	// One node more than the default service count, so the schedule's
@@ -93,9 +99,17 @@ func (r *ChaosResult) SLOBound() float64 {
 	return chaosSLOFactor*r.Clean.SLOViolationRatio + chaosSLOFloor
 }
 
-// DegradedWithinBound reports whether graceful degradation held the SLO.
+// DegradedMeasured reports whether the degraded arm completed enough
+// queries for its SLO ratio to be evidence rather than vacuous truth.
+func (r *ChaosResult) DegradedMeasured() bool {
+	return r.Degraded.TotalQueries() >= chaosMinQueries
+}
+
+// DegradedWithinBound reports whether graceful degradation held the SLO:
+// the violation ratio is within the acceptance band AND backed by a
+// minimum number of completed queries.
 func (r *ChaosResult) DegradedWithinBound() bool {
-	return r.Degraded.SLOViolationRatio <= r.SLOBound()
+	return r.DegradedMeasured() && r.Degraded.SLOViolationRatio <= r.SLOBound()
 }
 
 // ControlWorse reports whether the no-degradation control demonstrably
@@ -118,7 +132,10 @@ func (r *ChaosResult) Render() string {
 		100*r.Clean.ClusterUtil, 100*r.Degraded.ClusterUtil, 100*r.Control.ClusterUtil,
 		r.Clean.BatchCompleted, r.Degraded.BatchCompleted, r.Control.BatchCompleted)
 	verdict := "PASS"
-	if !r.DegradedWithinBound() {
+	if !r.DegradedMeasured() {
+		verdict = fmt.Sprintf("FAIL (only %d completed queries, need >= %d for a verdict)",
+			r.Degraded.TotalQueries(), chaosMinQueries)
+	} else if !r.DegradedWithinBound() {
 		verdict = "FAIL"
 	}
 	fmt.Fprintf(&b, "graceful degradation: SLO violations %.2f%% vs bound %.2f%% (%gx fault-free + %.2fpp): %s\n",

@@ -265,12 +265,17 @@ func (l *listener) ThreadStopped(hw *machine.Thread) {
 }
 
 // enqueue places a runnable thread on the least-loaded allowed CPU.
+// Ties go to the lowest CPU index. This runs on every thread wake, so it
+// scans the mask directly rather than materializing affinity.CPUs().
 func (k *Kernel) enqueue(t *Thread) {
 	if t.enqueued {
 		return
 	}
 	best, bestLen := -1, int(^uint(0)>>1)
-	for _, c := range t.affinity.CPUs() {
+	for c := 0; c < len(k.rq); c++ {
+		if !t.affinity.Has(c) {
+			continue
+		}
 		if l := len(k.rq[c]); l < bestLen {
 			best, bestLen = c, l
 		}
@@ -331,6 +336,25 @@ func (k *Kernel) Assign(nowNs int64, assign []*machine.Thread) {
 			k.sliceLeft[p] = k.sliceTicks
 		}
 		assign[p] = q[0].HW
+	}
+}
+
+// SkipIdleTicks implements machine.IdleSkipper: the machine calls it in
+// place of n consecutive Assign calls during which no thread was runnable.
+// Runqueues hold exactly the runnable threads (ThreadReady/ThreadStopped
+// keep them in lockstep with machine thread state), so on such ticks every
+// queue is empty and Assign would only have advanced the tick counter,
+// found no steal victim, and — on steal-period boundaries — observed a
+// depth of 0 for every CPU. Replaying that accounting in aggregate keeps
+// the steal cadence and the depth histogram byte-identical to stepping.
+func (k *Kernel) SkipIdleTicks(n int64) {
+	before := k.tickCount
+	k.tickCount += int(n)
+	if k.stealPeriod > 0 && k.telDepth != nil {
+		crossed := int64(k.tickCount/k.stealPeriod - before/k.stealPeriod)
+		if crossed > 0 {
+			k.telDepth.ObserveN(0, crossed*int64(len(k.rq)))
+		}
 	}
 }
 

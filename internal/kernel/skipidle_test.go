@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// TestSkipIdleTicksMatchesStepping drives two identical kernels through
+// the same idle stretch — one via n empty Assign calls, one via a single
+// SkipIdleTicks(n) — and checks every piece of per-tick accounting the
+// skip must replay: the tick counter (which phases the steal cadence and
+// the timeslice), the runqueue-depth histogram, and the steal/migration
+// counters.
+func TestSkipIdleTicksMatchesStepping(t *testing.T) {
+	build := func() (*Kernel, *telemetry.Set, []*machine.Thread) {
+		m, k := newKernel()
+		set := telemetry.NewSet()
+		k.SetTelemetry(set)
+		return k, set, make([]*machine.Thread, m.Topology().LogicalCPUs())
+	}
+
+	const idleTicks = 1234 // crosses many steal periods, ends mid-period
+
+	stepped, steppedSet, assign := build()
+	for i := 0; i < idleTicks; i++ {
+		stepped.Assign(int64(i)*machine.DefaultConfig().TickNs, assign)
+	}
+	skipped, skippedSet, _ := build()
+	skipped.SkipIdleTicks(idleTicks)
+
+	if stepped.tickCount != skipped.tickCount {
+		t.Fatalf("tick counter diverged: stepped %d vs skipped %d",
+			stepped.tickCount, skipped.tickCount)
+	}
+	hist := func(set *telemetry.Set) telemetry.HistSnapshot {
+		return set.Registry.Histogram("kernel_runqueue_depth", "", 1, 64, 5).Snapshot()
+	}
+	hs, hk := hist(steppedSet), hist(skippedSet)
+	if hs.Count != hk.Count || hs.Sum != hk.Sum {
+		t.Fatalf("depth histogram diverged: stepped count=%d sum=%v vs skipped count=%d sum=%v",
+			hs.Count, hs.Sum, hk.Count, hk.Sum)
+	}
+	for i := range hs.Buckets {
+		if hs.Buckets[i] != hk.Buckets[i] {
+			t.Fatalf("depth bucket %d diverged: %+v vs %+v", i, hs.Buckets[i], hk.Buckets[i])
+		}
+	}
+	sm, ss := stepped.Migrations()
+	km, ks := skipped.Migrations()
+	if sm != km || ss != ks {
+		t.Fatalf("migration accounting diverged: (%d,%d) vs (%d,%d)", sm, ss, km, ks)
+	}
+}
+
+// TestKernelIdleGapEquivalence runs the full stack — machine + kernel —
+// over a workload with long sleeps, against a second machine whose
+// scheduler is the same kernel hidden behind a plain TickScheduler
+// wrapper (disabling the fast path), and checks the runs are
+// indistinguishable where it matters: clock, per-thread completions and
+// consumed cycles, and steal counts.
+type noSkip struct{ k *Kernel }
+
+func (n noSkip) Assign(nowNs int64, assign []*machine.Thread) { n.k.Assign(nowNs, assign) }
+
+func TestKernelIdleGapEquivalence(t *testing.T) {
+	type out struct {
+		now       int64
+		completed []int64
+		cycles    []float64
+		steals    int64
+	}
+	run := func(skip bool) out {
+		m, k := newKernel()
+		if !skip {
+			m.SetScheduler(noSkip{k}) // drop the IdleSkipper interface
+		}
+		p := k.Spawn("job", 3)
+		work := workload.Compute(3 * m.Config().CyclesPerTick())
+		for i, th := range p.Threads() {
+			sleep := int64(900_000 + i*333_331)
+			for n := 0; n < 8; n++ {
+				th.HW.Push(workload.Work(work))
+				th.HW.Push(workload.Sleep(sleep))
+			}
+		}
+		m.RunFor(80_000_000)
+		o := out{now: m.Now()}
+		for _, th := range p.Threads() {
+			o.completed = append(o.completed, th.HW.CompletedItems)
+			o.cycles = append(o.cycles, th.HW.ConsumedCycles)
+		}
+		_, o.steals = k.Migrations()
+		return o
+	}
+
+	a, b := run(true), run(false)
+	if a.now != b.now {
+		t.Fatalf("clock diverged: %d vs %d", a.now, b.now)
+	}
+	if a.steals != b.steals {
+		t.Fatalf("steals diverged: %d vs %d", a.steals, b.steals)
+	}
+	for i := range a.completed {
+		if a.completed[i] != b.completed[i] {
+			t.Fatalf("thread %d completions diverged: %d vs %d", i, a.completed[i], b.completed[i])
+		}
+		if a.cycles[i] != b.cycles[i] {
+			t.Fatalf("thread %d cycles diverged: %v vs %v", i, a.cycles[i], b.cycles[i])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// The tick loop is the innermost hot path of every experiment; a single
+// allocation per tick costs hundreds of MB of garbage over one colocation
+// run. These guards pin the steady state at exactly zero so a regression
+// fails a test instead of a benchmark eyeball.
+
+// allocsPerRun wraps testing.AllocsPerRun with the -race skip: the
+// detector's instrumentation allocates and would make zero unreachable.
+func allocsPerRun(t *testing.T, runs int, f func()) float64 {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation guard not meaningful under -race")
+	}
+	return testing.AllocsPerRun(runs, f)
+}
+
+func TestStepAllocsIdleFastForward(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 4}
+	m := New(cfg)
+	m.SetScheduler(&pinnedSkip{pinned: pinned{threads: map[int]*Thread{}}})
+	m.SchedulePeriodic(1_000_000, func(int64) {})
+
+	m.RunFor(50_000_000) // settle event-queue capacity
+	if n := allocsPerRun(t, 20, func() { m.RunFor(10_000_000) }); n != 0 {
+		t.Fatalf("idle fast-forward allocates: %v allocs per 10 ms window", n)
+	}
+}
+
+func TestStepAllocsIdleStepped(t *testing.T) {
+	// Without the IdleSkipper opt-in the machine steps every tick; that
+	// slower path must still be allocation-free.
+	m, _ := newTestMachine()
+	m.SchedulePeriodic(1_000_000, func(int64) {})
+
+	m.RunFor(5_000_000)
+	if n := allocsPerRun(t, 20, func() { m.RunFor(1_000_000) }); n != 0 {
+		t.Fatalf("stepped idle ticks allocate: %v allocs per 1 ms window", n)
+	}
+}
+
+func TestStepAllocsLoaded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 4}
+	m := New(cfg)
+	sched := &pinnedSkip{pinned: pinned{threads: map[int]*Thread{}}}
+	m.SetScheduler(sched)
+
+	burst := workload.Compute(2 * cfg.CyclesPerTick())
+	chunk := workload.Compute(4 * cfg.CyclesPerTick())
+	chunk.Add(workload.MemRead(workload.DRAM, 100))
+	svc := m.NewThread("svc", nil)
+	batch := m.NewThread("batch", nil)
+	sched.threads[0] = svc
+	sched.threads[m.Sibling(0)] = batch
+	burstItem, chunkItem := workload.Work(burst), workload.Work(chunk)
+	m.SchedulePeriodic(100_000, func(int64) { svc.Push(burstItem) })
+	m.SchedulePeriodic(250_000, func(int64) { batch.Push(chunkItem) })
+
+	m.RunFor(50_000_000) // settle queue and event-heap capacities
+	if n := allocsPerRun(t, 10, func() { m.RunFor(10_000_000) }); n != 0 {
+		t.Fatalf("loaded tick path allocates: %v allocs per 10 ms window", n)
+	}
+}

@@ -1,7 +1,5 @@
 package machine
 
-import "container/heap"
-
 // event is a scheduled callback in simulated time. Events fire at tick
 // boundaries: an event scheduled for time t runs before the first tick
 // whose start is >= t.
@@ -11,37 +9,28 @@ type event struct {
 	fn  func(nowNs int64)
 }
 
-// eventQueue is a min-heap of events ordered by (at, seq).
+// eventQueue is a min-heap of events ordered by (at, seq). The heap is
+// hand-rolled over the concrete element type: container/heap's interface
+// methods box every pushed event, which allocates on each Schedule — and
+// scheduling is on the per-tick hot path (periodic daemon ticks re-arm
+// themselves, every I/O sleep schedules a wake).
 type eventQueue struct {
 	items []event
 	seq   uint64
 }
 
-func (q *eventQueue) Len() int { return len(q.items) }
-
-func (q *eventQueue) Less(i, j int) bool {
+func (q *eventQueue) less(i, j int) bool {
 	if q.items[i].at != q.items[j].at {
 		return q.items[i].at < q.items[j].at
 	}
 	return q.items[i].seq < q.items[j].seq
 }
 
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-func (q *eventQueue) Push(x interface{}) { q.items = append(q.items, x.(event)) }
-
-func (q *eventQueue) Pop() interface{} {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	q.items = old[:n-1]
-	return it
-}
-
 // schedule enqueues fn to run at time at.
 func (q *eventQueue) schedule(at int64, fn func(nowNs int64)) {
 	q.seq++
-	heap.Push(q, event{at: at, seq: q.seq, fn: fn})
+	q.items = append(q.items, event{at: at, seq: q.seq, fn: fn})
+	q.siftUp(len(q.items) - 1)
 }
 
 // peekTime returns the time of the earliest event, or false if empty.
@@ -58,5 +47,43 @@ func (q *eventQueue) popDue(now int64) (event, bool) {
 	if len(q.items) == 0 || q.items[0].at > now {
 		return event{}, false
 	}
-	return heap.Pop(q).(event), true
+	it := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = event{} // release the closure reference
+	q.items = q.items[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	return it, true
+}
+
+func (q *eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.items[i], q.items[least] = q.items[least], q.items[i]
+		i = least
+	}
 }

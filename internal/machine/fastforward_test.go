@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/hpe"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// pinnedSkip is pinned plus the IdleSkipper opt-in. Its Assign has no
+// per-tick side effects, so skipping idle ticks needs no replay at all;
+// it only records how many ticks were skipped so tests can assert the
+// fast path actually ran.
+type pinnedSkip struct {
+	pinned
+	skipped int64
+}
+
+func (p *pinnedSkip) SkipIdleTicks(n int64) { p.skipped += n }
+
+// ffScenario drives a machine through a bursty sleep-heavy workload —
+// compute+DRAM bursts on two sibling hardware threads separated by sleeps
+// long enough to cross noise-update boundaries — and returns everything
+// externally observable. With skip=true the scheduler opts into idle
+// fast-forwarding; with skip=false the identical workload steps tick by
+// tick.
+type ffResult struct {
+	now         int64
+	counters    []hpe.Counters
+	busy        []float64
+	completions []int64
+	periodic    []int64
+	skipped     int64
+}
+
+func runFFScenario(skip bool) ffResult {
+	cfg := DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 4}
+	cfg.Seed = 42
+	m := New(cfg)
+
+	sched := &pinnedSkip{pinned: pinned{threads: map[int]*Thread{}}}
+	if skip {
+		m.SetScheduler(sched)
+	} else {
+		// Hide the IdleSkipper: the machine sees only Assign.
+		m.SetScheduler(&sched.pinned)
+	}
+
+	var completions []int64
+	record := func(nowNs int64) { completions = append(completions, nowNs) }
+
+	burst := workload.Compute(2.5 * cfg.CyclesPerTick())
+	burst.Add(workload.MemRead(workload.DRAM, 50))
+
+	t0 := m.NewThread("svc", nil)
+	t1 := m.NewThread("batch", nil)
+	sched.threads[0] = t0
+	sched.threads[m.Sibling(0)] = t1
+
+	// Sleeps span sub-tick offsets, multi-tick gaps and full noise
+	// intervals (10 ms), so the fast path must replay noise updates and
+	// land wakes mid-burst exactly where stepping would.
+	for i := 0; i < 12; i++ {
+		sleep := int64(700_000 + i*530_000) // 0.7 .. 6.5 ms, not tick-aligned
+		t0.Push(workload.Item{Cost: burst, OnComplete: record})
+		t0.Push(workload.Item{SleepNs: sleep, OnComplete: record})
+		t1.Push(workload.Item{Cost: burst, OnComplete: record})
+		t1.Push(workload.Item{SleepNs: 2*sleep + 13_333, OnComplete: record})
+	}
+
+	var periodic []int64
+	m.SchedulePeriodic(1_700_000, func(nowNs int64) {
+		periodic = append(periodic, nowNs)
+	})
+
+	m.RunFor(120_000_000) // 120 ms: long idle tail after the bursts drain
+
+	res := ffResult{
+		now:         m.Now(),
+		completions: completions,
+		periodic:    periodic,
+		skipped:     sched.skipped,
+	}
+	for p := 0; p < m.Topology().LogicalCPUs(); p++ {
+		res.counters = append(res.counters, m.Counters(p))
+		res.busy = append(res.busy, m.BusyCycles(p))
+	}
+	return res
+}
+
+// TestFastForwardEquivalence is the tentpole's determinism contract in
+// miniature: a scheduler that opts into idle skipping must produce output
+// bit-identical to the same run stepped tick by tick — same clock, same
+// counter values (including the RNG-driven attribution noise), same
+// completion timestamps, same event firing times.
+func TestFastForwardEquivalence(t *testing.T) {
+	stepped := runFFScenario(false)
+	skipped := runFFScenario(true)
+
+	if stepped.skipped != 0 {
+		t.Fatalf("reference run used the fast path (%d ticks skipped)", stepped.skipped)
+	}
+	if skipped.skipped == 0 {
+		t.Fatal("skip run never fast-forwarded; scenario has no idle stretches")
+	}
+	if stepped.now != skipped.now {
+		t.Fatalf("clock diverged: stepped %d vs skipped %d", stepped.now, skipped.now)
+	}
+	for p := range stepped.counters {
+		if stepped.counters[p] != skipped.counters[p] {
+			t.Errorf("cpu %d counters diverged:\n stepped %+v\n skipped %+v",
+				p, stepped.counters[p], skipped.counters[p])
+		}
+		if stepped.busy[p] != skipped.busy[p] {
+			t.Errorf("cpu %d busy cycles diverged: %v vs %v", p, stepped.busy[p], skipped.busy[p])
+		}
+	}
+	if len(stepped.completions) != len(skipped.completions) {
+		t.Fatalf("completion count diverged: %d vs %d",
+			len(stepped.completions), len(skipped.completions))
+	}
+	for i := range stepped.completions {
+		if stepped.completions[i] != skipped.completions[i] {
+			t.Fatalf("completion %d diverged: %d vs %d",
+				i, stepped.completions[i], skipped.completions[i])
+		}
+	}
+	if len(stepped.periodic) != len(skipped.periodic) {
+		t.Fatalf("periodic event count diverged: %d vs %d",
+			len(stepped.periodic), len(skipped.periodic))
+	}
+	for i := range stepped.periodic {
+		if stepped.periodic[i] != skipped.periodic[i] {
+			t.Fatalf("periodic firing %d diverged: %d vs %d",
+				i, stepped.periodic[i], skipped.periodic[i])
+		}
+	}
+}
+
+// TestFastForwardLandsOnTickGrid checks that a jump never leaves the tick
+// grid the stepped run would have visited, even for sleep targets that
+// are not tick-aligned.
+func TestFastForwardLandsOnTickGrid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: 2}
+	m := New(cfg)
+	sched := &pinnedSkip{pinned: pinned{threads: map[int]*Thread{}}}
+	m.SetScheduler(sched)
+
+	th := m.NewThread("t", nil)
+	sched.threads[0] = th
+	th.Push(workload.Item{SleepNs: 123_457}) // wakes mid-tick
+
+	m.RunFor(1_000_000)
+	if m.Now()%cfg.TickNs != 0 {
+		t.Fatalf("clock off the tick grid: %d", m.Now())
+	}
+	if th.CompletedItems != 1 {
+		t.Fatalf("sleep item not completed: %d", th.CompletedItems)
+	}
+}

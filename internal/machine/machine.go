@@ -33,6 +33,19 @@ type TickScheduler interface {
 	Assign(nowNs int64, assign []*Thread)
 }
 
+// IdleSkipper is optionally implemented by TickSchedulers whose Assign is
+// a pure no-op (beyond per-tick accounting) whenever no machine thread is
+// runnable. When the installed scheduler implements it, the machine
+// replaces runs of fully idle ticks — no runnable thread, no due event —
+// with a single SkipIdleTicks(n) notification instead of n Assign calls,
+// and fast-forwards simulated time to the next event. The scheduler must
+// bring every per-tick side effect it would have had over n idle ticks
+// (timeslice phase, steal cadence, telemetry) up to date, so observable
+// behavior is identical to stepping tick by tick.
+type IdleSkipper interface {
+	SkipIdleTicks(n int64)
+}
+
 // lcpu is the per-logical-CPU simulation state.
 type lcpu struct {
 	counters hpe.Counters
@@ -64,12 +77,31 @@ type Machine struct {
 	events          eventQueue
 	lcpus           []lcpu
 	sched           TickScheduler
+	skipper         IdleSkipper // sched, if it opts into idle skipping
 	assign          []*Thread
 	rng             *rng.Source
 	nextTID         int
 	lastNoiseUpdate int64
 	// siblingOf caches the topology's sibling mapping for the hot path.
 	siblingOf []int
+
+	// runnable counts threads in the Runnable state. The tick loop and the
+	// idle fast-forward branch on it instead of scanning.
+	runnable int
+
+	// Derived configuration values, cached because the per-tick path reads
+	// them every tick (the expressions are kept identical to the Config
+	// methods so cached and recomputed values are bit-equal).
+	cyclesPerTick float64
+	tickNsF       float64
+	bwCapBytes    float64
+	noiseRho      float64
+	noiseDrive    float64
+	noiseSigmas   [4]float64
+
+	// dutyClean records that every lcpu's duty cycles and pending
+	// accumulators are zero, letting idle ticks skip the commit loop.
+	dutyClean bool
 
 	// DRAM bandwidth bookkeeping: bytes transferred last tick set the
 	// queueing factor applied this tick.
@@ -93,21 +125,27 @@ func New(cfg Config) *Machine {
 		bwFactor:        1,
 		lastNoiseUpdate: -1,
 		siblingOf:       make([]int, n),
+		cyclesPerTick:   cfg.CyclesPerTick(),
+		tickNsF:         float64(cfg.TickNs),
+		bwCapBytes:      cfg.BandwidthGBs * float64(cfg.TickNs), // GB/s * ns = bytes
+		noiseRho:        math.Exp(-float64(cfg.NoiseIntervalNs) / float64(cfg.NoiseTauNs)),
+		dutyClean:       true,
+	}
+	m.noiseDrive = math.Sqrt(1 - m.noiseRho*m.noiseRho)
+	m.noiseSigmas = [4]float64{
+		nStallsMemAny: cfg.SigmaStallsMemAny,
+		nCyclesMemAny: cfg.SigmaCyclesMemAny,
+		nStallsL3Miss: cfg.SigmaStallsL3Miss,
+		nCyclesL3Miss: cfg.SigmaCyclesL3Miss,
 	}
 	for p := 0; p < n; p++ {
 		m.siblingOf[p] = cfg.Topology.SiblingOf(p)
 	}
 	// Start the counter noise states at their stationary distribution so
 	// short runs see representative attribution variance.
-	sigmas := [4]float64{
-		nStallsMemAny: cfg.SigmaStallsMemAny,
-		nCyclesMemAny: cfg.SigmaCyclesMemAny,
-		nStallsL3Miss: cfg.SigmaStallsL3Miss,
-		nCyclesL3Miss: cfg.SigmaCyclesL3Miss,
-	}
 	for p := range m.lcpus {
 		for i := range m.lcpus[p].noise {
-			m.lcpus[p].noise[i] = sigmas[i] * m.rng.NormFloat64()
+			m.lcpus[p].noise[i] = m.noiseSigmas[i] * m.rng.NormFloat64()
 		}
 	}
 	return m
@@ -123,8 +161,12 @@ func (m *Machine) Topology() cpuid.Topology { return m.topo }
 func (m *Machine) Now() int64 { return m.now }
 
 // SetScheduler installs the per-tick assignment policy. It must be set
-// before Run; a nil scheduler leaves every CPU idle.
-func (m *Machine) SetScheduler(s TickScheduler) { m.sched = s }
+// before Run; a nil scheduler leaves every CPU idle. Schedulers that also
+// implement IdleSkipper opt into idle-tick fast-forwarding.
+func (m *Machine) SetScheduler(s TickScheduler) {
+	m.sched = s
+	m.skipper, _ = s.(IdleSkipper)
+}
 
 // NewThread creates a thread in the Idle state. listener may be nil.
 func (m *Machine) NewThread(name string, listener ThreadListener) *Thread {
@@ -170,15 +212,85 @@ func (m *Machine) BusyCycles(p int) float64 { return m.lcpus[p].busyCycles }
 // Sibling returns the hyperthread sibling of logical CPU p.
 func (m *Machine) Sibling(p int) int { return m.siblingOf[p] }
 
-// RunUntil advances the simulation to absolute time end.
+// RunUntil advances the simulation to absolute time end. Stretches with no
+// runnable thread and no due event are fast-forwarded in one jump when the
+// scheduler permits it (see IdleSkipper); time still lands on exactly the
+// tick boundaries a tick-by-tick run would produce.
 func (m *Machine) RunUntil(end int64) {
 	for m.now < end {
-		m.step()
+		if m.idleNow() {
+			m.fastForward(end)
+		} else {
+			m.step()
+		}
 	}
 }
 
 // RunFor advances the simulation by d nanoseconds.
 func (m *Machine) RunFor(d int64) { m.RunUntil(m.now + d) }
+
+// idleNow reports whether the tick starting at m.now would do no work at
+// all: nothing runnable, no event due, and a scheduler whose idle ticks
+// are skippable (or none). Events are the only thing that can change that,
+// so every tick until the next event is equally idle.
+func (m *Machine) idleNow() bool {
+	if m.sched != nil && (m.runnable > 0 || m.skipper == nil) {
+		return false
+	}
+	next, ok := m.events.peekTime()
+	return !ok || next > m.now
+}
+
+// ceilTick returns the first tick boundary at or after t (current time for
+// earlier t — ticks in the past cannot be revisited).
+func (m *Machine) ceilTick(t int64) int64 {
+	if t <= m.now {
+		return m.now
+	}
+	d := t - m.now
+	steps := (d + m.cfg.TickNs - 1) / m.cfg.TickNs
+	return m.now + steps*m.cfg.TickNs
+}
+
+// fastForward advances over the maximal run of idle ticks in one jump: up
+// to the tick that will fire the next event, capped at the first boundary
+// >= end (where RunUntil stops). Everything an idle tick would have done is
+// replayed in aggregate — noise updates draw the same RNG values at the
+// same tick times, the scheduler's per-tick accounting is batched through
+// SkipIdleTicks, and the duty/bandwidth state settles to the all-zero
+// fixed point idle ticks drive it to — so no consumer can distinguish the
+// jump from having stepped tick by tick.
+func (m *Machine) fastForward(end int64) {
+	target := m.ceilTick(end)
+	if next, ok := m.events.peekTime(); ok {
+		if e := m.ceilTick(next); e < target {
+			target = e
+		}
+	}
+	m.replayNoise(target)
+	if m.skipper != nil {
+		m.skipper.SkipIdleTicks((target - m.now) / m.cfg.TickNs)
+	}
+	m.settleIdleState()
+	m.now = target
+}
+
+// settleIdleState applies the per-tick state decay one idle tick performs:
+// duty cycles commit to zero (nothing executed) and last tick's DRAM
+// traffic is consumed. After the first idle tick these are fixed points,
+// so applying them once covers any number of skipped ticks.
+func (m *Machine) settleIdleState() {
+	m.dramBytesTick = 0
+	m.bwFactor = 1 // == bandwidthFactor(0)
+	if !m.dutyClean {
+		for p := range m.lcpus {
+			c := &m.lcpus[p]
+			c.memDuty, c.euDuty = 0, 0
+			c.nextMemStall, c.nextExec = 0, 0
+		}
+		m.dutyClean = true
+	}
+}
 
 // step executes one tick.
 func (m *Machine) step() {
@@ -193,13 +305,22 @@ func (m *Machine) step() {
 
 	m.maybeUpdateNoise()
 
+	// An event fired but left nothing runnable: the rest of the tick is
+	// idle, so take the aggregate path instead of scanning assign/lcpus.
+	if m.sched == nil || (m.runnable == 0 && m.skipper != nil) {
+		if m.skipper != nil {
+			m.skipper.SkipIdleTicks(1)
+		}
+		m.settleIdleState()
+		m.now += m.cfg.TickNs
+		return
+	}
+
 	// Ask the scheduler for this tick's assignment.
 	for i := range m.assign {
 		m.assign[i] = nil
 	}
-	if m.sched != nil {
-		m.sched.Assign(m.now, m.assign)
-	}
+	m.sched.Assign(m.now, m.assign)
 
 	// Bandwidth queueing factor from last tick's traffic.
 	m.bwFactor = m.bandwidthFactor(m.dramBytesTick)
@@ -207,21 +328,27 @@ func (m *Machine) step() {
 
 	// Execute every logical CPU against the *previous* tick's sibling
 	// duty cycles (two-phase update keeps the coupling symmetric).
+	anyExec := false
 	for p := range m.lcpus {
 		t := m.assign[p]
 		if t != nil && t.state == Runnable && t.lastExecTick != m.now {
 			t.lastExecTick = m.now
 			m.exec(p, t)
+			anyExec = true
 		}
 	}
 
-	// Commit this tick's duty cycles for the next tick.
-	budget := m.cfg.CyclesPerTick()
-	for p := range m.lcpus {
-		c := &m.lcpus[p]
-		c.memDuty = clamp01(c.nextMemStall / budget)
-		c.euDuty = clamp01(c.nextExec / budget)
-		c.nextMemStall, c.nextExec = 0, 0
+	// Commit this tick's duty cycles for the next tick. When nothing
+	// executed and the duties are already zero, the loop would be a no-op.
+	if anyExec || !m.dutyClean {
+		budget := m.cyclesPerTick
+		for p := range m.lcpus {
+			c := &m.lcpus[p]
+			c.memDuty = clamp01(c.nextMemStall / budget)
+			c.euDuty = clamp01(c.nextExec / budget)
+			c.nextMemStall, c.nextExec = 0, 0
+		}
+		m.dutyClean = !anyExec
 	}
 
 	m.now += m.cfg.TickNs
@@ -257,7 +384,7 @@ func (m *Machine) effectiveCost(c workload.Cost, fDRAM, fL3, fL2, fEU float64) (
 
 // exec runs thread t on logical CPU p for one tick.
 func (m *Machine) exec(p int, t *Thread) {
-	budget := m.cfg.CyclesPerTick()
+	budget := m.cyclesPerTick
 	fDRAM, fL3, fL2, fEU := m.interference(p)
 	c := &m.lcpus[p]
 	consumed := 0.0
@@ -270,7 +397,7 @@ func (m *Machine) exec(p int, t *Thread) {
 		if t.cur.SleepNs > 0 {
 			// I/O wait: the thread leaves the CPU at the current point
 			// within the tick and wakes SleepNs later.
-			elapsedNs := int64(consumed / budget * float64(m.cfg.TickNs))
+			elapsedNs := int64(consumed / budget * m.tickNsF)
 			t.beginSleep(m.now + elapsedNs + t.cur.SleepNs)
 			break
 		}
@@ -279,14 +406,14 @@ func (m *Machine) exec(p int, t *Thread) {
 		total := exec + memStall
 		if total <= 0 {
 			// Degenerate zero-cost item: complete instantly.
-			t.finishItem(m.now + int64(consumed/budget*float64(m.cfg.TickNs)))
+			t.finishItem(m.now + int64(consumed/budget*m.tickNsF))
 			continue
 		}
 		avail := budget - consumed
 		if total <= avail {
 			m.attribute(p, c, t, t.rem, exec, memStall, dramStall, fDRAM)
 			consumed += total
-			doneNs := m.now + int64(consumed/budget*float64(m.cfg.TickNs))
+			doneNs := m.now + int64(consumed/budget*m.tickNsF)
 			t.finishItem(doneNs)
 		} else {
 			frac := avail / total
@@ -365,7 +492,7 @@ func (m *Machine) attribute(p int, c *lcpu, t *Thread, base workload.Cost, exec,
 // multiplier. Below ~80% utilization the penalty is negligible; it grows
 // sharply as the bus saturates (open-loop M/D/1-style knee).
 func (m *Machine) bandwidthFactor(bytesLastTick int64) float64 {
-	cap := m.cfg.BandwidthGBs * float64(m.cfg.TickNs) // GB/s * ns = bytes
+	cap := m.bwCapBytes
 	if cap <= 0 {
 		return 1
 	}
@@ -384,21 +511,41 @@ func (m *Machine) maybeUpdateNoise() {
 	if m.lastNoiseUpdate >= 0 && m.now < m.lastNoiseUpdate+m.cfg.NoiseIntervalNs {
 		return
 	}
-	m.lastNoiseUpdate = m.now
-	rho := math.Exp(-float64(m.cfg.NoiseIntervalNs) / float64(m.cfg.NoiseTauNs))
-	drive := math.Sqrt(1 - rho*rho)
-	sigmas := [4]float64{
-		nStallsMemAny: m.cfg.SigmaStallsMemAny,
-		nCyclesMemAny: m.cfg.SigmaCyclesMemAny,
-		nStallsL3Miss: m.cfg.SigmaStallsL3Miss,
-		nCyclesL3Miss: m.cfg.SigmaCyclesL3Miss,
-	}
+	m.updateNoiseAt(m.now)
+}
+
+// updateNoiseAt performs one noise update as of tick start t, consuming
+// exactly one NormFloat64 per (lcpu, counter).
+func (m *Machine) updateNoiseAt(t int64) {
+	m.lastNoiseUpdate = t
+	rho, drive := m.noiseRho, m.noiseDrive
 	for p := range m.lcpus {
 		for i := range m.lcpus[p].noise {
 			x := m.lcpus[p].noise[i]
-			x = rho*x + sigmas[i]*drive*m.rng.NormFloat64()
+			x = rho*x + m.noiseSigmas[i]*drive*m.rng.NormFloat64()
 			m.lcpus[p].noise[i] = x
 		}
+	}
+}
+
+// replayNoise performs the noise updates that tick-by-tick execution would
+// have performed at the skipped tick starts in [m.now, target): each fires
+// at the first tick boundary >= lastNoiseUpdate + NoiseIntervalNs, drawing
+// the same RNG values at the same times, so the stochastic stream is
+// byte-identical to not having skipped.
+func (m *Machine) replayNoise(target int64) {
+	for {
+		next := m.now // a machine that has never updated does so immediately
+		if m.lastNoiseUpdate >= 0 {
+			next = m.ceilTick(m.lastNoiseUpdate + m.cfg.NoiseIntervalNs)
+			if next <= m.lastNoiseUpdate {
+				next = m.lastNoiseUpdate + m.cfg.TickNs
+			}
+		}
+		if next >= target {
+			return
+		}
+		m.updateNoiseAt(next)
 	}
 }
 

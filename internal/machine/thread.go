@@ -67,6 +67,11 @@ type Thread struct {
 	// thread to two logical CPUs in one tick.
 	lastExecTick int64
 
+	// wakeFn is the sleep-expiry callback, built once on the first sleep
+	// and reused: a thread has at most one outstanding wake event, so the
+	// per-sleep closure the event queue holds can be shared.
+	wakeFn func(nowNs int64)
+
 	// ConsumedCycles accumulates the effective cycles this thread has
 	// executed, the basis of per-thread CPU usage accounting.
 	ConsumedCycles float64
@@ -95,6 +100,7 @@ func (t *Thread) Push(items ...workload.Item) {
 	t.queue = append(t.queue, items...)
 	if t.state == Idle {
 		t.state = Runnable
+		t.m.runnable++
 		if t.listener != nil {
 			t.listener.ThreadReady(t)
 		}
@@ -111,8 +117,11 @@ func (t *Thread) Exit() {
 	t.queue = nil
 	t.head = 0
 	t.curSet = false
-	if wasRunnable && t.listener != nil {
-		t.listener.ThreadStopped(t)
+	if wasRunnable {
+		t.m.runnable--
+		if t.listener != nil {
+			t.listener.ThreadStopped(t)
+		}
 	}
 }
 
@@ -157,6 +166,7 @@ func (t *Thread) block() {
 		return
 	}
 	t.state = Idle
+	t.m.runnable--
 	if t.listener != nil {
 		t.listener.ThreadStopped(t)
 	}
@@ -165,21 +175,26 @@ func (t *Thread) block() {
 // beginSleep transitions the thread to Sleeping until wakeAt.
 func (t *Thread) beginSleep(wakeAt int64) {
 	t.state = Sleeping
+	t.m.runnable--
 	if t.listener != nil {
 		t.listener.ThreadStopped(t)
 	}
-	t.m.events.schedule(wakeAt, func(nowNs int64) {
-		if t.state != Sleeping {
-			return // exited while asleep
+	if t.wakeFn == nil {
+		t.wakeFn = func(nowNs int64) {
+			if t.state != Sleeping {
+				return // exited while asleep
+			}
+			t.finishItem(nowNs)
+			t.state = Runnable
+			t.m.runnable++
+			if t.listener != nil {
+				t.listener.ThreadReady(t)
+			}
+			// If nothing is pending the thread immediately idles again.
+			if !t.nextItem() {
+				t.block()
+			}
 		}
-		t.finishItem(nowNs)
-		t.state = Runnable
-		if t.listener != nil {
-			t.listener.ThreadReady(t)
-		}
-		// If nothing is pending the thread immediately idles again.
-		if !t.nextItem() {
-			t.block()
-		}
-	})
+	}
+	t.m.events.schedule(wakeAt, t.wakeFn)
 }

@@ -120,6 +120,9 @@ type Group struct {
 	cpu    int
 	events []hpe.Event
 	base   []float64
+	// scratch backs sampleDelta so the monitor's per-interval read — one
+	// call per logical CPU every 100 µs — does not allocate.
+	scratch []float64
 }
 
 // OpenGroup opens events as a group on logical CPU cpu.
@@ -137,6 +140,7 @@ func OpenGroup(m *machine.Machine, cpu int, events ...hpe.Event) (*Group, error)
 	}
 	g := &Group{m: m, cpu: cpu, events: append([]hpe.Event(nil), events...)}
 	g.base = make([]float64, len(events))
+	g.scratch = make([]float64, len(events))
 	g.Reset()
 	return g, nil
 }
@@ -160,11 +164,25 @@ func (g *Group) Read() []float64 {
 }
 
 // ReadDelta returns the deltas and immediately resets, the common
-// monitor-loop pattern.
+// monitor-loop pattern. The returned slice is freshly allocated; internal
+// callers on the per-tick path use sampleDelta instead.
 func (g *Group) ReadDelta() []float64 {
 	out := g.Read()
 	g.Reset()
 	return out
+}
+
+// sampleDelta is ReadDelta into the group's scratch buffer: one counter
+// snapshot serves both the delta read and the reset, and nothing escapes
+// to the heap. The returned slice is valid until the next call.
+func (g *Group) sampleDelta() []float64 {
+	snap := g.m.Counters(g.cpu)
+	for i, e := range g.events {
+		v := snap.Read(e)
+		g.scratch[i] = v - g.base[i]
+		g.base[i] = v
+	}
+	return g.scratch
 }
 
 // VPIGroup bundles the exact counters Equation 1 needs for one logical
@@ -187,7 +205,7 @@ func OpenVPI(m *machine.Machine, event hpe.Event, cpu int) (*VPIGroup, error) {
 // open) and resets the interval. With no retired memory instructions it
 // returns 0.
 func (v *VPIGroup) Sample() float64 {
-	vals := v.g.ReadDelta()
+	vals := v.g.sampleDelta()
 	den := vals[1] + vals[2]
 	if den <= 0 {
 		return 0

@@ -1,0 +1,208 @@
+// Package perfbench measures the simulation engine's hot path — the
+// per-tick loop every figure, colocation run and cluster round funnels
+// through — and emits the numbers as a machine-readable report
+// (BENCH_tick.json) so the repository carries a benchmark trajectory the
+// way it carries golden experiment outputs.
+//
+// Two tick-engine scenarios bracket the load spectrum:
+//
+//   - idle-heavy: a machine with a kernel scheduler and a sparse periodic
+//     timer but no runnable work. This is the regime the idle fast-forward
+//     targets; large simulated windows (cluster warmups, sleep-heavy batch
+//     phases) are dominated by it.
+//   - loaded-colocation: service-style periodic bursts plus batch-style
+//     compute chunks on SMT siblings, the alternating busy/idle cadence a
+//     real colocation run produces.
+//
+// A third entry times a small registry experiment end to end, so changes
+// to setup cost and the non-tick layers show up too.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/holmes-colocation/holmes/internal/experiments"
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// Schema identifies the report layout for downstream tooling.
+const Schema = "holmes/bench-tick/v1"
+
+// Options sizes the measurement windows.
+type Options struct {
+	// IdleSimNs / LoadedSimNs are the simulated windows of the two
+	// tick-engine scenarios.
+	IdleSimNs   int64
+	LoadedSimNs int64
+	// ExperimentID / ExperimentScale pick the end-to-end experiment run.
+	ExperimentID    string
+	ExperimentScale float64
+	// Seed drives every simulation in the report.
+	Seed uint64
+}
+
+// Quick returns the profile `make bench-smoke` and CI use: seconds of wall
+// time, enough simulated time for steady-state rates.
+func Quick() Options {
+	return Options{
+		IdleSimNs:       4_000_000_000, // 4 s simulated
+		LoadedSimNs:     2_000_000_000,
+		ExperimentID:    "fig3",
+		ExperimentScale: 0.05,
+		Seed:            1,
+	}
+}
+
+// TickResult is one tick-engine scenario's measurement.
+type TickResult struct {
+	Name          string  `json:"name"`
+	SimNs         int64   `json:"sim_ns"`
+	Ticks         int64   `json:"ticks"`
+	WallNs        int64   `json:"wall_ns"`
+	NsPerTick     float64 `json:"ns_per_tick"`
+	TicksPerSec   float64 `json:"ticks_per_sec"`
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+	BytesPerTick  float64 `json:"bytes_per_tick"`
+}
+
+// ExperimentResult is the end-to-end experiment timing.
+type ExperimentResult struct {
+	ID     string  `json:"id"`
+	Scale  float64 `json:"scale"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// Report is the full BENCH_tick.json payload.
+type Report struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	Scenarios  []TickResult     `json:"scenarios"`
+	Experiment ExperimentResult `json:"experiment"`
+}
+
+// buildIdle constructs the idle-heavy scenario: kernel installed, one
+// spawned-then-drained process so the runqueues exist, and a 1 ms periodic
+// timer as the only event traffic.
+func buildIdle(seed uint64) *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	m := machine.New(cfg)
+	kernel.New(m)
+	m.SchedulePeriodic(1_000_000, func(int64) {})
+	return m
+}
+
+// buildLoaded constructs the loaded-colocation scenario: two service
+// threads receiving a 2-tick burst every 100 µs and two batch threads
+// receiving a 5-tick compute-plus-DRAM chunk every 250 µs, so busy ticks
+// and idle gaps interleave the way daemon-driven colocation runs do.
+func buildLoaded(seed uint64) *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	m := machine.New(cfg)
+	k := kernel.New(m)
+	svc := k.Spawn("svc", 2)
+	batch := k.Spawn("batch", 2)
+	perTick := cfg.CyclesPerTick()
+	burst := workload.Work(workload.Compute(2 * perTick))
+	var chunk workload.Cost
+	chunk.ComputeCycles = 4 * perTick
+	chunk.Acc[workload.DRAM].Loads = 100
+	chunkItem := workload.Work(chunk)
+	m.SchedulePeriodic(100_000, func(int64) {
+		for _, t := range svc.Threads() {
+			t.HW.Push(burst)
+		}
+	})
+	m.SchedulePeriodic(250_000, func(int64) {
+		for _, t := range batch.Threads() {
+			t.HW.Push(chunkItem)
+		}
+	})
+	return m
+}
+
+// measure runs m for simNs and returns wall time and allocation rates. A
+// short warmup run first lets queues and caches reach steady state so the
+// allocs/tick number reflects the per-tick path, not setup.
+func measure(name string, m *machine.Machine, simNs, tickNs int64) TickResult {
+	m.RunFor(simNs / 8) // warmup
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	m.RunFor(simNs)
+	wall := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	ticks := simNs / tickNs
+	if wall < 1 {
+		wall = 1
+	}
+	return TickResult{
+		Name:          name,
+		SimNs:         simNs,
+		Ticks:         ticks,
+		WallNs:        wall,
+		NsPerTick:     float64(wall) / float64(ticks),
+		TicksPerSec:   float64(ticks) / (float64(wall) / 1e9),
+		AllocsPerTick: float64(after.Mallocs-before.Mallocs) / float64(ticks),
+		BytesPerTick:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ticks),
+	}
+}
+
+// RunIdle measures the idle-heavy scenario.
+func RunIdle(simNs int64, seed uint64) TickResult {
+	m := buildIdle(seed)
+	return measure("idle-heavy", m, simNs, m.Config().TickNs)
+}
+
+// RunLoaded measures the loaded-colocation scenario.
+func RunLoaded(simNs int64, seed uint64) TickResult {
+	m := buildLoaded(seed)
+	return measure("loaded-colocation", m, simNs, m.Config().TickNs)
+}
+
+// Collect runs every scenario and the end-to-end experiment.
+func Collect(o Options) (*Report, error) {
+	r := &Report{Schema: Schema, GoVersion: runtime.Version()}
+	r.Scenarios = append(r.Scenarios, RunIdle(o.IdleSimNs, o.Seed))
+	r.Scenarios = append(r.Scenarios, RunLoaded(o.LoadedSimNs, o.Seed))
+
+	opts := experiments.Options{Seed: o.Seed, Scale: o.ExperimentScale, Parallel: 1}
+	start := time.Now()
+	if _, err := experiments.RunIDs(opts, []string{o.ExperimentID}); err != nil {
+		return nil, fmt.Errorf("perfbench: experiment %s: %w", o.ExperimentID, err)
+	}
+	r.Experiment = ExperimentResult{
+		ID:     o.ExperimentID,
+		Scale:  o.ExperimentScale,
+		WallMs: float64(time.Since(start).Nanoseconds()) / 1e6,
+	}
+	return r, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render prints the report as a human-readable block.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tick engine benchmark (%s, %s)\n", r.Schema, r.GoVersion)
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&b, "  %-18s %8.1f Mticks/s  %6.1f ns/tick  %6.3f allocs/tick  %7.1f B/tick\n",
+			s.Name, s.TicksPerSec/1e6, s.NsPerTick, s.AllocsPerTick, s.BytesPerTick)
+	}
+	fmt.Fprintf(&b, "  %-18s %8.1f ms wall (scale %g)\n",
+		"experiment "+r.Experiment.ID, r.Experiment.WallMs, r.Experiment.Scale)
+	return b.String()
+}

@@ -210,6 +210,7 @@ func (h *Histogram) Summarize() Summary {
 	med := h.Percentile(50)
 	return Summary{
 		Count:  int(h.total),
+		Valid:  h.total > 0,
 		Mean:   h.Mean(),
 		Min:    h.Min(),
 		Max:    h.Max(),

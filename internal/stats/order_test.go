@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValuesKeepInsertionOrder pins the aliasing fix: rank queries used
+// to sort the backing slice in place, so any Percentile/Min/Max/CDF call
+// silently reordered what Values() returned — timeline consumers (the
+// Fig. 13 VPI series, the sweep's per-setting traces) then plotted a
+// sorted series instead of a time series. Queries and appends are
+// interleaved here exactly the way the experiment code does.
+func TestValuesKeepInsertionOrder(t *testing.T) {
+	s := NewSample(0)
+	inserted := []float64{5, 1, 4, 1, 3, 9, 2, 6}
+	for _, v := range inserted {
+		s.Add(v)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		got := s.Values()
+		if len(got) != len(inserted) {
+			t.Fatalf("%s: len = %d, want %d", stage, len(got), len(inserted))
+		}
+		for i := range inserted {
+			if got[i] != inserted[i] {
+				t.Fatalf("%s: Values()[%d] = %v, want %v (order lost)", stage, i, got[i], inserted[i])
+			}
+		}
+	}
+
+	check("before queries")
+	if p := s.Percentile(50); p <= 0 {
+		t.Fatalf("median = %v", p)
+	}
+	check("after Percentile")
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	check("after Min/Max")
+	_ = s.FractionAbove(3)
+	_ = s.CDF(4)
+	_ = s.Summarize()
+	check("after FractionAbove/CDF/Summarize")
+
+	// Appends after queries must both preserve order and refresh the
+	// rank queries' view.
+	s.Add(0.5)
+	s.AddAll([]float64{8, 7})
+	inserted = append(inserted, 0.5, 8, 7)
+	check("after more appends")
+	if s.Min() != 0.5 {
+		t.Fatalf("stale sorted cache: Min = %v after adding 0.5", s.Min())
+	}
+	if s.Max() != 9 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	check("after re-query")
+}
+
+// TestSummaryValid covers the vacuous-success fix: an empty sample's
+// summary must be marked invalid and say so, rather than render a row of
+// zeros a report could mistake for a perfect latency profile.
+func TestSummaryValid(t *testing.T) {
+	empty := NewSample(0).Summarize()
+	if empty.Valid {
+		t.Fatal("empty sample summary marked valid")
+	}
+	if !strings.Contains(empty.String(), "no observations") {
+		t.Fatalf("empty summary renders as data: %q", empty.String())
+	}
+
+	s := NewSample(0)
+	s.Add(3)
+	sum := s.Summarize()
+	if !sum.Valid {
+		t.Fatal("non-empty sample summary marked invalid")
+	}
+	if strings.Contains(sum.String(), "no observations") {
+		t.Fatalf("valid summary rendered as empty: %q", sum.String())
+	}
+
+	h := NewHistogram(1, 1000, 10)
+	if h.Summarize().Valid {
+		t.Fatal("empty histogram summary marked valid")
+	}
+	h.Add(5)
+	if !h.Summarize().Valid {
+		t.Fatal("non-empty histogram summary marked invalid")
+	}
+}

@@ -14,7 +14,11 @@ import (
 // It retains all observations; use Histogram for high-volume recording.
 type Sample struct {
 	values []float64
-	sorted bool
+	// sorted is a lazily built ascending copy serving the rank queries.
+	// Percentile/Min/Max/CDF used to sort values in place, which silently
+	// reordered what Values() returned after any such query; keeping the
+	// sorted view separate preserves insertion order for timeline readers.
+	sorted []float64
 }
 
 // NewSample returns an empty Sample with the given capacity hint.
@@ -25,27 +29,28 @@ func NewSample(capacity int) *Sample {
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
 	s.values = append(s.values, v)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // AddAll appends many observations.
 func (s *Sample) AddAll(vs []float64) {
 	s.values = append(s.values, vs...)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // Len returns the number of observations.
 func (s *Sample) Len() int { return len(s.values) }
 
-// Values returns the raw observations in insertion order if never sorted,
-// otherwise in ascending order. The slice is owned by the Sample.
+// Values returns the raw observations in insertion order, regardless of
+// which queries have run. The slice is owned by the Sample.
 func (s *Sample) Values() []float64 { return s.values }
 
-func (s *Sample) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.values)
-		s.sorted = true
+func (s *Sample) ensureSorted() []float64 {
+	if s.sorted == nil {
+		s.sorted = append(make([]float64, 0, len(s.values)), s.values...)
+		sort.Float64s(s.sorted)
 	}
+	return s.sorted
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty sample.
@@ -65,8 +70,7 @@ func (s *Sample) Min() float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.values[0]
+	return s.ensureSorted()[0]
 }
 
 // Max returns the largest observation, or 0 for an empty sample.
@@ -74,8 +78,8 @@ func (s *Sample) Max() float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.values[len(s.values)-1]
+	sorted := s.ensureSorted()
+	return sorted[len(sorted)-1]
 }
 
 // StdDev returns the population standard deviation.
@@ -100,21 +104,21 @@ func (s *Sample) Percentile(p float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	s.ensureSorted()
+	sorted := s.ensureSorted()
 	if p <= 0 {
-		return s.values[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s.values[n-1]
+		return sorted[n-1]
 	}
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.values[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s.values[lo]*(1-frac) + s.values[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // FractionAbove returns the fraction of observations strictly greater than
@@ -123,10 +127,10 @@ func (s *Sample) FractionAbove(threshold float64) float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	s.ensureSorted()
+	sorted := s.ensureSorted()
 	// First index with value > threshold.
-	idx := sort.Search(len(s.values), func(i int) bool { return s.values[i] > threshold })
-	return float64(len(s.values)-idx) / float64(len(s.values))
+	idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] > threshold })
+	return float64(len(sorted)-idx) / float64(len(sorted))
 }
 
 // Summary is a compact description of a sample, convenient for tables.
@@ -135,6 +139,12 @@ type Summary struct {
 	Mean, Min, Max       float64
 	P50, P90, P95, P99   float64
 	P999, StdDev, Median float64
+	// Valid is false for a summary of zero observations, whose statistic
+	// fields are all 0 by convention. Reports must check it: an empty
+	// sample's p99 of 0 is absence of data, not a perfect latency — a
+	// service whose pods all crashed would otherwise score zero SLO
+	// violations.
+	Valid bool
 }
 
 // Summarize computes a Summary of the sample.
@@ -142,6 +152,7 @@ func (s *Sample) Summarize() Summary {
 	med := s.Percentile(50)
 	return Summary{
 		Count:  s.Len(),
+		Valid:  s.Len() > 0,
 		Mean:   s.Mean(),
 		Min:    s.Min(),
 		Max:    s.Max(),
@@ -156,7 +167,11 @@ func (s *Sample) Summarize() Summary {
 }
 
 // String renders the summary on one line with microsecond-style precision.
+// An invalid (empty) summary says so instead of printing misleading zeros.
 func (sum Summary) String() string {
+	if !sum.Valid && sum.Count == 0 {
+		return "n=0 (no observations)"
+	}
 	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f",
 		sum.Count, sum.Mean, sum.P50, sum.P90, sum.P99, sum.Max)
 }
@@ -174,7 +189,7 @@ func (s *Sample) CDF(points int) []CDFPoint {
 	if n == 0 || points <= 0 {
 		return nil
 	}
-	s.ensureSorted()
+	sorted := s.ensureSorted()
 	if points > n {
 		points = n
 	}
@@ -182,7 +197,7 @@ func (s *Sample) CDF(points int) []CDFPoint {
 	for i := 0; i < points; i++ {
 		rank := i * (n - 1) / max(points-1, 1)
 		out = append(out, CDFPoint{
-			Value:    s.values[rank],
+			Value:    sorted[rank],
 			Fraction: float64(rank+1) / float64(n),
 		})
 	}

@@ -1,0 +1,56 @@
+package telemetry
+
+import "testing"
+
+// TestRecordPathAllocs guards the metric record path the kernel and
+// daemon hit every tick: counter increments and histogram observations
+// must not allocate once the series exist.
+func TestRecordPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard not meaningful under -race")
+	}
+	r := NewRegistry()
+	c := r.Counter("alloc_test_total", "t")
+	g := r.Gauge("alloc_test_gauge", "t")
+	h := r.Histogram("alloc_test_hist", "t", 1, 1000, 10)
+
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(0.25)
+		h.Observe(42)
+		h.ObserveN(0, 8)
+	}); n != 0 {
+		t.Fatalf("record path allocates: %v allocs per round", n)
+	}
+}
+
+// TestObserveNMatchesRepeatedObserve checks the batched form used by the
+// idle fast-forward replay is indistinguishable from n single
+// observations, including the out-of-range clamping paths.
+func TestObserveNMatchesRepeatedObserve(t *testing.T) {
+	single := NewRegistry().Histogram("h", "t", 1, 64, 5)
+	batched := NewRegistry().Histogram("h", "t", 1, 64, 5)
+
+	// Dyadic values keep every float addition exact, so Sum can be
+	// compared for equality rather than within a tolerance.
+	for _, v := range []float64{0, 0.5, 1, 7, 63.5, 64, 1e6} {
+		for i := 0; i < 13; i++ {
+			single.Observe(v)
+		}
+		batched.ObserveN(v, 13)
+	}
+	batched.ObserveN(5, 0)  // no-ops must not move anything
+	batched.ObserveN(5, -3)
+
+	s, b := single.Snapshot(), batched.Snapshot()
+	if s.Count != b.Count || s.Sum != b.Sum {
+		t.Fatalf("count/sum diverged: (%d, %v) vs (%d, %v)", s.Count, s.Sum, b.Count, b.Sum)
+	}
+	for i := range s.Buckets {
+		if s.Buckets[i] != b.Buckets[i] {
+			t.Fatalf("bucket %d diverged: %+v vs %+v", i, s.Buckets[i], b.Buckets[i])
+		}
+	}
+}

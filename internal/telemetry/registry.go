@@ -177,6 +177,31 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records the value v, n times, as one bucket update — the bulk
+// form batched recorders (e.g. the kernel replaying skipped idle ticks)
+// use. Equivalent to calling Observe(v) n times. Safe on nil.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	i := 0
+	if v >= h.min {
+		i = int((math.Log10(v) - h.logMin) * h.invLogBucket)
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+	}
+	h.counts[i].Add(n)
+	h.total.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {
