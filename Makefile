@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check cluster-smoke chaos-smoke fuzz-smoke bench-smoke test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check cluster-smoke chaos-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -50,6 +50,21 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) run ./cmd/holmes-bench -perf -perf-out BENCH_tick.json
 
+# Observability smoke: the Chrome-trace schema check and golden span-tree
+# test, then a small traced cluster run that exports the span timeline,
+# the flight-recorder bundle and the text dashboard into obs-out/. CI
+# uploads the directory as an artifact, so every commit carries an openable
+# trace (Perfetto / chrome://tracing) and a readable post-mortem bundle.
+obs-smoke:
+	$(GO) test -run 'TestGoldenEvictionSpanChain|TestObsChromeTraceValid|TestObsDeterministicAcrossWorkers' ./internal/cluster/
+	$(GO) test -run 'TestChromeTrace|TestWriteSpansJSONL' ./internal/telemetry/
+	mkdir -p obs-out
+	$(GO) run ./cmd/holmes-cluster -nodes 3 -cores 4 -services 2 \
+		-warmup 0.2 -duration 1.0 -batch-pods 6 -chaos -dashboard \
+		-trace-out obs-out/trace.json -flight-out obs-out/flight.txt \
+		> obs-out/dashboard.txt
+	@echo "obs-smoke artifacts in obs-out/: trace.json flight.txt dashboard.txt"
+
 test: check
 	$(GO) test ./...
 
@@ -81,4 +96,4 @@ examples:
 	$(GO) run ./examples/kubernetes
 
 clean:
-	rm -rf out holmes-report.html test_output.txt bench_output.txt
+	rm -rf out obs-out holmes-report.html test_output.txt bench_output.txt

@@ -19,8 +19,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/experiments"
 	"github.com/holmes-colocation/holmes/internal/perfbench"
@@ -29,33 +31,55 @@ import (
 )
 
 func main() {
-	full := flag.Bool("full", false, "run paper-faithful (longer) measurement windows")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	parallel := flag.Int("parallel", runner.DefaultParallelism(),
-		"max concurrent simulation runs (1 = serial; output identical either way)")
-	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
-	telemetryOut := flag.String("telemetry-out", "", "stream scheduler decision events to this JSONL file")
-	perfMode := flag.Bool("perf", false, "benchmark the tick engine and write BENCH_tick.json")
-	perfOut := flag.String("perf-out", "BENCH_tick.json", "output path for -perf")
-	flag.Usage = usage
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	args := flag.Args()
-	if *perfMode {
-		if err := runPerf(*perfOut, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("holmes-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "run paper-faithful (longer) measurement windows")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	parallel := fs.Int("parallel", runner.DefaultParallelism(),
+		"max concurrent simulation runs (1 = serial; output identical either way)")
+	outDir := fs.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	telemetryOut := fs.String("telemetry-out", "", "stream scheduler decision events to this JSONL file")
+	traceOut := fs.String("trace-out", "", "write recorded daemon spans to this file (.jsonl = one span per line, otherwise Chrome trace-event JSON)")
+	perfMode := fs.Bool("perf", false, "benchmark the tick engine and write BENCH_tick.json")
+	perfOut := fs.String("perf-out", "BENCH_tick.json", "output path for -perf")
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "holmes-bench: "+format+"\n", a...)
+		return 1
+	}
+	if *parallel < 1 {
+		return fail("-parallel %d must be at least 1", *parallel)
+	}
+	if *perfMode {
+		// The perf scenarios time the bare tick engine; attaching the
+		// observability sinks would measure the recorder, not the engine.
+		if *telemetryOut != "" {
+			return fail("-perf is incompatible with -telemetry-out (the benchmark measures the bare tick engine)")
+		}
+		if *traceOut != "" {
+			return fail("-perf is incompatible with -trace-out (the benchmark measures the bare tick engine)")
+		}
+		if err := runPerf(stdout, *perfOut, *seed); err != nil {
+			return fail("%v", err)
+		}
+		return 0
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		usage(stderr)
+		return 2
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 	}
 	save := func(id, out string) {
@@ -64,88 +88,114 @@ func main() {
 		}
 		path := filepath.Join(*outDir, id+".txt")
 		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "warning:", err)
+			fmt.Fprintln(stderr, "warning:", err)
 		}
 	}
 
 	opts := experiments.Options{Full: *full, Seed: *seed, Parallel: *parallel}
+	var set *telemetry.Set
+	if *telemetryOut != "" || *traceOut != "" {
+		set = telemetry.NewSet()
+		opts.Telemetry = set
+	}
 	var jsonl *telemetry.JSONLSink
 	if *telemetryOut != "" {
 		f, err := os.Create(*telemetryOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		defer func() {
 			f.Close()
-			fmt.Fprintf(os.Stderr, "telemetry: %d events -> %s\n", jsonl.Count(), *telemetryOut)
+			fmt.Fprintf(stderr, "telemetry: %d events -> %s\n", jsonl.Count(), *telemetryOut)
 		}()
-		set := telemetry.NewSet()
 		jsonl = telemetry.NewJSONLSink(f)
 		set.Tracer.AddSink(jsonl)
-		opts.Telemetry = set
 	}
 	reg := experiments.Registry()
 
-	if args[0] == "list" {
+	if rest[0] == "list" {
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-10s %s\n", id, reg[id].Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", id, reg[id].Title)
 		}
-		return
+		return 0
 	}
-	if args[0] == "report" {
+	if rest[0] == "report" {
 		path := "holmes-report.html"
 		if *outDir != "" {
 			path = filepath.Join(*outDir, "holmes-report.html")
 		}
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		if err := experiments.WriteHTMLReport(f, opts); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		f.Close()
-		fmt.Println("wrote", path)
-		return
+		fmt.Fprintln(stdout, "wrote", path)
+		return 0
 	}
 
-	ids := args
-	if args[0] == "all" {
+	ids := rest
+	if rest[0] == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
 		if _, ok := reg[id]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try 'holmes-bench list'\n", id)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown experiment %q; try 'holmes-bench list'\n", id)
+			return 2
 		}
 	}
 	// RunIDs executes up to -parallel experiments concurrently and returns
 	// outputs aligned with ids, so printing stays in request order.
 	outs, err := experiments.RunIDs(opts, ids)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
 	for i, id := range ids {
-		fmt.Printf("############ %s: %s ############\n%s\n", id, reg[id].Title, outs[i])
+		fmt.Fprintf(stdout, "############ %s: %s ############\n%s\n", id, reg[id].Title, outs[i])
 		save(id, outs[i])
 	}
+	if *traceOut != "" {
+		spans := set.Spans.Snapshot()
+		if err := writeSpans(*traceOut, spans); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stderr, "trace: %d spans -> %s\n", len(spans), *traceOut)
+	}
+	return 0
+}
+
+// writeSpans exports spans by extension: .jsonl as one span per line,
+// anything else as Chrome trace-event JSON (loadable in Perfetto).
+func writeSpans(path string, spans []telemetry.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = telemetry.WriteSpansJSONL(f, spans)
+	} else {
+		err = telemetry.WriteChromeTrace(f, spans)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runPerf measures the tick-engine scenarios and writes the JSON report,
 // printing the human-readable block to stdout.
-func runPerf(path string, seed uint64) error {
+func runPerf(stdout io.Writer, path string, seed uint64) error {
 	opts := perfbench.Quick()
 	opts.Seed = seed
 	rep, err := perfbench.Collect(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Print(rep.Render())
+	fmt.Fprint(stdout, rep.Render())
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -157,12 +207,12 @@ func runPerf(path string, seed uint64) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Println("wrote", path)
+	fmt.Fprintln(stdout, "wrote", path)
 	return nil
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `holmes-bench regenerates the tables and figures of
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `holmes-bench regenerates the tables and figures of
 "Holmes: SMT Interference Diagnosis and CPU Scheduling for Job Co-location" (HPDC'22).
 
 Usage:
@@ -183,6 +233,9 @@ Flags:
                        output is byte-identical at any parallelism
   -o DIR               also write each experiment's output to DIR/<id>.txt
   -telemetry-out FILE  stream scheduler decision events (JSONL) to FILE
+  -trace-out FILE      write recorded daemon spans to FILE (.jsonl = one
+                       span per line, otherwise Chrome trace-event JSON
+                       loadable in Perfetto / chrome://tracing)
   -perf                benchmark the tick engine instead of running experiments
   -perf-out FILE       where -perf writes its JSON report (default BENCH_tick.json)
 `)

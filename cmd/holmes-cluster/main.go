@@ -21,10 +21,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/cluster"
 	"github.com/holmes-colocation/holmes/internal/faults"
+	"github.com/holmes-colocation/holmes/internal/obs"
+	"github.com/holmes-colocation/holmes/internal/report"
 	"github.com/holmes-colocation/holmes/internal/runner"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noDegrade := fs.Bool("no-degrade", false, "disable graceful degradation (watchdog, re-scan, failure detector)")
 	parallel := fs.Int("parallel", runner.DefaultParallelism(),
 		"max concurrent node simulations (1 = serial; output identical either way)")
+	traceOut := fs.String("trace-out", "", "write the merged span timeline to FILE (.jsonl = one span per line, otherwise Chrome trace-event JSON)")
+	flightOut := fs.String("flight-out", "", "write the flight-recorder post-mortem bundle to FILE")
+	dashboard := fs.Bool("dashboard", false, "print the fleet observability dashboard after the run")
 	fs.Usage = func() { usage(stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -153,8 +160,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		placers = []string{*placer}
 	}
+	if len(placers) > 1 && (*traceOut != "" || *flightOut != "") {
+		return fail("-trace-out/-flight-out need a single placement policy, not -placer both")
+	}
+	needObs := *traceOut != "" || *flightOut != "" || *dashboard
 	for i, p := range placers {
 		spec.Placer = p
+		var plane *obs.Plane
+		if needObs {
+			plane = obs.NewPlane(spec.Nodes, 0)
+		}
+		opt.Obs = plane
 		res, err := cluster.Run(spec, opt)
 		if err != nil {
 			return fail("%v", err)
@@ -163,8 +179,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout)
 		}
 		fmt.Fprint(stdout, res.Render())
+		if *dashboard {
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, report.Dashboard("fleet observability: "+spec.Name, plane))
+		}
+		if *traceOut != "" {
+			spans := plane.MergedSpans()
+			if err := writeSpans(*traceOut, spans); err != nil {
+				return fail("%v", err)
+			}
+			fmt.Fprintf(stderr, "trace: %d spans -> %s\n", len(spans), *traceOut)
+		}
+		if *flightOut != "" {
+			bundle := obs.CaptureFlight(plane, "operator request (-flight-out)", 0)
+			if err := os.WriteFile(*flightOut, []byte(bundle.Render()), 0o644); err != nil {
+				return fail("%v", err)
+			}
+			fmt.Fprintf(stderr, "flight recorder: %d spans, %d alerts -> %s\n",
+				len(bundle.Spans), len(bundle.Alerts), *flightOut)
+		}
 	}
 	return 0
+}
+
+// writeSpans exports spans by extension: .jsonl as one span per line,
+// anything else as Chrome trace-event JSON (loadable in Perfetto).
+func writeSpans(path string, spans []telemetry.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = telemetry.WriteSpansJSONL(f, spans)
+	} else {
+		err = telemetry.WriteChromeTrace(f, spans)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage(w io.Writer) {
@@ -191,5 +245,12 @@ Flags:
   -parallel N       max concurrent node simulations (default GOMAXPROCS);
                     per-node seeds derive from (seed, node ID), so the
                     output is byte-identical at any parallelism
+  -trace-out FILE   write the merged pod-lifecycle + daemon span timeline
+                    to FILE (.jsonl = one span per line, otherwise Chrome
+                    trace-event JSON loadable in Perfetto / chrome://tracing)
+  -flight-out FILE  write the flight-recorder post-mortem bundle (last
+                    spans, burn-rate alerts, fleet series) to FILE
+  -dashboard        print the fleet observability dashboard (sparkline
+                    series, alert log, span totals) after the run
 `)
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
 // runCLI captures run's exit code and both streams.
@@ -126,5 +128,67 @@ func TestDeterministicAcrossParallel(t *testing.T) {
 	if serial != par {
 		t.Fatalf("output differs between -parallel 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, par)
+	}
+}
+
+func TestTraceOutIncompatibleWithBothPlacers(t *testing.T) {
+	code, _, stderr := runCLI(smallArgs("-placer", "both", "-trace-out", "t.json")...)
+	if code == 0 {
+		t.Fatal("run accepted -placer both with -trace-out")
+	}
+	if !strings.Contains(stderr, "single placement policy") {
+		t.Fatalf("stderr %q does not explain the conflict", stderr)
+	}
+}
+
+func TestObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	flight := filepath.Join(dir, "flight.txt")
+	code, stdout, stderr := runCLI(smallArgs(
+		"-trace-out", trace, "-flight-out", flight, "-dashboard")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"fleet observability: cluster", "fleet/mean_vpi",
+		"span timeline:", "burn-rate alerts"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("-trace-out file fails schema check: %v", err)
+	}
+	bundle, err := os.ReadFile(flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"==== FLIGHT RECORDER ====", "operator request",
+		"==== END FLIGHT RECORDER ===="} {
+		if !strings.Contains(string(bundle), want) {
+			t.Fatalf("-flight-out bundle missing %q:\n%s", want, bundle)
+		}
+	}
+	if !strings.Contains(stderr, "trace:") || !strings.Contains(stderr, "flight recorder:") {
+		t.Fatalf("stderr missing output notices: %q", stderr)
+	}
+}
+
+// TestTracingDoesNotChangeReport pins the CLI-level determinism contract:
+// the rendered report is byte-identical with and without the tracing and
+// dashboard flags (only the extra dashboard block differs).
+func TestTracingDoesNotChangeReport(t *testing.T) {
+	_, plain, _ := runCLI(smallArgs()...)
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	code, traced, stderr := runCLI(smallArgs("-trace-out", trace)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if plain != traced {
+		t.Fatalf("tracing changed the report:\n--- off ---\n%s\n--- on ---\n%s", plain, traced)
 	}
 }

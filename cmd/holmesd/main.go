@@ -11,9 +11,12 @@
 //	        [-http 127.0.0.1:9140]
 //
 // With -http, the daemon's telemetry is served live while the scenario
-// runs: /metrics (Prometheus text), /events (JSON decision log) and
-// /debug/holmes (JSON bundle). The server keeps running after the run so
-// the final state can be inspected; interrupt to exit.
+// runs: /metrics (Prometheus text), /events (JSON decision log),
+// /spans (JSON causal spans; ?format=chrome for a Chrome trace-event
+// export), /timeline (the span log as an indented causal text tree),
+// /alerts (JSON burn-rate alert transitions) and /debug/holmes (JSON
+// bundle). The server keeps running after the run so the final state can
+// be inspected; interrupt to exit.
 package main
 
 import (
@@ -67,7 +70,7 @@ func main() {
 			os.Exit(1)
 		}
 		go func() { _ = http.Serve(ln, set.Handler()) }()
-		fmt.Printf("telemetry: http://%s/metrics /events /debug/holmes\n", ln.Addr())
+		fmt.Printf("telemetry: http://%s/metrics /events /spans /timeline /alerts /debug/holmes\n", ln.Addr())
 	}
 
 	fmt.Printf("holmesd: %s + %s workload-%s for %v of simulated time (seed %d)\n",

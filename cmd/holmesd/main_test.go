@@ -116,7 +116,58 @@ func TestLiveEndpointsDuringRun(t *testing.T) {
 	if findLine(metricsText, "kernel_migrations_total") == "" {
 		t.Error("kernel metrics missing from /metrics")
 	}
+
+	// /spans serves the daemon's causal decision chains as JSON, and as a
+	// schema-valid Chrome trace with ?format=chrome.
+	var spans struct {
+		Total   uint64 `json:"total"`
+		Dropped uint64 `json:"dropped"`
+		Spans   []struct {
+			Kind string `json:"kind"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/spans")), &spans); err != nil {
+		t.Fatalf("/spans did not decode: %v", err)
+	}
+	if spans.Total == 0 || len(spans.Spans) == 0 {
+		t.Fatal("no spans recorded by the daemon")
+	}
+	kinds := map[string]bool{}
+	for _, sp := range spans.Spans {
+		kinds[sp.Kind] = true
+	}
+	for _, want := range []string{"CounterSample", "VPIEstimate", "MaskDecision"} {
+		if !kinds[want] {
+			t.Errorf("no %s spans in /spans; saw %v", want, kinds)
+		}
+	}
+	chrome := httpGet(t, srv.URL+"/spans?format=chrome")
+	if err := telemetry.ValidateChromeTrace([]byte(chrome)); err != nil {
+		t.Fatalf("/spans?format=chrome fails schema check: %v", err)
+	}
+
+	// /timeline renders the same spans as an indented causal tree.
+	timeline := httpGet(t, srv.URL+"/timeline")
+	if !strings.Contains(timeline, "CounterSample") {
+		t.Fatalf("/timeline has no decision chain:\n%.400s", timeline)
+	}
+
+	// /alerts decodes even with no burn engine attached (empty log).
+	var alerts struct {
+		Firing int     `json:"firing"`
+		Alerts []Alert `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/alerts")), &alerts); err != nil {
+		t.Fatalf("/alerts did not decode: %v", err)
+	}
+	if len(alerts.Alerts) != 0 {
+		t.Fatalf("single-daemon run has no burn engine, yet /alerts has %d entries",
+			len(alerts.Alerts))
+	}
 }
+
+// Alert mirrors telemetry.Alert for decoding /alerts.
+type Alert = telemetry.Alert
 
 func httpGet(t *testing.T, url string) string {
 	t.Helper()

@@ -220,4 +220,7 @@ func TestNoChaosResultHasNoFaultStats(t *testing.T) {
 		res.ServiceFailovers+res.FencedPods != 0 || res.SafeModeEntries != 0 || res.RescanRepairs != 0 {
 		t.Fatalf("fault-free run reports fault activity: %+v", res)
 	}
+	if res.PageAlerts != 0 {
+		t.Fatalf("fault-free run fired %d page alerts", res.PageAlerts)
+	}
 }

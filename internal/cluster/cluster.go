@@ -27,6 +27,7 @@ import (
 
 	"github.com/holmes-colocation/holmes/internal/batch"
 	"github.com/holmes-colocation/holmes/internal/faults"
+	"github.com/holmes-colocation/holmes/internal/obs"
 	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/stats"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
@@ -40,6 +41,13 @@ import (
 type RunOptions struct {
 	Workers   int
 	Telemetry *telemetry.Set
+	// Obs, when non-nil, records the run's observability artifacts: pod
+	// lifecycle and node fault spans on the control-plane recorder, each
+	// node daemon's decision-chain spans on its per-node recorder, fleet
+	// time-series rollups, and the burn-rate alert log. Recording is pure
+	// observation — attaching a plane never changes what the run computes
+	// (the burn-rate engine itself always runs; it feeds the reconciler).
+	Obs *obs.Plane
 }
 
 // maxPlaceRetries bounds how many rounds a pending pod is retried when no
@@ -126,6 +134,11 @@ type Result struct {
 	FencedPods         int
 	SafeModeEntries    int64
 	RescanRepairs      int64
+	// Burn-rate alerting outcome: page/ticket activations plus the full
+	// deterministic transition log (identical at any worker count).
+	PageAlerts   int
+	TicketAlerts int
+	Alerts       []obs.Alert
 }
 
 // TotalQueries returns the completed, measured queries summed over the
@@ -165,6 +178,16 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	var tel clusterTelemetry
 	tel.resolve(opt.Telemetry)
 
+	// The burn-rate engine always runs: its alert stream modulates the
+	// reconciler, so it is control-plane behavior, not optional recording.
+	// The tracer and rollup are the recording side and no-op without a
+	// plane.
+	burn := newBurnEngine(spec, totalRounds)
+	tracer := newRunTracer(opt.Obs, hbNs)
+	rollup := newFleetRollup(opt.Obs, hbNs)
+	prevQ := make([]int64, spec.Nodes)
+	prevBad := make([]int64, spec.Nodes)
+
 	// The node-fault schedule, fixed up front from per-node seed streams:
 	// what happens to node i never depends on fleet size changes above i
 	// or on the advance parallelism.
@@ -189,7 +212,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	for i := range nodes {
 		i := i
 		boots[i] = func() error {
-			n, err := bootNode(spec, i, 0, opt.Telemetry)
+			n, err := bootNode(spec, i, 0, opt.Telemetry, opt.Obs.NodeRecorder(i))
 			if err != nil {
 				return err
 			}
@@ -223,6 +246,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			req: PodRequest{Name: ss.Name, Guaranteed: true, Threads: serviceThreads(ss.Store)},
 			svc: &ss,
 		})
+		tracer.admit(ss.Name, 0)
 	}
 	containers, threads, units := spec.Batch.podSpecShape()
 	arrived := 0
@@ -246,6 +270,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		for _, name := range names {
 			pp := placed[name]
 			delete(placed, name)
+			tracer.requeue(name, r, "node-lost")
 			p := pp.pending
 			done := 0
 			for _, prog := range states[i].HB.Progress {
@@ -275,6 +300,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		sort.Strings(svcs)
 		for _, name := range svcs {
 			delete(serviceNode, name)
+			tracer.requeue(name, r, "failover")
 			for si := range spec.Services {
 				if spec.Services[si].Name != name {
 					continue
@@ -304,7 +330,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			res.SafeModeEntries += st.SafeModeEntries
 			res.RescanRepairs += st.RescanRepairs
 			gen[i]++
-			nn, err := bootNode(spec, i, gen[i], opt.Telemetry)
+			nn, err := bootNode(spec, i, gen[i], opt.Telemetry, opt.Obs.NodeRecorder(i))
 			if err != nil {
 				return nil, err
 			}
@@ -312,6 +338,9 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			down[i] = false
 			rebootAt[i] = -1
 			res.Reboots++
+			tracer.nodeReboot(i, r)
+			// The fresh incarnation's SLI counters restart from zero.
+			prevQ[i], prevBad[i] = 0, 0
 			if degrade {
 				// Everything booked on the old incarnation is gone:
 				// reschedule from checkpoints, fail services over.
@@ -334,6 +363,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				}
 				down[i] = true
 				res.Crashes++
+				tracer.nodeCrash(i, r)
 				if f.DownRounds > 0 {
 					rebootAt[i] = r + f.DownRounds
 				} else {
@@ -364,6 +394,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				threads:    threads,
 				units:      units,
 			})
+			tracer.admit(name, r)
 			arrived++
 		}
 
@@ -401,6 +432,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				states[target].HB.ServicePods++
 				states[target].HB.ServiceThreads += p.req.Threads
 				tel.inc(tel.placedGuaranteed)
+				tracer.servicePlace(p.svc.Name, r, target)
 			} else {
 				if err := nodes[target].PlaceBatch(p.req.Name, p.kind, p.containers, p.threads, p.units); err != nil {
 					return nil, err
@@ -411,6 +443,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				states[target].HB.BatchPods++
 				states[target].HB.BatchThreads += p.req.Threads
 				tel.inc(tel.placedBestEffort)
+				tracer.place(p.req.Name, r, target)
 			}
 		}
 		queue = waiting
@@ -454,8 +487,10 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 					res.BatchCompleted++
 				}
 				tel.inc(tel.completed)
+				tracer.complete(name, r)
 			}
 		}
+		var roundGoodQ, roundBadQ int64
 		for i, n := range nodes {
 			hbLost := schedule != nil && schedule[i][r].LoseHeartbeat
 			if down[i] || hbLost {
@@ -508,6 +543,22 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				states[i].Suspect = false
 			}
 			hb := n.Heartbeat()
+			// Latency SLI deltas for the burn-rate engine. The cumulative
+			// counters restart on measurement reset and reboot, so deltas
+			// clamp at zero rather than going negative.
+			dq, db := hb.Queries-prevQ[i], hb.SLOBad-prevBad[i]
+			if dq < 0 {
+				dq = 0
+			}
+			if db < 0 {
+				db = 0
+			}
+			if db > dq {
+				db = dq
+			}
+			prevQ[i], prevBad[i] = hb.Queries, hb.SLOBad
+			roundGoodQ += dq - db
+			roundBadQ += db
 			// Trend smooths the heartbeat VPI one more time at the round
 			// scale: a single bursty heartbeat cannot arm the reconciler,
 			// only a node that keeps reporting interference.
@@ -528,8 +579,32 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			}
 		}
 
+		// Feed the fleet SLO engine: latency from the query deltas,
+		// availability from node-rounds lost to crashes or death verdicts.
+		// Both SLIs are deterministic functions of the round's state, so
+		// the alert stream is identical at any worker count.
+		roundNs := int64(r) * hbNs
+		var nodesBad int64
+		for i := range nodes {
+			if down[i] || states[i].Dead {
+				nodesBad++
+			}
+		}
+		transitions := burn.Observe("latency", r, roundNs, roundGoodQ, roundBadQ)
+		transitions = append(transitions,
+			burn.Observe("availability", r, roundNs, int64(spec.Nodes)-nodesBad, nodesBad)...)
+		publishAlerts(opt.Telemetry, opt.Obs, transitions)
+		rollup.record(r, states, down, roundGoodQ, roundBadQ)
+
 		// Reconcile: drain one BestEffort pod per persistently hot node.
-		for _, ev := range reconcileDecisions(states, placed, spec.hotRounds(), spec.maxEvictions()) {
+		// While a page-severity alert is active the fleet is burning error
+		// budget too fast for patience: the hot-streak requirement drops
+		// to a single round so interfered nodes drain immediately.
+		hot := spec.hotRounds()
+		if burn.Paging() && hot > 1 {
+			hot = 1
+		}
+		for _, ev := range reconcileDecisions(states, placed, hot, spec.maxEvictions()) {
 			if down[ev.node] || states[ev.node].Dead {
 				// The eviction RPC cannot reach the node; the detector (or
 				// a reboot) will deal with its pods.
@@ -546,6 +621,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			if err := nodes[ev.node].EvictBatch(ev.pod); err != nil {
 				return nil, err
 			}
+			tracer.evict(ev.pod, r, ev.node, states[ev.node].Hot, states[ev.node].TrendVPI)
 			// Re-arm: the node must stay hot for another full streak before
 			// its next eviction, so draining is paced, not a stampede.
 			states[ev.node].Hot = 0
@@ -635,6 +711,9 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		res.SafeModeEntries += st.SafeModeEntries
 		res.RescanRepairs += st.RescanRepairs
 	}
+	res.PageAlerts = burn.Pages()
+	res.TicketAlerts = burn.Tickets()
+	res.Alerts = burn.Alerts()
 	return res, nil
 }
 
@@ -800,6 +879,13 @@ func (r *Result) Render() string {
 		100*r.ClusterUtil, r.BatchCompleted, r.PlacedBatch)
 	fmt.Fprintf(&b, "reconciler: %d evictions, %d requeues, %d failed placements, %d pinned pods (peak node VPI %.1f)\n",
 		r.Evictions, r.Requeues, r.FailedPlacements, r.PinnedPods, r.PeakSmoothedVPI)
+	fmt.Fprintf(&b, "alerts: %d page, %d ticket burn-rate activations\n",
+		r.PageAlerts, r.TicketAlerts)
+	for _, a := range r.Alerts {
+		if a.Severity == "page" {
+			fmt.Fprintf(&b, "  %s\n", a.String())
+		}
+	}
 	if r.Spec.Chaos != nil {
 		fmt.Fprintf(&b, "chaos: %d crashes (%d reboots), %d heartbeats lost, %d slow rounds; detector: %d declared dead, %d rejoined\n",
 			r.Crashes, r.Reboots, r.HeartbeatsMissed, r.SlowRounds, r.NodesDied, r.NodesRejoined)

@@ -71,7 +71,7 @@ func TestRunPlacesAndCompletes(t *testing.T) {
 
 func TestNodeHeartbeat(t *testing.T) {
 	spec := testSpec()
-	n, err := bootNode(spec, 0, 0, nil)
+	n, err := bootNode(spec, 0, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,6 +47,15 @@ type Heartbeat struct {
 	ServiceThreads int
 	// CapacityThreads is the node's thread capacity (logical CPUs).
 	CapacityThreads int
+	// Queries and SLOBad are cumulative service-query SLI counters: total
+	// completed queries and how many exceeded the latency SLO, summed over
+	// the node's services. The control plane differences consecutive
+	// heartbeats to feed the fleet burn-rate engine.
+	Queries int64
+	SLOBad  int64
+	// P99Ns is the mean p99 latency across the node's services (0 when
+	// the node hosts none or nothing was measured yet).
+	P99Ns float64
 	// SafeMode reports the node daemon's watchdog state: true while the
 	// daemon distrusts its counters and holds the static partition.
 	SafeMode bool
@@ -93,6 +102,7 @@ type Node struct {
 
 	seed     uint64
 	gen      int
+	sloNs    float64
 	services map[string]*nodeService
 
 	// Measurement baselines, captured when the measured window opens.
@@ -106,7 +116,7 @@ type Node struct {
 // salted with the generation, so a rebooted node is a genuinely fresh
 // machine, not a replay of its first life — while gen 0 keeps the exact
 // seed key of fault-free runs.
-func bootNode(spec Spec, id, gen int, tel *telemetry.Set) (*Node, error) {
+func bootNode(spec Spec, id, gen int, tel *telemetry.Set, spans *telemetry.SpanRecorder) (*Node, error) {
 	mcfg := machine.DefaultConfig()
 	mcfg.Topology.Cores = spec.CoresPerNode
 	mcfg.Topology.Sockets = 1
@@ -129,6 +139,12 @@ func bootNode(spec Spec, id, gen int, tel *telemetry.Set) (*Node, error) {
 	kcfg.Holmes.SNs = 500_000_000 // compressed quiet period, as in the evaluation
 	kcfg.Holmes.DaemonCPU = mcfg.Topology.LogicalCPUs() - 1
 	kcfg.Holmes.Telemetry = tel
+	// Span recording is pure observation: the daemon's modeled span cost
+	// depends only on Telemetry being set, so attaching a recorder here
+	// cannot perturb the simulation (the tracing on/off byte-identity the
+	// cluster tests pin).
+	kcfg.Holmes.Spans = spans
+	kcfg.Holmes.SpanNode = id
 	if !spec.DisableDegradation {
 		// Counter-health watchdog + periodic cgroupfs re-scan: the node
 		// defends itself against lying counters and lost events.
@@ -158,6 +174,7 @@ func bootNode(spec Spec, id, gen int, tel *telemetry.Set) (*Node, error) {
 		kl:       kl,
 		seed:     spec.Seed,
 		gen:      gen,
+		sloNs:    spec.sloNs(),
 		services: map[string]*nodeService{},
 	}, nil
 }
@@ -199,6 +216,13 @@ func (n *Node) Heartbeat() Heartbeat {
 	}
 	for _, s := range n.services {
 		hb.ServiceThreads += len(s.svc.Process().Threads())
+		lat := s.svc.Latencies()
+		hb.Queries += lat.Count()
+		hb.SLOBad += lat.CountAbove(n.sloNs)
+		hb.P99Ns += lat.Percentile(99)
+	}
+	if len(n.services) > 0 {
+		hb.P99Ns /= float64(len(n.services))
 	}
 	for _, name := range n.kl.PodNames() {
 		pod := n.kl.Pod(name)

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/obs"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+)
+
+// evictionSpec forces the reconciler to evict, so a full
+// admit → place → run → quarantine → evict → requeue → reschedule
+// lifecycle chain exists in the trace.
+func evictionSpec() Spec {
+	spec := testSpec()
+	spec.EvictVPI = 0.001 // any activity at all reads as hot
+	spec.HotRounds = 1
+	spec.MaxEvictions = 1
+	spec.DurationSeconds = 1.2
+	return spec
+}
+
+// TestGoldenEvictionSpanChain is the golden span-tree test: it walks the
+// parent links backwards from a reschedule span and pins the exact causal
+// chain the tracer promises for an evicted pod.
+func TestGoldenEvictionSpanChain(t *testing.T) {
+	spec := evictionSpec()
+	plane := obs.NewPlane(spec.Nodes, 0)
+	res, err := Run(spec, RunOptions{Workers: 4, Obs: plane})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("scenario never evicted — no chain to check")
+	}
+	spans := plane.MergedSpans()
+	byID := make(map[uint64]telemetry.Span, len(spans))
+	var resched *telemetry.Span
+	for i := range spans {
+		byID[spans[i].ID] = spans[i]
+		if resched == nil && spans[i].Kind == telemetry.SpanPodReschedule {
+			resched = &spans[i]
+		}
+	}
+	if resched == nil {
+		t.Fatalf("no reschedule span among %d merged spans", len(spans))
+	}
+
+	// Walk the ancestry of the reschedule back to its admission.
+	chain := []string{resched.Kind.String()}
+	for id := resched.Parent; id != 0; {
+		s, ok := byID[id]
+		if !ok {
+			t.Fatalf("parent %d of chain missing from merged spans", id)
+		}
+		if s.Name != resched.Name {
+			t.Fatalf("chain crossed pods: %q has ancestor %q", resched.Name, s.Name)
+		}
+		chain = append([]string{s.Kind.String()}, chain...)
+		id = s.Parent
+	}
+	const golden = "PodAdmit > PodPlace > PodQuarantine > PodEvict > PodRequeue > PodReschedule"
+	if got := strings.Join(chain, " > "); got != golden {
+		t.Fatalf("causal chain for %s:\n got %s\nwant %s", resched.Name, got, golden)
+	}
+
+	// The reschedule restarts the pod: a run interval hangs off it, and the
+	// pre-eviction run interval was closed at the eviction round.
+	var rerun bool
+	for _, s := range spans {
+		if s.Kind == telemetry.SpanPodRun && s.Parent == resched.ID {
+			rerun = true
+		}
+	}
+	if !rerun {
+		t.Fatal("no run interval parented on the reschedule span")
+	}
+
+	// The rendered tree nests the whole chain under the admission.
+	tree := telemetry.RenderSpanTree(spans)
+	for _, want := range []string{
+		"PodAdmit " + resched.Name,
+		"PodQuarantine " + resched.Name,
+		"PodEvict " + resched.Name,
+		"PodReschedule " + resched.Name,
+	} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("span tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestObsChromeTraceValid exports the merged timeline as Chrome trace JSON
+// and checks it against the schema validator, including the full eviction
+// chain and the per-node daemon decision spans.
+func TestObsChromeTraceValid(t *testing.T) {
+	spec := evictionSpec()
+	plane := obs.NewPlane(spec.Nodes, 0)
+	if _, err := Run(spec, RunOptions{Workers: 4, Obs: plane}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, plane.MergedSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails schema check: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"PodEvict", "PodReschedule", "VPIEstimate", "CgroupWrite"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing %s events", want)
+		}
+	}
+}
+
+// TestObsDeterministicAcrossWorkers pins the tentpole determinism
+// contract: with tracing enabled, the report, the merged span timeline,
+// the Chrome trace bytes and the fleet series are all byte-identical no
+// matter how many workers advanced the nodes.
+func TestObsDeterministicAcrossWorkers(t *testing.T) {
+	spec := evictionSpec()
+	runArm := func(workers int) (*Result, *obs.Plane) {
+		plane := obs.NewPlane(spec.Nodes, 0)
+		res, err := Run(spec, RunOptions{Workers: workers, Obs: plane})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, plane
+	}
+	r1, p1 := runArm(1)
+	r8, p8 := runArm(8)
+
+	if r1.Render() != r8.Render() {
+		t.Fatalf("report differs between Workers 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			r1.Render(), r8.Render())
+	}
+	t1 := telemetry.RenderSpanTree(p1.MergedSpans())
+	t8 := telemetry.RenderSpanTree(p8.MergedSpans())
+	if t1 != t8 {
+		t.Fatalf("span tree differs between Workers 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", t1, t8)
+	}
+	var b1, b8 bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&b1, p1.MergedSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteChromeTrace(&b8, p8.MergedSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Fatal("chrome trace bytes differ between Workers 1 and 8")
+	}
+	if s1, s8 := p1.Store.Render(), p8.Store.Render(); s1 != s8 {
+		t.Fatalf("fleet series differ between Workers 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", s1, s8)
+	}
+}
+
+// TestObsTracingDoesNotPerturbRun pins the other half of the contract:
+// attaching the observability plane is pure observation — the simulation's
+// report is byte-identical with tracing on or off.
+func TestObsTracingDoesNotPerturbRun(t *testing.T) {
+	spec := evictionSpec()
+	plain, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := obs.NewPlane(spec.Nodes, 0)
+	traced, err := Run(spec, RunOptions{Workers: 4, Obs: plane})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Render() != traced.Render() {
+		t.Fatalf("tracing perturbed the run:\n--- off ---\n%s\n--- on ---\n%s",
+			plain.Render(), traced.Render())
+	}
+	if plane.Control().Total() == 0 {
+		t.Fatal("traced run recorded no control-plane spans")
+	}
+	if plane.NodeRecorder(0).Total() == 0 {
+		t.Fatal("traced run recorded no daemon spans on node 0")
+	}
+}
+
+// TestFleetRollupSeries checks the per-round fleet aggregates land in the
+// plane's store with sane values.
+func TestFleetRollupSeries(t *testing.T) {
+	spec := testSpec()
+	plane := obs.NewPlane(spec.Nodes, 0)
+	if _, err := Run(spec, RunOptions{Workers: 4, Obs: plane}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fleet/mean_vpi", "fleet/lc_util", "fleet/nodes_up",
+		"fleet/lendable_siblings", "fleet/service_p99_us"} {
+		s := plane.Store.Series(name)
+		if s.Len() == 0 {
+			t.Errorf("series %s is empty", name)
+		}
+	}
+	up := plane.Store.Series("fleet/nodes_up")
+	if last, ok := up.Last(); !ok || last != float64(spec.Nodes) {
+		t.Errorf("fault-free fleet/nodes_up last = %v, want %d", last, spec.Nodes)
+	}
+}

@@ -125,6 +125,17 @@ type Config struct {
 	// overhead modeling, the cycles spent recording are charged to the
 	// daemon process and reported separately (Daemon.TelemetryCPUTimeNs).
 	Telemetry *telemetry.Set
+	// Spans, when non-nil, receives the daemon's causal decision-chain
+	// spans (counter sample → VPI estimate → mask decision → cgroupfs
+	// write, plus pool and safe-mode transitions). When nil, spans fall
+	// back to Telemetry.Spans. Recording is pure observation: the modeled
+	// span cost is charged whenever Telemetry is attached, independent of
+	// whether a recorder is present, so runs are byte-identical with
+	// tracing on or off.
+	Spans *telemetry.SpanRecorder
+	// SpanNode is the node ID stamped on the daemon's spans when a cluster
+	// control plane runs many daemons side by side (default 0).
+	SpanNode int
 }
 
 // DefaultConfig returns the paper's settings.

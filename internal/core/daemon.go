@@ -48,6 +48,14 @@ type Daemon struct {
 	tel             daemonTelemetry
 	telemetryCycles float64
 
+	// Causal span bookkeeping: borrowSpan[p] is the open SiblingBorrow
+	// span covering the interval batch may use LC CPU p's sibling;
+	// lastDecisionSpan parents the next cgroupfs write onto the decision
+	// that caused it; safeModeSpan covers the current safe-mode interval.
+	borrowSpan       map[int]uint64
+	lastDecisionSpan uint64
+	safeModeSpan     uint64
+
 	// expansionOrder records CPUs acquired by pool expansion, newest
 	// last, so shrinking releases them in reverse order.
 	expansionOrder []int
@@ -111,6 +119,7 @@ func Start(k *kernel.Kernel, fs *cgroupfs.FS, cfg Config) (*Daemon, error) {
 		containers:     map[string]*kernel.Process{},
 		siblingAllowed: map[int]bool{},
 		quietSince:     map[int]int64{},
+		borrowSpan:     map[int]uint64{},
 		lastDeallocNs:  -1,
 	}
 	// Reserve the first ReservedCPUs logical CPUs, one per physical core
@@ -125,6 +134,7 @@ func Start(k *kernel.Kernel, fs *cgroupfs.FS, cfg Config) (*Daemon, error) {
 	// Telemetry handles resolve before the cgroup watch is installed so
 	// discovery events from adoption are traced too.
 	d.tel.resolve(cfg.Telemetry)
+	d.tel.resolveSpans(cfg.Spans, cfg.Telemetry, cfg.SpanNode)
 	if d.tel.enabled() {
 		cfg.Telemetry.PublishInfo("holmes.E", fmt.Sprintf("%g", cfg.E))
 		cfg.Telemetry.PublishInfo("holmes.T", fmt.Sprintf("%g", cfg.T))
@@ -162,6 +172,8 @@ func Start(k *kernel.Kernel, fs *cgroupfs.FS, cfg Config) (*Daemon, error) {
 	// back to.
 	for i := 0; i < cfg.ReservedCPUs; i++ {
 		d.emit(telemetry.Event{Type: telemetry.SiblingGranted, CPU: i, Threshold: cfg.E})
+		d.borrowSpan[i] = d.tel.spanStart(telemetry.Span{
+			Kind: telemetry.SpanSiblingBorrow, StartNs: m.Now(), CPU: i})
 	}
 	d.updatePoolGauges()
 
@@ -357,6 +369,11 @@ func (d *Daemon) tick(nowNs int64) {
 				d.tel.inc(d.tel.deallocations)
 				d.emit(telemetry.Event{Type: telemetry.SiblingRevoked,
 					CPU: lc, VPI: vpi, Usage: usage, Threshold: threshold})
+				d.traceDecision(nowNs, lc, vpi, usage, threshold, "revoke-sibling")
+				if id, ok := d.borrowSpan[lc]; ok {
+					d.tel.spanFinish(id, nowNs)
+					delete(d.borrowSpan, lc)
+				}
 				changed = true
 			}
 			continue
@@ -370,6 +387,10 @@ func (d *Daemon) tick(nowNs int64) {
 			d.tel.inc(d.tel.reallocations)
 			d.emit(telemetry.Event{Type: telemetry.SiblingGranted,
 				CPU: lc, VPI: vpi, Usage: usage, Threshold: threshold})
+			d.traceDecision(nowNs, lc, vpi, usage, threshold, "grant-sibling")
+			d.borrowSpan[lc] = d.tel.spanStart(telemetry.Span{
+				Kind: telemetry.SpanSiblingBorrow, StartNs: nowNs,
+				CPU: lc, Parent: d.lastDecisionSpan})
 			changed = true
 		}
 	}
@@ -388,6 +409,21 @@ func (d *Daemon) tick(nowNs int64) {
 		d.updatePoolGauges()
 	}
 	d.chargeOverhead()
+}
+
+// traceDecision records the causal chain behind one sibling decision —
+// the counter sample that fed the VPI estimate that drove the mask
+// decision — and leaves the decision span as the parent for the cgroupfs
+// write that applies it. Only changed decisions are traced, so the span
+// ring holds signal, not the steady-state sampling loop.
+func (d *Daemon) traceDecision(nowNs int64, lc int, vpi, usage, threshold float64, action string) {
+	sample := d.tel.span(telemetry.Span{Kind: telemetry.SpanCounterSample,
+		StartNs: nowNs, EndNs: nowNs, CPU: lc, Value: usage})
+	est := d.tel.span(telemetry.Span{Kind: telemetry.SpanVPIEstimate,
+		Parent: sample, StartNs: nowNs, EndNs: nowNs, CPU: lc, Value: vpi})
+	d.lastDecisionSpan = d.tel.span(telemetry.Span{Kind: telemetry.SpanMaskDecision,
+		Parent: est, StartNs: nowNs, EndNs: nowNs, CPU: lc,
+		Name: action, Value: threshold})
 }
 
 // chargeOverhead models the invocation's own CPU cost, plus the modeled
@@ -425,6 +461,8 @@ func (d *Daemon) reapExitedLC() {
 				d.reallocations++
 				d.tel.inc(d.tel.reallocations)
 				d.emit(telemetry.Event{Type: telemetry.SiblingGranted, CPU: lc, Threshold: d.cfg.E})
+				d.borrowSpan[lc] = d.tel.spanStart(telemetry.Span{
+					Kind: telemetry.SpanSiblingBorrow, StartNs: d.m.Now(), CPU: lc})
 			}
 		}
 		d.applyBatchMask()
@@ -481,6 +519,9 @@ func (d *Daemon) expandIfNeeded(nowNs int64) bool {
 	d.tel.inc(d.tel.expansions)
 	d.emit(telemetry.Event{Type: telemetry.PoolExpanded,
 		CPU: best, Usage: usage / float64(len(cpus)), Threshold: d.cfg.T})
+	d.lastDecisionSpan = d.tel.span(telemetry.Span{Kind: telemetry.SpanPoolExpand,
+		StartNs: nowNs, EndNs: nowNs, CPU: best,
+		Value: usage / float64(len(cpus))})
 	// Extend every LC service onto the grown pool (pid order: affinity
 	// changes migrate threads, so iteration order affects placement).
 	for _, pid := range d.sortedLCPids() {
@@ -515,6 +556,15 @@ func (d *Daemon) shrinkIfIdle() bool {
 	d.tel.inc(d.tel.shrinks)
 	d.emit(telemetry.Event{Type: telemetry.PoolShrunk,
 		CPU: last, Usage: usage / float64(len(cpus)), Threshold: d.cfg.T / 2})
+	d.lastDecisionSpan = d.tel.span(telemetry.Span{Kind: telemetry.SpanPoolShrink,
+		StartNs: d.m.Now(), EndNs: d.m.Now(), CPU: last,
+		Value: usage / float64(len(cpus))})
+	if id, ok := d.borrowSpan[last]; ok {
+		// The released CPU leaves the reserved pool; its borrow interval
+		// ends with it.
+		d.tel.spanFinish(id, d.m.Now())
+		delete(d.borrowSpan, last)
+	}
 	for _, pid := range d.sortedLCPids() {
 		_ = d.lcPids[pid].SetAffinity(d.reserved)
 	}
@@ -528,6 +578,9 @@ func (d *Daemon) shrinkIfIdle() bool {
 // run to run.
 func (d *Daemon) applyBatchMask() {
 	mask := d.BatchMask()
+	d.tel.span(telemetry.Span{Kind: telemetry.SpanCgroupWrite,
+		Parent: d.lastDecisionSpan, StartNs: d.m.Now(), EndNs: d.m.Now(),
+		CPU: -1, Name: "cpuset.cpus", Value: float64(mask.Count())})
 	for _, path := range d.sortedContainerPaths() {
 		proc := d.containers[path]
 		if proc.Exited() {
@@ -639,9 +692,16 @@ func (d *Daemon) enterSafeMode(nowNs int64, frac float64) {
 	d.safeModeEntries++
 	d.tel.inc(d.tel.safeModeEntries)
 	d.tel.gauge(d.tel.safeModeG, 1)
+	d.safeModeSpan = d.tel.spanStart(telemetry.Span{
+		Kind: telemetry.SpanSafeMode, StartNs: nowNs, CPU: -1,
+		Name: "static-partition", Value: frac})
 	for _, lc := range d.reserved.CPUs() {
 		d.siblingAllowed[lc] = false
 		d.quietSince[lc] = -1
+		if id, ok := d.borrowSpan[lc]; ok {
+			d.tel.spanFinish(id, nowNs)
+			delete(d.borrowSpan, lc)
+		}
 	}
 	d.emit(telemetry.Event{Type: telemetry.SafeModeEntered, CPU: -1,
 		Threshold: d.suspectFraction(),
@@ -659,6 +719,7 @@ func (d *Daemon) exitSafeMode(nowNs int64) {
 	d.safeModeExits++
 	d.tel.inc(d.tel.safeModeExits)
 	d.tel.gauge(d.tel.safeModeG, 0)
+	d.tel.spanFinish(d.safeModeSpan, nowNs)
 	for _, lc := range d.reserved.CPUs() {
 		d.quietSince[lc] = nowNs
 	}

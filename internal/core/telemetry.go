@@ -14,6 +14,10 @@ import (
 const (
 	telemetryCyclesPerRecord = 12
 	telemetryCyclesPerEvent  = 150
+	// A span op is a ring slot store plus an ID assignment under a mutex —
+	// cheaper than a traced event's sink fan-out, pricier than an atomic
+	// counter bump.
+	telemetryCyclesPerSpan = 60
 )
 
 // monitorSampleEvery decimates MonitorSample events: one per reserved CPU
@@ -29,6 +33,12 @@ const monitorSampleEvery = 128
 type daemonTelemetry struct {
 	set    *telemetry.Set
 	tracer *telemetry.Tracer
+	// rec receives causal decision-chain spans; node is stamped on each.
+	// Span cost accounting is keyed off set, not rec, so attaching or
+	// detaching a recorder never perturbs the simulation (the determinism
+	// contract the cluster tests pin).
+	rec  *telemetry.SpanRecorder
+	node int
 
 	invocations     *telemetry.Counter
 	deallocations   *telemetry.Counter
@@ -50,6 +60,7 @@ type daemonTelemetry struct {
 	// Cost accounting for the current tick, drained by drainCycles.
 	recordOps int64
 	events    int64
+	spanOps   int64
 }
 
 // resolve looks up every handle once, at Start. Registration may lock and
@@ -79,7 +90,60 @@ func (dt *daemonTelemetry) resolve(set *telemetry.Set) {
 	dt.lcVPI = r.Histogram("holmes_lc_vpi", "VPI observed on reserved LC CPUs", 0.1, 10_000, 5)
 }
 
+// resolveSpans attaches the span recorder: an explicit Config.Spans wins,
+// otherwise the Telemetry set's own recorder serves holmesd's /spans
+// endpoint.
+func (dt *daemonTelemetry) resolveSpans(explicit *telemetry.SpanRecorder, set *telemetry.Set, node int) {
+	dt.node = node
+	if explicit != nil {
+		dt.rec = explicit
+		return
+	}
+	if set != nil {
+		dt.rec = set.Spans
+	}
+}
+
 func (dt *daemonTelemetry) enabled() bool { return dt.set != nil }
+
+// chargeSpan accounts one modeled span op. The charge depends only on the
+// telemetry set being attached — never on the recorder — so the modeled
+// daemon cost is identical with tracing on or off.
+func (dt *daemonTelemetry) chargeSpan() {
+	if dt.set != nil {
+		dt.spanOps++
+	}
+}
+
+// span records a closed span (Node stamped here) and returns its ID, or 0
+// when no recorder is attached.
+func (dt *daemonTelemetry) span(s telemetry.Span) uint64 {
+	dt.chargeSpan()
+	if dt.rec == nil {
+		return 0
+	}
+	s.Node = dt.node
+	return dt.rec.Add(s)
+}
+
+// spanStart records an open span (EndNs pending).
+func (dt *daemonTelemetry) spanStart(s telemetry.Span) uint64 {
+	dt.chargeSpan()
+	if dt.rec == nil {
+		return 0
+	}
+	s.Node = dt.node
+	return dt.rec.Start(s)
+}
+
+// spanFinish closes a previously started span.
+func (dt *daemonTelemetry) spanFinish(id uint64, endNs int64) {
+	dt.chargeSpan()
+	if dt.rec == nil {
+		return
+	}
+	dt.rec.Finish(id, endNs)
+}
 
 func (dt *daemonTelemetry) inc(c *telemetry.Counter) {
 	if dt.set == nil {
@@ -108,12 +172,13 @@ func (dt *daemonTelemetry) observe(h *telemetry.Histogram, v float64) {
 // drainCycles returns the modeled cycle cost of everything recorded since
 // the previous drain and resets the tick counters.
 func (dt *daemonTelemetry) drainCycles() float64 {
-	if dt.set == nil || (dt.recordOps == 0 && dt.events == 0) {
+	if dt.set == nil || (dt.recordOps == 0 && dt.events == 0 && dt.spanOps == 0) {
 		return 0
 	}
 	c := float64(dt.recordOps)*telemetryCyclesPerRecord +
-		float64(dt.events)*telemetryCyclesPerEvent
-	dt.recordOps, dt.events = 0, 0
+		float64(dt.events)*telemetryCyclesPerEvent +
+		float64(dt.spanOps)*telemetryCyclesPerSpan
+	dt.recordOps, dt.events, dt.spanOps = 0, 0, 0
 	return c
 }
 

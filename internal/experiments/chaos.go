@@ -6,6 +6,7 @@ import (
 
 	"github.com/holmes-colocation/holmes/internal/cluster"
 	"github.com/holmes-colocation/holmes/internal/faults"
+	"github.com/holmes-colocation/holmes/internal/obs"
 )
 
 // ChaosResult holds the three arms of the fault-injection experiment on
@@ -21,6 +22,11 @@ type ChaosResult struct {
 	Clean    *cluster.Result
 	Degraded *cluster.Result
 	Control  *cluster.Result
+
+	// DegradedObs is the degraded arm's observability plane: the span
+	// timeline and fleet series the flight recorder dumps on a FAIL
+	// verdict or a page-severity alert.
+	DegradedObs *obs.Plane
 }
 
 // chaosSLOHeadroom is the acceptance band for graceful degradation: the
@@ -81,7 +87,10 @@ func RunChaos(o Options) (*ChaosResult, error) {
 	degraded := spec
 	degraded.Name = "chaos: faults + graceful degradation"
 	degraded.Chaos = &sched
-	if res.Degraded, err = cluster.Run(degraded, opt); err != nil {
+	res.DegradedObs = obs.NewPlane(spec.Nodes, 0)
+	degradedOpt := opt
+	degradedOpt.Obs = res.DegradedObs
+	if res.Degraded, err = cluster.Run(degraded, degradedOpt); err != nil {
 		return nil, err
 	}
 	control := spec
@@ -118,6 +127,20 @@ func (r *ChaosResult) ControlWorse() bool {
 	return r.Control.SLOViolationRatio > r.Degraded.SLOViolationRatio
 }
 
+// AlertsAsExpected pins the burn-rate alerting contract: the scripted
+// crash burns the availability budget hard enough to page the degraded
+// arm, while the fault-free arm — with zero bad node-rounds — must stay
+// silent.
+func (r *ChaosResult) AlertsAsExpected() bool {
+	return r.Degraded.PageAlerts > 0 && r.Clean.PageAlerts == 0
+}
+
+// Flight captures the post-mortem bundle from the degraded arm's
+// observability plane.
+func (r *ChaosResult) Flight(reason string) *obs.FlightBundle {
+	return obs.CaptureFlight(r.DegradedObs, reason, obs.DefaultFlightSpans)
+}
+
 // Render prints the three arms plus the deltas and verdicts.
 func (r *ChaosResult) Render() string {
 	var b strings.Builder
@@ -137,6 +160,9 @@ func (r *ChaosResult) Render() string {
 			r.Degraded.TotalQueries(), chaosMinQueries)
 	} else if !r.DegradedWithinBound() {
 		verdict = "FAIL"
+	} else if !r.AlertsAsExpected() {
+		verdict = fmt.Sprintf("FAIL (burn-rate alerts wrong: degraded %d page, clean %d page)",
+			r.Degraded.PageAlerts, r.Clean.PageAlerts)
 	}
 	fmt.Fprintf(&b, "graceful degradation: SLO violations %.2f%% vs bound %.2f%% (%gx fault-free + %.2fpp): %s\n",
 		100*r.Degraded.SLOViolationRatio, 100*r.SLOBound(),
@@ -147,5 +173,16 @@ func (r *ChaosResult) Render() string {
 	}
 	fmt.Fprintf(&b, "no-degradation control: SLO violations %.2f%% — %s\n",
 		100*r.Control.SLOViolationRatio, cmp)
+	alerts := "degraded paged, clean silent (as expected)"
+	if !r.AlertsAsExpected() {
+		alerts = "UNEXPECTED"
+	}
+	fmt.Fprintf(&b, "burn-rate alerts: clean %d page / degraded %d page, %d ticket / control %d page — %s\n",
+		r.Clean.PageAlerts, r.Degraded.PageAlerts, r.Degraded.TicketAlerts,
+		r.Control.PageAlerts, alerts)
+	if strings.HasPrefix(verdict, "FAIL") {
+		b.WriteString("\n")
+		b.WriteString(r.Flight("chaos verdict " + verdict).Render())
+	}
 	return b.String()
 }

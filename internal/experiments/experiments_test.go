@@ -525,10 +525,32 @@ func TestChaosGracefulDegradation(t *testing.T) {
 	if r.Control.SafeModeEntries != 0 || r.Control.RescanRepairs != 0 {
 		t.Fatal("control arm ran degradation machinery despite DisableDegradation")
 	}
+	if !r.AlertsAsExpected() {
+		t.Fatalf("burn-rate alerts wrong: degraded %d page (want >0), clean %d page (want 0)",
+			r.Degraded.PageAlerts, r.Clean.PageAlerts)
+	}
 	out := r.Render()
-	for _, want := range []string{"graceful degradation:", "no-degradation control:", "faults vs fault-free:"} {
+	for _, want := range []string{"graceful degradation:", "no-degradation control:",
+		"faults vs fault-free:", "burn-rate alerts:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FLIGHT RECORDER") {
+		t.Fatal("PASS verdict dumped the flight recorder")
+	}
+
+	// Force a FAIL verdict on a copy: the render must append a readable
+	// flight-recorder bundle from the degraded arm's plane.
+	bad := *r
+	worse := *r.Degraded
+	worse.SLOViolationRatio = 1.0
+	bad.Degraded = &worse
+	failOut := bad.Render()
+	for _, want := range []string{"==== FLIGHT RECORDER ====", "reason: chaos verdict FAIL",
+		"-- alerts", "-- last", "==== END FLIGHT RECORDER ====", "availability/page"} {
+		if !strings.Contains(failOut, want) {
+			t.Fatalf("FAIL render missing %q", want)
 		}
 	}
 }

@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+// TestSeriesAppendAllocs pins the fleet rollup hot path: appending to a
+// warm series must not allocate, even across downsampling merges.
+func TestSeriesAppendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard not meaningful under -race")
+	}
+	s := newSeries("fleet_vpi", 64)
+	var now int64
+	if n := testing.AllocsPerRun(1000, func() {
+		now += 50_000_000
+		s.Append(now, float64(now%97))
+	}); n != 0 {
+		t.Fatalf("series append allocates: %v allocs per round", n)
+	}
+}
+
+// TestBurnObserveAllocsBounded checks the burn engine's per-round cost:
+// Observe appends to two prefix-sum slices, so steady state must stay at
+// amortized slice growth only (no per-call map or alert churn when no
+// transition fires).
+func TestBurnObserveAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard not meaningful under -race")
+	}
+	e := NewBurnEngine(SLOConfig{
+		Name: "latency", Objective: 0.05,
+		ShortRounds: 3, LongRounds: 12, PageBurn: 10, TicketBurn: 2,
+	})
+	// Warm up past the slice-growth phase.
+	round := 0
+	for ; round < 4096; round++ {
+		e.Observe("latency", round, int64(round)*50_000_000, 100, 0)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		round++
+		e.Observe("latency", round, int64(round)*50_000_000, 100, 0)
+	}); n > 1 {
+		t.Fatalf("burn observe allocates too much: %v allocs per round", n)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+)
+
+// FlightBundle is the post-mortem dump the flight recorder produces when
+// a chaos verdict fails or a page-severity alert fires: the tail of the
+// merged span timeline, every alert transition, and the fleet series —
+// everything a human needs to reconstruct the failure without re-running.
+type FlightBundle struct {
+	Reason string // what triggered the dump
+	Spans  []telemetry.Span
+	Alerts []Alert
+	Store  *Store
+}
+
+// DefaultFlightSpans bounds how many trailing spans a bundle keeps.
+const DefaultFlightSpans = 200
+
+// CaptureFlight snapshots a plane into a bundle, keeping the newest
+// maxSpans spans (0 = DefaultFlightSpans).
+func CaptureFlight(p *Plane, reason string, maxSpans int) *FlightBundle {
+	if maxSpans <= 0 {
+		maxSpans = DefaultFlightSpans
+	}
+	spans := p.MergedSpans()
+	if len(spans) > maxSpans {
+		spans = spans[len(spans)-maxSpans:]
+	}
+	b := &FlightBundle{Reason: reason, Spans: spans, Alerts: p.Alerts()}
+	if p != nil {
+		b.Store = p.Store
+	}
+	return b
+}
+
+// Render produces the human-readable post-mortem text.
+func (b *FlightBundle) Render() string {
+	if b == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("==== FLIGHT RECORDER ====\n")
+	fmt.Fprintf(&sb, "reason: %s\n", b.Reason)
+
+	fmt.Fprintf(&sb, "\n-- alerts (%d transitions) --\n", len(b.Alerts))
+	if len(b.Alerts) == 0 {
+		sb.WriteString("none\n")
+	}
+	for _, a := range b.Alerts {
+		sb.WriteString(a.String())
+		sb.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&sb, "\n-- last %d spans --\n", len(b.Spans))
+	if len(b.Spans) == 0 {
+		sb.WriteString("none\n")
+	} else {
+		sb.WriteString(telemetry.RenderSpanTree(b.Spans))
+	}
+
+	if b.Store != nil && len(b.Store.Names()) > 0 {
+		sb.WriteString("\n-- fleet series --\n")
+		sb.WriteString(b.Store.Render())
+	}
+	sb.WriteString("==== END FLIGHT RECORDER ====\n")
+	return sb.String()
+}

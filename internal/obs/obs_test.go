@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+)
+
+func TestSeriesAppendAndDownsample(t *testing.T) {
+	s := newSeries("util", 8)
+	for i := 0; i < 8; i++ {
+		s.Append(int64(i)*100, float64(i))
+	}
+	if s.Len() != 8 || s.Stride() != 1 {
+		t.Fatalf("pre-overflow: len=%d stride=%d", s.Len(), s.Stride())
+	}
+	// The 9th raw sample forces one halving: 8 points -> 4 merged pairs,
+	// stride 2, and the new sample sits in a partial bucket.
+	s.Append(800, 8)
+	if s.Stride() != 2 {
+		t.Fatalf("stride after overflow = %d, want 2", s.Stride())
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len after overflow = %d, want 4", s.Len())
+	}
+	pts := s.Points()
+	// Merged pair (0,1): value (0+1)/2, timestamp of the later point.
+	if pts[0].Value != 0.5 || pts[0].TimeNs != 100 {
+		t.Fatalf("merged point = %+v, want {100 0.5}", pts[0])
+	}
+	// The partial bucket is surfaced as a trailing point.
+	if got := pts[len(pts)-1]; got.Value != 8 || got.TimeNs != 800 {
+		t.Fatalf("partial point = %+v, want {800 8}", got)
+	}
+	if s.Total() != 9 {
+		t.Fatalf("total = %d, want 9", s.Total())
+	}
+	if last, ok := s.Last(); !ok || last != 8 {
+		t.Fatalf("last = %v,%v", last, ok)
+	}
+}
+
+func TestSeriesLongRunStaysBounded(t *testing.T) {
+	s := newSeries("vpi", 16)
+	for i := 0; i < 100_000; i++ {
+		s.Append(int64(i), 1.0)
+	}
+	if s.Len() > 16 {
+		t.Fatalf("series exceeded capacity: %d", s.Len())
+	}
+	for _, p := range s.Points() {
+		if p.Value != 1.0 {
+			t.Fatalf("constant series drifted: %+v", p)
+		}
+	}
+}
+
+func TestStoreAndSparkline(t *testing.T) {
+	st := NewStore(32)
+	for i := 0; i < 10; i++ {
+		st.Series("fleet_vpi").Append(int64(i), float64(i))
+		st.Series("fleet_util").Append(int64(i), 0.5)
+	}
+	names := st.Names()
+	if len(names) != 2 || names[0] != "fleet_util" || names[1] != "fleet_vpi" {
+		t.Fatalf("names = %v", names)
+	}
+	out := st.Render()
+	if !strings.Contains(out, "fleet_vpi") || !strings.Contains(out, "min 0.00") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if spark := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8); spark != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("sparkline = %q", spark)
+	}
+	if spark := Sparkline([]float64{1, 1, 1}, 8); spark != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", spark)
+	}
+	if Sparkline(nil, 8) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+	// More values than columns: resampled to width.
+	wide := make([]float64, 100)
+	for i := range wide {
+		wide[i] = float64(i)
+	}
+	if got := Sparkline(wide, 10); len([]rune(got)) != 10 {
+		t.Fatalf("resampled width = %d, want 10", len([]rune(got)))
+	}
+}
+
+func TestNilSeriesAndStoreSafe(t *testing.T) {
+	var s *Series
+	s.Append(1, 2) // must not panic
+	if s.Len() != 0 || s.Total() != 0 || s.Points() != nil {
+		t.Fatal("nil series should be inert")
+	}
+	var st *Store
+	if st.Series("x") != nil || st.Names() != nil {
+		t.Fatal("nil store should be inert")
+	}
+}
+
+func latencySLO() SLOConfig {
+	return SLOConfig{
+		Name: "latency", Objective: 0.05,
+		ShortRounds: 2, LongRounds: 6,
+		PageBurn: 10, TicketBurn: 2, MinUnits: 50,
+	}
+}
+
+func TestBurnEnginePagesOnSustainedBurn(t *testing.T) {
+	e := NewBurnEngine(latencySLO())
+	// Healthy rounds: 1% bad over a 5% budget -> burn 0.2, nothing fires.
+	for r := 0; r < 6; r++ {
+		if got := e.Observe("latency", r, int64(r)*50, 99, 1); len(got) != 0 {
+			t.Fatalf("healthy round %d fired %v", r, got)
+		}
+	}
+	if e.Paging() {
+		t.Fatal("paging during healthy traffic")
+	}
+	// Disaster: 80% bad -> burn 16. Long window needs to catch up past
+	// the page threshold, then both windows agree and the page fires once.
+	var fired []Alert
+	for r := 6; r < 14; r++ {
+		fired = append(fired, e.Observe("latency", r, int64(r)*50, 20, 80)...)
+	}
+	if e.Pages() != 1 {
+		t.Fatalf("pages = %d, want 1; log=%v", e.Pages(), e.Alerts())
+	}
+	if !e.Paging() {
+		t.Fatal("page should still be active")
+	}
+	// Ticket fires at the lower threshold too (burn 16 >= 2).
+	if e.Tickets() != 1 {
+		t.Fatalf("tickets = %d, want 1", e.Tickets())
+	}
+	// Recovery: all-good rounds drain the short window first, resolving.
+	for r := 14; r < 26; r++ {
+		fired = append(fired, e.Observe("latency", r, int64(r)*50, 100, 0)...)
+	}
+	if e.Paging() {
+		t.Fatal("page failed to resolve after recovery")
+	}
+	var resolved bool
+	for _, a := range fired {
+		if a.Severity == "page" && !a.Firing {
+			resolved = true
+		}
+	}
+	if !resolved {
+		t.Fatalf("no page resolution in log: %v", fired)
+	}
+}
+
+func TestBurnEngineMinUnitsSuppressesNoise(t *testing.T) {
+	e := NewBurnEngine(latencySLO())
+	// 100% bad but only 2 units/round: long window holds 12 units < 50,
+	// so even an infinite burn must stay silent.
+	for r := 0; r < 20; r++ {
+		if got := e.Observe("latency", r, 0, 0, 2); len(got) != 0 {
+			t.Fatalf("fired on tiny denominator: %v", got)
+		}
+	}
+}
+
+func TestBurnEngineShortWindowGatesPage(t *testing.T) {
+	e := NewBurnEngine(latencySLO())
+	// One catastrophic round inflates the long window, but after two
+	// clean rounds the short window is clean — no page may fire late.
+	e.Observe("latency", 0, 0, 0, 1000)
+	for r := 1; r < 6; r++ {
+		if got := e.Observe("latency", r, 0, 1000, 0); r >= 3 && len(got) != 0 {
+			t.Fatalf("round %d fired after short window cleared: %v", r, got)
+		}
+	}
+}
+
+func TestBurnEngineDeterministic(t *testing.T) {
+	run := func() []Alert {
+		e := NewBurnEngine(latencySLO(), SLOConfig{
+			Name: "availability", Objective: 0.01,
+			ShortRounds: 2, LongRounds: 6, PageBurn: 10, MinUnits: 10,
+		})
+		var log []Alert
+		for r := 0; r < 30; r++ {
+			bad := int64(0)
+			if r >= 10 && r < 20 {
+				bad = 40
+			}
+			log = append(log, e.Observe("latency", r, int64(r), 100-bad, bad)...)
+			log = append(log, e.Observe("availability", r, int64(r), 5, bad/40)...)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("alert counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("alert %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("scenario produced no alerts")
+	}
+}
+
+func TestPlaneMergedSpansRemapsParents(t *testing.T) {
+	p := NewPlane(2, 16)
+	// Control plane: admit at t=100 with a child place at t=200.
+	admit := p.Control().Add(telemetry.Span{
+		Kind: telemetry.SpanPodAdmit, StartNs: 100, EndNs: 150, Node: -1, Name: "batch-1",
+	})
+	p.Control().Add(telemetry.Span{
+		Kind: telemetry.SpanPodPlace, Parent: admit, StartNs: 200, EndNs: 250, Node: -1, Name: "batch-1",
+	})
+	// Node 1: a daemon decision chain starting earlier than the place.
+	sample := p.NodeRecorder(1).Add(telemetry.Span{
+		Kind: telemetry.SpanCounterSample, StartNs: 120, EndNs: 130, Node: 1, CPU: 0,
+	})
+	p.NodeRecorder(1).Add(telemetry.Span{
+		Kind: telemetry.SpanVPIEstimate, Parent: sample, StartNs: 130, EndNs: 140, Node: 1, CPU: 0,
+	})
+	merged := p.MergedSpans()
+	if len(merged) != 4 {
+		t.Fatalf("merged %d spans, want 4", len(merged))
+	}
+	// Sorted by StartNs: admit(100), sample(120), vpi(130), place(200);
+	// IDs renumbered 1..4 and parents follow.
+	wantKinds := []telemetry.SpanKind{
+		telemetry.SpanPodAdmit, telemetry.SpanCounterSample,
+		telemetry.SpanVPIEstimate, telemetry.SpanPodPlace,
+	}
+	for i, k := range wantKinds {
+		if merged[i].Kind != k {
+			t.Fatalf("span %d kind = %v, want %v", i, merged[i].Kind, k)
+		}
+		if merged[i].ID != uint64(i+1) {
+			t.Fatalf("span %d id = %d, want %d", i, merged[i].ID, i+1)
+		}
+	}
+	if merged[2].Parent != merged[1].ID {
+		t.Fatalf("vpi parent = %d, want %d", merged[2].Parent, merged[1].ID)
+	}
+	if merged[3].Parent != merged[0].ID {
+		t.Fatalf("place parent = %d, want %d", merged[3].Parent, merged[0].ID)
+	}
+}
+
+func TestPlaneNilSafe(t *testing.T) {
+	var p *Plane
+	if p.Control() != nil || p.NodeRecorder(0) != nil {
+		t.Fatal("nil plane recorders should be nil")
+	}
+	p.RecordAlerts([]Alert{{}})
+	if p.MergedSpans() != nil || p.Alerts() != nil || p.SpansDropped() != 0 {
+		t.Fatal("nil plane should be inert")
+	}
+}
+
+func TestFlightBundleRender(t *testing.T) {
+	p := NewPlane(1, 16)
+	admit := p.Control().Add(telemetry.Span{
+		Kind: telemetry.SpanPodAdmit, StartNs: 100, EndNs: 150, Node: -1, Name: "batch-9",
+	})
+	p.Control().Add(telemetry.Span{
+		Kind: telemetry.SpanPodEvict, Parent: admit, StartNs: 300, EndNs: 350, Node: -1, Name: "batch-9",
+	})
+	p.Store.Series("fleet_vpi").Append(100, 12)
+	p.RecordAlerts([]Alert{{
+		Round: 3, TimeNs: 150, SLO: "latency", Severity: "page",
+		Firing: true, ShortBurn: 14.2, LongBurn: 11.8,
+	}})
+	b := CaptureFlight(p, "chaos verdict FAIL", 0)
+	out := b.Render()
+	for _, want := range []string{
+		"FLIGHT RECORDER", "chaos verdict FAIL",
+		"[PAGE] latency/page FIRING", "PodAdmit", "PodEvict",
+		"fleet_vpi", "END FLIGHT RECORDER",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bundle missing %q:\n%s", want, out)
+		}
+	}
+	// Truncation keeps the newest spans.
+	big := NewPlane(1, 64)
+	for i := 0; i < 30; i++ {
+		big.Control().Add(telemetry.Span{
+			Kind: telemetry.SpanCounterSample, StartNs: int64(i), EndNs: int64(i) + 1, Node: 0,
+		})
+	}
+	tb := CaptureFlight(big, "page fired", 10)
+	if len(tb.Spans) != 10 {
+		t.Fatalf("truncated bundle has %d spans, want 10", len(tb.Spans))
+	}
+	if tb.Spans[0].StartNs != 20 {
+		t.Fatalf("truncation kept oldest spans: first start=%d", tb.Spans[0].StartNs)
+	}
+	var nilBundle *FlightBundle
+	if nilBundle.Render() != "" {
+		t.Fatal("nil bundle should render empty")
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+)
+
+// Plane is the recording half of the observability stack: one span
+// recorder per node plus one for the control plane, a fleet time-series
+// store, and an alert log mirroring the burn engine's transitions.
+//
+// Recorders are per node so that parallel node advancement never
+// interleaves span IDs nondeterministically; MergedSpans re-sorts and
+// re-numbers them into a single stable timeline at export time.
+type Plane struct {
+	control *telemetry.SpanRecorder
+	nodes   []*telemetry.SpanRecorder
+	Store   *Store
+
+	mu     sync.Mutex
+	alerts []Alert
+}
+
+// NewPlane creates a plane for a cluster of n nodes. spanCap is the
+// per-recorder ring size (0 = telemetry.DefaultSpanRingSize).
+func NewPlane(n, spanCap int) *Plane {
+	if spanCap <= 0 {
+		spanCap = telemetry.DefaultSpanRingSize
+	}
+	p := &Plane{
+		control: telemetry.NewSpanRecorder(spanCap),
+		nodes:   make([]*telemetry.SpanRecorder, n),
+		Store:   NewStore(0),
+	}
+	for i := range p.nodes {
+		p.nodes[i] = telemetry.NewSpanRecorder(spanCap)
+	}
+	return p
+}
+
+// Control returns the control-plane span recorder (nil-safe).
+func (p *Plane) Control() *telemetry.SpanRecorder {
+	if p == nil {
+		return nil
+	}
+	return p.control
+}
+
+// NodeRecorder returns node i's span recorder, or nil when out of range
+// or the plane is nil — callers hand the result straight to components
+// whose span methods are nil-safe.
+func (p *Plane) NodeRecorder(i int) *telemetry.SpanRecorder {
+	if p == nil || i < 0 || i >= len(p.nodes) {
+		return nil
+	}
+	return p.nodes[i]
+}
+
+// RecordAlerts appends burn-engine transitions to the plane's alert log.
+func (p *Plane) RecordAlerts(alerts []Alert) {
+	if p == nil || len(alerts) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.alerts = append(p.alerts, alerts...)
+	p.mu.Unlock()
+}
+
+// Alerts returns the recorded alert transitions in order.
+func (p *Plane) Alerts() []Alert {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Alert, len(p.alerts))
+	copy(out, p.alerts)
+	return out
+}
+
+// MergedSpans flattens every recorder into one timeline: spans are sorted
+// by (StartNs, Node, original ID) and re-numbered sequentially from 1,
+// with parent references remapped. The result is identical no matter how
+// many workers advanced the nodes, because each node's spans carry
+// deterministic sim-time stamps and per-node IDs.
+func (p *Plane) MergedSpans() []telemetry.Span {
+	if p == nil {
+		return nil
+	}
+	type tagged struct {
+		rec  int
+		span telemetry.Span
+	}
+	var all []tagged
+	recorders := append([]*telemetry.SpanRecorder{p.control}, p.nodes...)
+	for ri, r := range recorders {
+		for _, s := range r.Snapshot() {
+			all = append(all, tagged{rec: ri, span: s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].span, all[j].span
+		if a.StartNs != b.StartNs {
+			return a.StartNs < b.StartNs
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if all[i].rec != all[j].rec {
+			return all[i].rec < all[j].rec
+		}
+		return a.ID < b.ID
+	})
+	type key struct {
+		rec int
+		id  uint64
+	}
+	remap := make(map[key]uint64, len(all))
+	for i, t := range all {
+		remap[key{t.rec, t.span.ID}] = uint64(i + 1)
+	}
+	out := make([]telemetry.Span, len(all))
+	for i, t := range all {
+		s := t.span
+		s.ID = uint64(i + 1)
+		if s.Parent != 0 {
+			s.Parent = remap[key{t.rec, s.Parent}] // 0 when parent rotated out
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SpansDropped returns the total spans lost to ring overwrites across all
+// recorders.
+func (p *Plane) SpansDropped() uint64 {
+	if p == nil {
+		return 0
+	}
+	var dropped uint64
+	dropped += p.control.Dropped()
+	for _, r := range p.nodes {
+		dropped += r.Dropped()
+	}
+	return dropped
+}

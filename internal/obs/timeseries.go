@@ -1,0 +1,276 @@
+// Package obs is the cluster observability plane: a downsampling fleet
+// time-series store, an SRE-style multi-window error-budget burn-rate
+// engine, and a flight recorder that bundles spans, series and alerts
+// into a post-mortem when a run goes wrong.
+//
+// Everything in the package is deterministic pure data: the burn-rate
+// engine's alerts depend only on the per-round SLI counts it is fed, and
+// the store's downsampling depends only on the append sequence. Attaching
+// or detaching the recording side (a Plane) therefore never changes what
+// a simulation computes — the determinism contract the cluster and
+// experiment tests pin.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Point is one time-series sample: a simulated timestamp and the value
+// aggregated over the interval ending there.
+type Point struct {
+	TimeNs int64   `json:"time_ns"`
+	Value  float64 `json:"value"`
+}
+
+// Series is a fixed-capacity downsampling ring: appends are O(1) and
+// allocation-free, and when the buffer fills the series halves its
+// resolution in place by merging adjacent pairs (averaging values,
+// keeping the later timestamp). A run of any length therefore fits in
+// constant memory while keeping a uniform, full-history overview — what
+// a fleet dashboard tile wants, as opposed to the newest-N window a ring
+// of raw samples would keep.
+type Series struct {
+	name string
+	buf  []Point
+	n    int
+	// stride is how many raw appends one stored point aggregates; acc
+	// accumulates the current partial bucket.
+	stride   int
+	accSum   float64
+	accN     int
+	accTime  int64
+	total    int64
+	lastVal  float64
+	haveLast bool
+}
+
+// newSeries creates a series with the given point capacity (even, >= 2).
+func newSeries(name string, capacity int) *Series {
+	if capacity < 2 {
+		capacity = 2
+	}
+	capacity += capacity % 2
+	return &Series{name: name, buf: make([]Point, capacity), stride: 1}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append records one raw sample. It never allocates: overflow is handled
+// by merging adjacent stored pairs in place and doubling the stride.
+func (s *Series) Append(timeNs int64, v float64) {
+	if s == nil {
+		return
+	}
+	s.total++
+	s.lastVal, s.haveLast = v, true
+	s.accSum += v
+	s.accN++
+	s.accTime = timeNs
+	if s.accN < s.stride {
+		return
+	}
+	if s.n == len(s.buf) {
+		// Halve in place: pair (0,1) -> 0, (2,3) -> 1, ...
+		for i := 0; i < s.n/2; i++ {
+			a, b := s.buf[2*i], s.buf[2*i+1]
+			s.buf[i] = Point{TimeNs: b.TimeNs, Value: (a.Value + b.Value) / 2}
+		}
+		s.n /= 2
+		s.stride *= 2
+		if s.accN < s.stride {
+			return // the partial bucket now needs more samples
+		}
+	}
+	s.buf[s.n] = Point{TimeNs: s.accTime, Value: s.accSum / float64(s.accN)}
+	s.n++
+	s.accSum, s.accN = 0, 0
+}
+
+// Len returns the number of stored (possibly downsampled) points.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Total returns how many raw samples were ever appended.
+func (s *Series) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// Stride returns how many raw samples one stored point currently spans.
+func (s *Series) Stride() int {
+	if s == nil {
+		return 0
+	}
+	return s.stride
+}
+
+// Last returns the most recently appended raw value.
+func (s *Series) Last() (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	return s.lastVal, s.haveLast
+}
+
+// Points returns the stored points oldest-first. The partial aggregation
+// bucket, if any, is included as a final point so the newest data is
+// never invisible.
+func (s *Series) Points() []Point {
+	if s == nil {
+		return nil
+	}
+	out := make([]Point, 0, s.n+1)
+	out = append(out, s.buf[:s.n]...)
+	if s.accN > 0 {
+		out = append(out, Point{TimeNs: s.accTime, Value: s.accSum / float64(s.accN)})
+	}
+	return out
+}
+
+// Values returns just the point values oldest-first.
+func (s *Series) Values() []float64 {
+	pts := s.Points()
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Summary renders "min/mean/max last" for a dashboard line.
+func (s *Series) Summary() string {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return "no data"
+	}
+	min, max, sum := pts[0].Value, pts[0].Value, 0.0
+	for _, p := range pts {
+		if p.Value < min {
+			min = p.Value
+		}
+		if p.Value > max {
+			max = p.Value
+		}
+		sum += p.Value
+	}
+	return fmt.Sprintf("min %.2f  mean %.2f  max %.2f  last %.2f",
+		min, sum/float64(len(pts)), max, s.lastVal)
+}
+
+// Store is a named collection of series — the fleet rollup sink the
+// cluster control plane appends to each heartbeat round. Series are
+// registered up front (or lazily on first use); appends after that are
+// allocation-free.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	series   map[string]*Series
+}
+
+// DefaultSeriesCapacity is the per-series point budget of a NewStore.
+const DefaultSeriesCapacity = 256
+
+// NewStore creates a store whose series retain capacity points each
+// (0 = DefaultSeriesCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	return &Store{capacity: capacity, series: map[string]*Series{}}
+}
+
+// Series returns the named series, creating it on first use. Safe on a
+// nil store (returns a nil series whose methods no-op).
+func (st *Store) Series(name string) *Series {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.series[name]
+	if !ok {
+		s = newSeries(name, st.capacity)
+		st.series[name] = s
+	}
+	return s
+}
+
+// Names returns the registered series names, sorted.
+func (st *Store) Names() []string {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	names := make([]string, 0, len(st.series))
+	for n := range st.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Render prints every series as a name, sparkline and summary line.
+func (st *Store) Render() string {
+	var b strings.Builder
+	for _, name := range st.Names() {
+		s := st.Series(name)
+		fmt.Fprintf(&b, "%-24s %s\n%-24s %s\n", name, Sparkline(s.Values(), 48),
+			"", s.Summary())
+	}
+	return b.String()
+}
+
+// sparkTicks are the eight block heights a sparkline is quantized to.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width unicode sparkline, resampling
+// by averaging when there are more values than columns.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	if len(values) > width {
+		resampled := make([]float64, width)
+		for i := range resampled {
+			lo, hi := i*len(values)/width, (i+1)*len(values)/width
+			if hi == lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			resampled[i] = sum / float64(hi-lo)
+		}
+		values = resampled
+	}
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(sparkTicks)-1))
+		}
+		b.WriteRune(sparkTicks[idx])
+	}
+	return b.String()
+}

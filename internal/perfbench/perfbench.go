@@ -13,8 +13,13 @@
 //   - loaded-colocation: service-style periodic bursts plus batch-style
 //     compute chunks on SMT siblings, the alternating busy/idle cadence a
 //     real colocation run produces.
+//   - loaded-telemetry: the same colocation load with the Holmes daemon
+//     running and a full telemetry set (registry, latency tracer, span
+//     recorder) attached — the worst-case observability configuration.
+//     The delta against loaded-colocation is the measured overhead of
+//     the daemon plus its telemetry and span recording.
 //
-// A third entry times a small registry experiment end to end, so changes
+// A final entry times a small registry experiment end to end, so changes
 // to setup cost and the non-tick layers show up too.
 package perfbench
 
@@ -26,9 +31,12 @@ import (
 	"strings"
 	"time"
 
+	"github.com/holmes-colocation/holmes/internal/cgroupfs"
+	"github.com/holmes-colocation/holmes/internal/core"
 	"github.com/holmes-colocation/holmes/internal/experiments"
 	"github.com/holmes-colocation/holmes/internal/kernel"
 	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
 	"github.com/holmes-colocation/holmes/internal/workload"
 )
 
@@ -129,6 +137,57 @@ func buildLoaded(seed uint64) *machine.Machine {
 	return m
 }
 
+// buildTelemetry constructs the loaded-telemetry scenario: the colocation
+// cadence of buildLoaded with the Holmes daemon sampling at its default
+// interval and a full telemetry set attached, so every daemon decision
+// runs the metric, latency-tracer and span-recording paths.
+func buildTelemetry(seed uint64) (*machine.Machine, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	m := machine.New(cfg)
+	k := kernel.New(m)
+	fs := cgroupfs.NewFS()
+
+	batch := k.Spawn("batch", 2)
+	g, err := fs.Mkdir("/yarn/job_1/container_0")
+	if err != nil {
+		return nil, err
+	}
+	g.AddPid(batch.PID)
+
+	dcfg := core.DefaultConfig()
+	dcfg.ReservedCPUs = 2
+	dcfg.SNs = 5_000_000
+	dcfg.DaemonCPU = cfg.Topology.LogicalCPUs() - 1
+	dcfg.Telemetry = telemetry.NewSet()
+	d, err := core.Start(k, fs, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	svc := k.Spawn("svc", 2)
+	if err := d.RegisterLC(svc.PID); err != nil {
+		return nil, err
+	}
+
+	perTick := cfg.CyclesPerTick()
+	burst := workload.Work(workload.Compute(2 * perTick))
+	var chunk workload.Cost
+	chunk.ComputeCycles = 4 * perTick
+	chunk.Acc[workload.DRAM].Loads = 100
+	chunkItem := workload.Work(chunk)
+	m.SchedulePeriodic(100_000, func(int64) {
+		for _, t := range svc.Threads() {
+			t.HW.Push(burst)
+		}
+	})
+	m.SchedulePeriodic(250_000, func(int64) {
+		for _, t := range batch.Threads() {
+			t.HW.Push(chunkItem)
+		}
+	})
+	return m, nil
+}
+
 // measure runs m for simNs and returns wall time and allocation rates. A
 // short warmup run first lets queues and caches reach steady state so the
 // allocs/tick number reflects the per-tick path, not setup.
@@ -168,11 +227,25 @@ func RunLoaded(simNs int64, seed uint64) TickResult {
 	return measure("loaded-colocation", m, simNs, m.Config().TickNs)
 }
 
+// RunTelemetry measures the loaded-telemetry scenario.
+func RunTelemetry(simNs int64, seed uint64) (TickResult, error) {
+	m, err := buildTelemetry(seed)
+	if err != nil {
+		return TickResult{}, fmt.Errorf("perfbench: loaded-telemetry: %w", err)
+	}
+	return measure("loaded-telemetry", m, simNs, m.Config().TickNs), nil
+}
+
 // Collect runs every scenario and the end-to-end experiment.
 func Collect(o Options) (*Report, error) {
 	r := &Report{Schema: Schema, GoVersion: runtime.Version()}
 	r.Scenarios = append(r.Scenarios, RunIdle(o.IdleSimNs, o.Seed))
 	r.Scenarios = append(r.Scenarios, RunLoaded(o.LoadedSimNs, o.Seed))
+	telem, err := RunTelemetry(o.LoadedSimNs, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.Scenarios = append(r.Scenarios, telem)
 
 	opts := experiments.Options{Seed: o.Seed, Scale: o.ExperimentScale, Parallel: 1}
 	start := time.Now()

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/obs"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+)
+
+// Dashboard renders an observability plane as a terminal dashboard: the
+// fleet series as sparklines, the burn-rate alert log, and span-timeline
+// totals. It is the text twin of the /timeline endpoint — something an
+// operator can cat after a run without loading a trace viewer.
+func Dashboard(title string, p *obs.Plane) string {
+	var b strings.Builder
+	rule := strings.Repeat("=", 64)
+	fmt.Fprintf(&b, "%s\n%s\n%s\n", rule, title, rule)
+	if p == nil {
+		b.WriteString("no observability plane attached\n")
+		return b.String()
+	}
+
+	b.WriteString("\n-- fleet series --\n")
+	if names := p.Store.Names(); len(names) == 0 {
+		b.WriteString("none\n")
+	} else {
+		b.WriteString(p.Store.Render())
+	}
+
+	alerts := p.Alerts()
+	fmt.Fprintf(&b, "\n-- burn-rate alerts (%d transitions) --\n", len(alerts))
+	if len(alerts) == 0 {
+		b.WriteString("none\n")
+	}
+	for _, a := range alerts {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+
+	spans := p.MergedSpans()
+	fmt.Fprintf(&b, "\n-- span timeline: %d spans (%d dropped) --\n",
+		len(spans), p.SpansDropped())
+	for _, line := range spanKindCounts(spans) {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// spanKindCounts tallies spans per kind in kind order.
+func spanKindCounts(spans []telemetry.Span) []string {
+	counts := map[string]int{}
+	var order []string
+	for _, s := range spans {
+		k := s.Kind.String()
+		if _, seen := counts[k]; !seen {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	out := make([]string, 0, len(order))
+	for _, k := range order {
+		out = append(out, fmt.Sprintf("%-20s %d", k, counts[k]))
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/obs"
+	"github.com/holmes-colocation/holmes/internal/telemetry"
+)
+
+func TestDashboardRender(t *testing.T) {
+	p := obs.NewPlane(2, 16)
+	for i := 0; i < 20; i++ {
+		p.Store.Series("fleet/mean_vpi").Append(int64(i)*1e6, float64(i%5))
+	}
+	p.Control().Add(telemetry.Span{Kind: telemetry.SpanPodAdmit, StartNs: 0, EndNs: 0,
+		Node: -1, CPU: -1, Name: "pod-a"})
+	p.Control().Add(telemetry.Span{Kind: telemetry.SpanPodAdmit, StartNs: 1, EndNs: 1,
+		Node: -1, CPU: -1, Name: "pod-b"})
+	p.NodeRecorder(1).Add(telemetry.Span{Kind: telemetry.SpanCounterSample,
+		StartNs: 2, EndNs: 2, Node: 1, CPU: 0})
+	p.RecordAlerts([]obs.Alert{{Round: 3, TimeNs: 3e6, SLO: "availability",
+		Severity: "page", Firing: true, ShortBurn: 20, LongBurn: 12}})
+
+	out := Dashboard("holmes fleet", p)
+	for _, want := range []string{
+		"holmes fleet",
+		"fleet/mean_vpi",
+		"availability/page FIRING",
+		"span timeline: 3 spans",
+		"PodAdmit",
+		"CounterSample",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Error("dashboard has no sparkline")
+	}
+}
+
+func TestDashboardNilPlane(t *testing.T) {
+	out := Dashboard("empty", nil)
+	if !strings.Contains(out, "no observability plane") {
+		t.Errorf("nil-plane dashboard unexpected:\n%s", out)
+	}
+}

@@ -178,6 +178,31 @@ func (h *Histogram) FractionAbove(threshold float64) float64 {
 	return float64(above) / float64(h.total)
 }
 
+// CountAbove returns the approximate number of observations greater than
+// threshold — the integer form of FractionAbove, for callers that feed
+// per-interval deltas into counters (an SLO burn-rate engine) and need
+// counts that are exactly consistent across repeated snapshots of the
+// same histogram state.
+func (h *Histogram) CountAbove(threshold float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if threshold < h.min {
+		return h.total
+	}
+	if threshold >= h.max {
+		return h.overflow
+	}
+	b := h.bucketOf(threshold)
+	var above int64
+	for i := b + 1; i < len(h.counts); i++ {
+		above += h.counts[i]
+	}
+	lo, hi := h.bucketLower(b), h.bucketUpper(b)
+	frac := (hi - threshold) / (hi - lo)
+	return above + int64(frac*float64(h.counts[b]))
+}
+
 // CDF returns at most points CDF points spanning the recorded range.
 func (h *Histogram) CDF(points int) []CDFPoint {
 	if h.total == 0 || points <= 0 {

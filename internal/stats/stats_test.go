@@ -252,6 +252,34 @@ func TestHistogramExactStats(t *testing.T) {
 	}
 }
 
+func TestHistogramCountAbove(t *testing.T) {
+	h := NewHistogram(1, 1e6, 60)
+	for i := 0; i < 900; i++ {
+		h.Add(100) // under the threshold
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(50_000) // over it
+	}
+	if got := h.CountAbove(1_000); got != 100 {
+		t.Fatalf("CountAbove(1000) = %d, want 100", got)
+	}
+	if got := h.CountAbove(0.5); got != 1000 {
+		t.Fatalf("CountAbove below range = %d, want total", got)
+	}
+	if got := h.CountAbove(1e6); got != 0 {
+		t.Fatalf("CountAbove above range = %d, want 0", got)
+	}
+	// The integer and fractional forms must agree on the same state.
+	frac := h.FractionAbove(1_000)
+	if got := float64(h.CountAbove(1_000)) / float64(h.Count()); !almostEqual(got, frac, 1e-9) {
+		t.Fatalf("CountAbove/Count = %v, FractionAbove = %v", got, frac)
+	}
+	var empty Histogram
+	if empty.CountAbove(1) != 0 {
+		t.Fatal("empty histogram counts observations")
+	}
+}
+
 func TestHistogramClamping(t *testing.T) {
 	h := NewHistogram(10, 1000, 30)
 	h.Add(1)    // underflow

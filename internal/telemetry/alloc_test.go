@@ -26,6 +26,26 @@ func TestRecordPathAllocs(t *testing.T) {
 	}
 }
 
+// TestSpanPathAllocs guards the span record path the daemon and control
+// plane hit on decision changes: adding, starting and finishing spans in
+// a warm ring must not allocate.
+func TestSpanPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard not meaningful under -race")
+	}
+	r := NewSpanRecorder(64)
+	name := "batch-007"
+	var now int64
+	if n := testing.AllocsPerRun(1000, func() {
+		now += 1000
+		id := r.Add(Span{Kind: SpanCounterSample, StartNs: now, EndNs: now + 100, Node: 1, CPU: 3, Value: 12})
+		open := r.Start(Span{Kind: SpanPodRun, Parent: id, StartNs: now, Node: 1, CPU: -1, Name: name})
+		r.Finish(open, now+500)
+	}); n != 0 {
+		t.Fatalf("span path allocates: %v allocs per round", n)
+	}
+}
+
 // TestObserveNMatchesRepeatedObserve checks the batched form used by the
 // idle fast-forward replay is indistinguishable from n single
 // observations, including the out-of-range clamping paths.
@@ -41,7 +61,7 @@ func TestObserveNMatchesRepeatedObserve(t *testing.T) {
 		}
 		batched.ObserveN(v, 13)
 	}
-	batched.ObserveN(5, 0)  // no-ops must not move anything
+	batched.ObserveN(5, 0) // no-ops must not move anything
 	batched.ObserveN(5, -3)
 
 	s, b := single.Snapshot(), batched.Snapshot()

@@ -8,15 +8,17 @@ import (
 	"sync"
 )
 
-// Set bundles the registry and tracer one daemon (or one experiment run)
-// records into, plus a small info map for static facts (configuration,
-// topology) worth showing on the debug endpoint.
+// Set bundles the registry, tracer and span recorder one daemon (or one
+// experiment run) records into, plus a small info map for static facts
+// (configuration, topology) worth showing on the debug endpoint.
 type Set struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Spans    *SpanRecorder
 
-	mu   sync.Mutex
-	info map[string]string
+	mu     sync.Mutex
+	info   map[string]string
+	alerts []Alert
 }
 
 // DefaultRingSize is the decision-event retention of a NewSet tracer.
@@ -25,13 +27,55 @@ type Set struct {
 // meaningful memory cost.
 const DefaultRingSize = 4096
 
-// NewSet creates a registry plus a tracer with the default ring.
+// NewSet creates a registry plus a tracer and span recorder with the
+// default rings.
 func NewSet() *Set {
 	return &Set{
 		Registry: NewRegistry(),
 		Tracer:   NewTracer(DefaultRingSize),
+		Spans:    NewSpanRecorder(DefaultSpanRingSize),
 		info:     map[string]string{},
 	}
+}
+
+// Alert is one burn-rate alert transition published to the set: a
+// page- or ticket-severity SLO alert activating or resolving. The
+// telemetry package only stores and serves these; the burn-rate engine
+// that computes them lives in internal/obs.
+type Alert struct {
+	TimeNs   int64   `json:"time_ns"`
+	Name     string  `json:"name"`
+	Severity string  `json:"severity"`
+	Firing   bool    `json:"firing"`
+	Burn     float64 `json:"burn,omitempty"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// maxAlertLog bounds the alert history a Set retains (oldest dropped).
+const maxAlertLog = 1024
+
+// PublishAlert appends an alert transition to the set's log. Safe on a
+// nil receiver.
+func (s *Set) PublishAlert(a Alert) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.alerts) >= maxAlertLog {
+		s.alerts = append(s.alerts[:0], s.alerts[1:]...)
+	}
+	s.alerts = append(s.alerts, a)
+	s.mu.Unlock()
+}
+
+// Alerts returns a copy of the alert log, oldest first.
+func (s *Set) Alerts() []Alert {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Alert(nil), s.alerts...)
 }
 
 // PublishInfo records a static key=value fact for /debug/holmes. Safe on
@@ -67,14 +111,21 @@ func (s *Set) Info() map[string]string {
 //	/metrics      Prometheus text exposition
 //	/events       JSON decision log (newest last); ?type=SiblingRevoked
 //	              filters, ?n=100 keeps only the newest n
+//	/spans        JSON causal spans; ?format=chrome exports Chrome
+//	              trace-event JSON loadable in Perfetto
+//	/timeline     the span log rendered as an indented causal text tree
+//	/alerts       JSON burn-rate alert transitions
 //	/debug/holmes JSON bundle: info, metric snapshot, event totals
 //
 // The handler is safe to serve while the simulation records concurrently:
-// metric reads are atomic and the ring snapshot takes its own lock.
+// metric reads are atomic and the ring snapshots take their own locks.
 func (s *Set) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/events", s.serveEvents)
+	mux.HandleFunc("/spans", s.serveSpans)
+	mux.HandleFunc("/timeline", s.serveTimeline)
+	mux.HandleFunc("/alerts", s.serveAlerts)
 	mux.HandleFunc("/debug/holmes", s.serveDebug)
 	return mux
 }
@@ -110,6 +161,58 @@ func (s *Set) serveEvents(w http.ResponseWriter, req *http.Request) {
 		Dropped: s.Tracer.Ring().Dropped(),
 		Events:  events,
 	})
+}
+
+func (s *Set) serveSpans(w http.ResponseWriter, req *http.Request) {
+	spans := s.Spans.Snapshot()
+	if kind := req.URL.Query().Get("kind"); kind != "" {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if sp.Kind.String() == kind {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
+	if req.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Total   uint64 `json:"total"`
+		Dropped uint64 `json:"dropped"`
+		Spans   []Span `json:"spans"`
+	}{
+		Total:   s.Spans.Total(),
+		Dropped: s.Spans.Dropped(),
+		Spans:   spans,
+	})
+}
+
+func (s *Set) serveTimeline(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(RenderSpanTree(s.Spans.Snapshot())))
+}
+
+func (s *Set) serveAlerts(w http.ResponseWriter, _ *http.Request) {
+	alerts := s.Alerts()
+	firing := 0
+	active := map[string]bool{}
+	for _, a := range alerts {
+		active[a.Severity+"/"+a.Name] = a.Firing
+	}
+	for _, on := range active {
+		if on {
+			firing++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Firing int     `json:"firing"`
+		Alerts []Alert `json:"alerts"`
+	}{Firing: firing, Alerts: alerts})
 }
 
 func (s *Set) serveDebug(w http.ResponseWriter, _ *http.Request) {
