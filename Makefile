@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check cluster-smoke chaos-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check batch-equiv cluster-smoke chaos-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -17,6 +17,16 @@ vet:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry/... ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/cluster/... ./internal/faults/...
+
+# Interval-batching equivalence gate: the per-scenario differential
+# suite (internal/machine/equiv) plus the registry-wide test over every
+# experiment (HOLMES_EQUIV_FULL=1), under -race. Any batching on/off or
+# parallelism divergence fails; the mismatched renderings land in
+# equiv-diff/ for CI to upload as an artifact.
+batch-equiv:
+	$(GO) test -race -count=1 ./internal/machine/equiv
+	HOLMES_EQUIV_FULL=1 HOLMES_EQUIV_DIFF_DIR=equiv-diff \
+		$(GO) test -race -count=1 -timeout 50m -run TestRegistryBatchingEquivalence ./internal/experiments
 
 # Tiny end-to-end cluster run: two nodes, two services, a short window,
 # both placement policies. Exercises boot -> placement -> heartbeats ->
@@ -42,6 +52,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzZipf -fuzztime=10s ./internal/rng
 	$(GO) test -run=^$$ -fuzz=FuzzScrambledZipf -fuzztime=10s ./internal/rng
 	$(GO) test -run=^$$ -fuzz=FuzzChaosSpec -fuzztime=10s ./internal/faults
+	$(GO) test -run=^$$ -fuzz=FuzzIntervalEquivalence -fuzztime=15s ./internal/machine/equiv
 
 # Tick-engine performance trajectory: runs the perfbench scenarios and
 # regenerates BENCH_tick.json (machine ticks/sec, ns/tick, allocs/tick,
@@ -96,4 +107,4 @@ examples:
 	$(GO) run ./examples/kubernetes
 
 clean:
-	rm -rf out obs-out holmes-report.html test_output.txt bench_output.txt
+	rm -rf out obs-out equiv-diff holmes-report.html test_output.txt bench_output.txt

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"github.com/holmes-colocation/holmes/internal/experiments"
+	"github.com/holmes-colocation/holmes/internal/machine"
 	"github.com/holmes-colocation/holmes/internal/perfbench"
 	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
@@ -46,9 +47,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "write recorded daemon spans to this file (.jsonl = one span per line, otherwise Chrome trace-event JSON)")
 	perfMode := fs.Bool("perf", false, "benchmark the tick engine and write BENCH_tick.json")
 	perfOut := fs.String("perf-out", "BENCH_tick.json", "output path for -perf")
+	noBatch := fs.Bool("no-interval-batch", false,
+		"disable the interval-batched loaded path (escape hatch; output is bit-identical either way)")
 	fs.Usage = func() { usage(stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *noBatch {
+		machine.SetDefaultIntervalBatching(false)
 	}
 
 	fail := func(format string, a ...any) int {
@@ -238,5 +244,7 @@ Flags:
                        loadable in Perfetto / chrome://tracing)
   -perf                benchmark the tick engine instead of running experiments
   -perf-out FILE       where -perf writes its JSON report (default BENCH_tick.json)
+  -no-interval-batch   disable the interval-batched loaded simulation path
+                       (escape hatch; output is bit-identical either way)
 `)
 }

@@ -25,6 +25,7 @@ import (
 
 	"github.com/holmes-colocation/holmes/internal/cluster"
 	"github.com/holmes-colocation/holmes/internal/faults"
+	"github.com/holmes-colocation/holmes/internal/machine"
 	"github.com/holmes-colocation/holmes/internal/obs"
 	"github.com/holmes-colocation/holmes/internal/report"
 	"github.com/holmes-colocation/holmes/internal/runner"
@@ -57,9 +58,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "write the merged span timeline to FILE (.jsonl = one span per line, otherwise Chrome trace-event JSON)")
 	flightOut := fs.String("flight-out", "", "write the flight-recorder post-mortem bundle to FILE")
 	dashboard := fs.Bool("dashboard", false, "print the fleet observability dashboard after the run")
+	noBatch := fs.Bool("no-interval-batch", false,
+		"disable the interval-batched loaded path (escape hatch; output is bit-identical either way)")
 	fs.Usage = func() { usage(stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *noBatch {
+		machine.SetDefaultIntervalBatching(false)
 	}
 
 	fail := func(format string, a ...any) int {
@@ -252,5 +258,8 @@ Flags:
                     spans, burn-rate alerts, fleet series) to FILE
   -dashboard        print the fleet observability dashboard (sparkline
                     series, alert log, span totals) after the run
+  -no-interval-batch
+                    disable the interval-batched loaded simulation path
+                    (escape hatch; output is bit-identical either way)
 `)
 }

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// TestFaultInjectionComposesWithSkipping is the regression test for the
+// interaction between the machine's batched simulation paths (idle
+// fast-forward plus the interval-batched loaded path) and deterministic
+// fault injection. The failure mode it guards against: a skipped or
+// batched stretch gliding past a scheduled fault event, firing it late
+// (at the end of the stretch) or with a perturbed RNG stream.
+//
+// The scenario interleaves compute bursts with multi-millisecond idle
+// gaps, samples a faulted VPI stream every millisecond, and schedules a
+// one-shot corruption event at a tick that falls strictly inside an idle
+// gap. With batching on and off, the event must fire at exactly its
+// scheduled tick, the injector must flip to dead at exactly its deadline
+// sample, and the full (time, corrupted value) sequence — including the
+// injector's stuck/drop/noise RNG draws — must match bit for bit.
+func TestFaultInjectionComposesWithSkipping(t *testing.T) {
+	type sample struct {
+		now int64
+		v   float64
+	}
+	const (
+		corruptionAt = 17_230_000 // tick-aligned, mid idle gap, off the sampler cadence
+		deadlineMs   = 40
+		duration     = 60_000_000
+	)
+	run := func(batching bool) (samples []sample, firedAt int64) {
+		cfg := machine.DefaultConfig()
+		cfg.IntervalBatching = batching
+		cfg.Seed = 99
+		m := machine.New(cfg)
+		k := kernel.New(m)
+		p := k.Spawn("svc", 2)
+		burst := workload.Work(workload.Compute(3 * cfg.CyclesPerTick()))
+		m.SchedulePeriodic(5_000_000, func(int64) {
+			for _, th := range p.Threads() {
+				th.HW.Push(burst)
+			}
+		})
+
+		inj := NewCounterInjector(CounterSpec{
+			NoiseStd:        0.1,
+			DropRate:        0.05,
+			StuckRate:       0.02,
+			StuckDurationMs: 2,
+			DeadAfterMs:     deadlineMs,
+		}, 7)
+		m.SchedulePeriodic(1_000_000, func(now int64) {
+			samples = append(samples, sample{now, inj.FilterVPI(0, now, 1.5)})
+		})
+
+		m.Schedule(corruptionAt, func(now int64) { firedAt = now })
+		m.RunFor(duration)
+		return
+	}
+
+	refSamples, refFired := run(false)
+	batSamples, batFired := run(true)
+
+	if refFired != corruptionAt {
+		t.Fatalf("reference run fired corruption at %d, want exactly %d", refFired, corruptionAt)
+	}
+	if batFired != corruptionAt {
+		t.Fatalf("batched run fired corruption at %d, want exactly %d", batFired, corruptionAt)
+	}
+
+	if len(refSamples) != len(batSamples) {
+		t.Fatalf("sample counts diverged: %d vs %d", len(refSamples), len(batSamples))
+	}
+	var deadSeen bool
+	for i := range refSamples {
+		if refSamples[i] != batSamples[i] {
+			t.Fatalf("sample %d diverged between batching off/on: %+v vs %+v",
+				i, refSamples[i], batSamples[i])
+		}
+		// The dead-counter deadline must bite at the first sample at or
+		// past it — proof the sampler saw exact simulated times, not
+		// end-of-stretch ones.
+		atOrPast := refSamples[i].now >= deadlineMs*1e6
+		if atOrPast && refSamples[i].v != 0 {
+			t.Fatalf("sample %d at %dns past the %dms deadline reads %v, want 0",
+				i, refSamples[i].now, deadlineMs, refSamples[i].v)
+		}
+		if atOrPast {
+			deadSeen = true
+		}
+	}
+	if !deadSeen {
+		t.Fatal("run too short: dead-counter deadline never reached")
+	}
+}

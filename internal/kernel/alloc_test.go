@@ -1,0 +1,39 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// The kernel is the only machine.IntervalScheduler, so the batched loaded
+// path (stepInterval + BeginInterval/EndInterval) only runs through this
+// package; internal/machine's own alloc guards cannot reach it. This
+// guard pins the batched steady state at exactly zero allocations per
+// interval, the same bar the per-tick paths meet.
+
+func TestIntervalBatchedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard not meaningful under -race")
+	}
+	m, k := newKernel()
+	if !m.Config().IntervalBatching {
+		t.Fatal("interval batching must default on for this guard to bite")
+	}
+	p := k.Spawn("svc", 2)
+	burst := workload.Work(workload.Compute(20 * m.Config().CyclesPerTick()))
+	m.SchedulePeriodic(1_000_000, func(int64) {
+		for _, th := range p.Threads() {
+			th.HW.Push(burst)
+		}
+	})
+
+	m.RunFor(50_000_000) // settle queue and event-heap capacities
+	before := m.BatchedTicks()
+	if n := testing.AllocsPerRun(10, func() { m.RunFor(10_000_000) }); n != 0 {
+		t.Fatalf("batched loaded path allocates: %v allocs per 10 ms window", n)
+	}
+	if m.BatchedTicks() == before {
+		t.Fatal("guard measured nothing: no ticks went through the batched path")
+	}
+}

@@ -1,0 +1,99 @@
+package kernel
+
+// This file implements machine.IntervalScheduler for the kernel: the
+// scheduler-side half of the interval-batched loaded path. The kernel
+// proves, from its own runqueue state, how many future ticks the
+// assignment it just made stays valid with no per-tick side effects
+// beyond what EndInterval replays in closed form (the tick counter and
+// timeslice accounting). See internal/machine/interval.go and
+// DESIGN.md §11 for the full equivalence contract.
+
+// BeginInterval implements machine.IntervalScheduler. The machine calls
+// it immediately after Assign, before any thread executes, so the
+// runqueues are exactly as Assign saw them. It returns the number of
+// further ticks the assignment Assign just made provably stays fixed:
+//
+//   - stopping one tick short of the next timeslice rotation on any
+//     runqueue holding more than one thread (a single-thread queue's
+//     slice expiry only resets the counter, which EndInterval replays);
+//   - stopping one tick short of the next steal-period boundary whenever
+//     that boundary would do anything: observe runqueue depths into
+//     telemetry, or run a steal that could actually move a thread (an
+//     idle CPU exists and some queue holds a waiter).
+//
+// The returned CPU list — exactly the CPUs Assign wrote — is a snapshot
+// of the occupied CPUs, so runqueue changes during the opening or final
+// batched tick cannot perturb the exec scans or the replay.
+func (k *Kernel) BeginInterval() (int64, []int32, *uint64) {
+	horizon := int64(1) << 62
+	for _, p := range k.occupied {
+		if len(k.rq[p]) > 1 {
+			if v := int64(k.sliceLeft[p]) - 1; v < horizon {
+				horizon = v
+			}
+		}
+	}
+	if k.stealPeriod > 0 && (k.telDepth != nil || k.stealCouldMatter()) {
+		// The Assign that opened the stretch already counted its own
+		// tick; the i-th batched tick would run with tickCount+i. The
+		// next multiple of stealPeriod must go through a real Assign.
+		next := int64(k.stealPeriod - k.tickCount%k.stealPeriod)
+		if v := next - 1; v < horizon {
+			horizon = v
+		}
+	}
+	k.ivalCPUs = append(k.ivalCPUs[:0], k.occupied...)
+	return horizon, k.ivalCPUs, &k.qgen
+}
+
+// stealCouldMatter reports whether a steal at the next period boundary
+// could move a thread: an idle CPU exists and some queue holds a waiter
+// beyond its running thread. Affinity is deliberately ignored — the
+// check errs toward ending the interval, never toward skipping a steal
+// that would have fired.
+func (k *Kernel) stealCouldMatter() bool {
+	if len(k.occupied) == len(k.rq) {
+		return false // no idle CPU to steal into
+	}
+	for _, p := range k.occupied {
+		if len(k.rq[p]) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// EndInterval implements machine.IntervalScheduler: it replays the
+// per-tick side effects Assign would have had over the ran batched
+// ticks. Every replayed tick started with the runqueues exactly as they
+// were at BeginInterval (a change ends the interval after the tick it
+// happened in, and per-tick semantics fix the assignment at tick start),
+// so the replay runs over the BeginInterval snapshot:
+//
+//   - tickCount advances by ran; the horizon excluded any steal-period
+//     boundary whose steal or depth observation would not have been a
+//     no-op, so no other boundary work is owed;
+//   - each occupied CPU's timeslice counter follows the per-tick
+//     recurrence s' = s-1, reset to sliceTicks at 0 — over ran ticks
+//     that telescopes to ((s-1-ran) mod sliceTicks) + 1 with a Euclidean
+//     mod. For queues deeper than one thread the horizon stopped before
+//     any reset, so the wrap only ever replays no-op rotations of
+//     single-thread queues.
+func (k *Kernel) EndInterval(ran int64) {
+	if ran <= 0 {
+		return
+	}
+	k.tickCount += int(ran)
+	s := int64(k.sliceTicks)
+	for _, p := range k.ivalCPUs {
+		left := int64(k.sliceLeft[p]) - ran
+		if left < 1 {
+			r := (left - 1) % s
+			if r < 0 {
+				r += s
+			}
+			left = r + 1
+		}
+		k.sliceLeft[p] = int(left)
+	}
+}

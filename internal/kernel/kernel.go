@@ -34,6 +34,22 @@ type Kernel struct {
 	sliceTicks int
 	sliceLeft  []int
 
+	// occupied lists the CPUs with non-empty runqueues in ascending
+	// order, so the per-tick Assign scan visits only CPUs carrying work
+	// instead of the full topology. enqueue/dequeue keep it in lockstep
+	// with rq.
+	occupied []int32
+
+	// qgen counts runqueue changes: membership, order, affinity. The
+	// machine's interval engine polls it to detect, mid-stretch, that the
+	// assignment it batched under is no longer provably fixed.
+	qgen uint64
+	// ivalCPUs snapshots occupied for the interval in flight: EndInterval
+	// replays per-tick accounting against the runqueue membership the
+	// batched ticks actually started with, which a change during the
+	// final tick must not perturb.
+	ivalCPUs []int32
+
 	// stealPeriod controls how often idle CPUs pull work from loaded
 	// allowed CPUs, in ticks.
 	stealPeriod int
@@ -103,6 +119,11 @@ func (k *Kernel) SetTelemetry(set *telemetry.Set) {
 func (k *Kernel) Migrations() (migrations, steals int64) {
 	return k.migrations, k.steals
 }
+
+// TickCount returns the number of scheduling ticks the kernel has
+// accounted for, including ticks replayed by the idle and interval fast
+// paths.
+func (k *Kernel) TickCount() int { return k.tickCount }
 
 // Process is a simulated OS process: a named group of threads sharing a
 // default affinity.
@@ -242,6 +263,7 @@ func (k *Kernel) SetAffinity(tid int, mask cpuid.Mask) error {
 		return fmt.Errorf("kernel: empty affinity mask for thread %d (EINVAL)", tid)
 	}
 	t.affinity = valid
+	k.qgen++ // affinity shapes steal decisions; end any open interval
 	if t.enqueued && !valid.Has(t.cpu) {
 		k.dequeue(t)
 		k.enqueue(t)
@@ -278,6 +300,9 @@ func (k *Kernel) enqueue(t *Thread) {
 		}
 		if l := len(k.rq[c]); l < bestLen {
 			best, bestLen = c, l
+			if l == 0 {
+				break // nothing beats an empty queue at the lowest index
+			}
 		}
 	}
 	if best < 0 {
@@ -286,6 +311,10 @@ func (k *Kernel) enqueue(t *Thread) {
 	t.cpu = best
 	t.enqueued = true
 	k.rq[best] = append(k.rq[best], t)
+	if len(k.rq[best]) == 1 {
+		k.occupy(best)
+	}
+	k.qgen++
 }
 
 // dequeue removes a thread from its runqueue.
@@ -300,8 +329,28 @@ func (k *Kernel) dequeue(t *Thread) {
 			break
 		}
 	}
+	if len(k.rq[t.cpu]) == 0 {
+		k.unoccupy(t.cpu)
+	}
 	t.enqueued = false
 	t.cpu = -1
+	k.qgen++
+}
+
+// occupy inserts CPU p into the sorted occupied list.
+func (k *Kernel) occupy(p int) {
+	i := sort.Search(len(k.occupied), func(i int) bool { return k.occupied[i] >= int32(p) })
+	k.occupied = append(k.occupied, 0)
+	copy(k.occupied[i+1:], k.occupied[i:])
+	k.occupied[i] = int32(p)
+}
+
+// unoccupy removes CPU p from the sorted occupied list.
+func (k *Kernel) unoccupy(p int) {
+	i := sort.Search(len(k.occupied), func(i int) bool { return k.occupied[i] >= int32(p) })
+	if i < len(k.occupied) && k.occupied[i] == int32(p) {
+		k.occupied = append(k.occupied[:i], k.occupied[i+1:]...)
+	}
 }
 
 // Assign implements machine.TickScheduler: round-robin within each
@@ -320,11 +369,9 @@ func (k *Kernel) Assign(nowNs int64, assign []*machine.Thread) {
 			}
 		}
 	}
-	for p := range k.rq {
+	for _, p32 := range k.occupied {
+		p := int(p32)
 		q := k.rq[p]
-		if len(q) == 0 {
-			continue
-		}
 		k.sliceLeft[p]--
 		if k.sliceLeft[p] <= 0 {
 			if len(q) > 1 {
@@ -361,14 +408,30 @@ func (k *Kernel) SkipIdleTicks(n int64) {
 // steal moves one waiting thread from the most loaded runqueue to each
 // idle CPU that is allowed to run it.
 func (k *Kernel) steal() {
+	// Victims require a queue with a waiter beyond its running thread;
+	// only occupied CPUs can hold one, so an occupied scan both provides
+	// the cheap no-waiter early exit and bounds the per-idle-CPU search.
+	hasWaiter := false
+	for _, q := range k.occupied {
+		if len(k.rq[q]) > 1 {
+			hasWaiter = true
+			break
+		}
+	}
+	if !hasWaiter {
+		return
+	}
 	for p := range k.rq {
 		if len(k.rq[p]) > 0 {
 			continue
 		}
-		// Find the most loaded queue with a migratable waiter.
+		// Find the most loaded queue with a migratable waiter. occupied is
+		// ascending, so the scan visits queues in the same order as the
+		// full CPU loop it replaces.
 		var victim *Thread
 		victimLoad := 1 // require at least 2 threads (1 running + 1 waiting)
-		for q := range k.rq {
+		for _, q32 := range k.occupied {
+			q := int(q32)
 			if len(k.rq[q]) <= victimLoad {
 				continue
 			}
@@ -385,6 +448,8 @@ func (k *Kernel) steal() {
 			victim.cpu = p
 			victim.enqueued = true
 			k.rq[p] = append(k.rq[p], victim)
+			k.occupy(p)
+			k.qgen++
 			k.steals++
 			k.telSteals.Inc()
 		}

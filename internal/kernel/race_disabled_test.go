@@ -1,0 +1,5 @@
+//go:build !race
+
+package kernel
+
+const raceEnabled = false

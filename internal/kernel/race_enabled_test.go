@@ -1,0 +1,8 @@
+//go:build race
+
+package kernel
+
+// raceEnabled mirrors the -race build flag. The allocation guards use it
+// to skip themselves: the race detector instruments allocation and would
+// report spurious nonzero counts for purely serial code.
+const raceEnabled = true

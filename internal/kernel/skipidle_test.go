@@ -55,6 +55,71 @@ func TestSkipIdleTicksMatchesStepping(t *testing.T) {
 	}
 }
 
+// TestSkipIdleTicksSplitInvariance pins the replay's accumulation
+// property: any decomposition of an idle stretch into single Assign
+// calls and skips of arbitrary sizes — including skips that start and
+// end mid-steal-period, skips that land exactly on a boundary, and
+// zero-tick skips — must leave the tick counter and the depth histogram
+// in the same state as one monolithic skip.
+func TestSkipIdleTicksSplitInvariance(t *testing.T) {
+	build := func() *Kernel {
+		_, k := newKernel()
+		k.SetTelemetry(telemetry.NewSet())
+		return k
+	}
+	hist := func(k *Kernel) telemetry.HistSnapshot { return k.telDepth.Snapshot() }
+
+	const total = 987 // not a multiple of the steal period
+	ref := build()
+	ref.SkipIdleTicks(total)
+	refHist := hist(ref)
+
+	decomps := [][]int64{
+		{1, total - 1},
+		{0, total, 0},   // zero-size skips are inert
+		{9, 1, 10, 967}, // lands exactly on period boundaries mid-way
+		{100, 300, 587}, // arbitrary mid-period splits
+		{5, 5, 5, 5, 5, total - 25},
+	}
+	tickNs := machine.DefaultConfig().TickNs
+	for _, parts := range decomps {
+		k := build()
+		var done int64
+		for _, n := range parts {
+			if n == 1 {
+				// A single idle tick through the ordinary Assign path must
+				// equal SkipIdleTicks(1).
+				k.Assign(done*tickNs, make([]*machine.Thread, len(k.rq)))
+			} else {
+				k.SkipIdleTicks(n)
+			}
+			done += n
+		}
+		if done != total {
+			t.Fatalf("bad decomposition %v: covers %d of %d", parts, done, total)
+		}
+		if k.tickCount != ref.tickCount {
+			t.Errorf("decomposition %v: tick counter %d, want %d", parts, k.tickCount, ref.tickCount)
+		}
+		h := hist(k)
+		if h.Count != refHist.Count || h.Sum != refHist.Sum {
+			t.Errorf("decomposition %v: histogram count=%d sum=%v, want count=%d sum=%v",
+				parts, h.Count, h.Sum, refHist.Count, refHist.Sum)
+		}
+	}
+}
+
+// TestSkipIdleTicksWithoutTelemetry checks the skip is safe and keeps
+// counting when no depth histogram is attached (the telDepth == nil
+// branch).
+func TestSkipIdleTicksWithoutTelemetry(t *testing.T) {
+	_, k := newKernel()
+	k.SkipIdleTicks(250)
+	if k.tickCount != 250 {
+		t.Fatalf("tick counter %d, want 250", k.tickCount)
+	}
+}
+
 // TestKernelIdleGapEquivalence runs the full stack — machine + kernel —
 // over a workload with long sleeps, against a second machine whose
 // scheduler is the same kernel hidden behind a plain TickScheduler

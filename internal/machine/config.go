@@ -2,9 +2,27 @@ package machine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/holmes-colocation/holmes/internal/cpuid"
 )
+
+// intervalBatchingDefault is the process-wide default for
+// Config.IntervalBatching, consulted by DefaultConfig. It exists so the
+// `-no-interval-batch` escape hatch in the CLIs (and the equivalence
+// harness) can flip every machine built from DefaultConfig without
+// plumbing a flag through each construction site. Batching is on by
+// default; the interval engine is bit-identical to per-tick stepping.
+var intervalBatchingDisabled atomic.Bool
+
+// SetDefaultIntervalBatching sets whether DefaultConfig enables the
+// interval-batched loaded path. Call it before building machines (CLI
+// flag parsing, test setup); machines already constructed keep the value
+// they were built with.
+func SetDefaultIntervalBatching(on bool) { intervalBatchingDisabled.Store(!on) }
+
+// DefaultIntervalBatching reports the current process-wide default.
+func DefaultIntervalBatching() bool { return !intervalBatchingDisabled.Load() }
 
 // Config parameterizes the simulated server. The defaults are calibrated
 // against the paper's measurements on a 2×Xeon Gold 6143 testbed:
@@ -29,6 +47,20 @@ type Config struct {
 	// Seed drives all stochastic parts of the machine (counter attribution
 	// noise). Simulations are deterministic given a seed.
 	Seed uint64
+
+	// IntervalBatching lets the machine advance loaded stretches — runs of
+	// ticks between scheduling events during which the runnable set and
+	// the per-CPU assignment are provably fixed — through a batched inner
+	// loop that touches only the active logical CPUs, instead of the
+	// full-width per-tick scan. The batched path performs the identical
+	// floating-point operations in the identical order, so every
+	// observable output (counters, completions, latencies, telemetry) is
+	// bit-identical with the flag on or off; see DESIGN.md §11 for the
+	// equivalence contract. Requires a scheduler implementing
+	// IntervalScheduler (the kernel does); with any other scheduler the
+	// flag is inert. DefaultConfig enables it unless
+	// SetDefaultIntervalBatching(false) was called.
+	IntervalBatching bool
 
 	// Effective per-access stall cycles at zero contention. Memory-level
 	// parallelism is folded into these values.
@@ -89,10 +121,11 @@ type Config struct {
 // DefaultConfig returns the calibrated configuration described above.
 func DefaultConfig() Config {
 	return Config{
-		Topology: cpuid.DefaultTopology(),
-		FreqGHz:  2.0,
-		TickNs:   10_000, // 10 µs
-		Seed:     1,
+		Topology:         cpuid.DefaultTopology(),
+		FreqGHz:          2.0,
+		TickNs:           10_000, // 10 µs
+		Seed:             1,
+		IntervalBatching: DefaultIntervalBatching(),
 
 		L2Cycles:    6,
 		L3Cycles:    30,

@@ -1,0 +1,123 @@
+package equiv
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// FuzzIntervalEquivalence feeds randomized event schedules through the
+// differential harness: the fuzz input decodes into a program of process
+// spawns, affinity pins, periodic work pushes (compute, cache-heavy,
+// DRAM-heavy, sleeps) and one-shot events on a dense 2-core topology,
+// and the batched run must stay bit-identical to per-tick stepping. The
+// decoder is total — every byte string maps to some valid scenario — so
+// the fuzzer explores schedule shapes, not parser error paths.
+func FuzzIntervalEquivalence(f *testing.F) {
+	f.Add(uint64(1), []byte{})
+	f.Add(uint64(7), []byte{0, 1, 0, 0, 2, 3, 1, 2, 2, 0, 2, 9})
+	f.Add(uint64(42), []byte{0, 2, 0, 0, 1, 5, 0, 0, 2, 1, 3, 4, 3, 200, 0, 0})
+	f.Add(uint64(3), []byte{0, 1, 0, 0, 2, 2, 2, 7, 2, 6, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 2, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, seed uint64, program []byte) {
+		if len(program) > 256 {
+			program = program[:256] // bound per-iteration work
+		}
+		s := fuzzScenario(seed, program)
+		_, _, diff := Compare(s)
+		if diff != "" {
+			t.Fatalf("batched run diverged from per-tick reference\nseed=%d program=%v\n%s",
+				seed, program, diff)
+		}
+	})
+}
+
+// fuzzScenario decodes a fuzz input into a Scenario. Opcodes consume four
+// bytes each: [op, a, b, c] with op%4 selecting spawn, pin, periodic
+// push, or one-shot push. Decoding never fails; out-of-range operands
+// wrap via modulo.
+func fuzzScenario(seed uint64, program []byte) Scenario {
+	return Scenario{
+		Name:       "fuzz",
+		Topology:   cpuid.Topology{Sockets: 1, Cores: 2},
+		Seed:       seed%1021 + 1,
+		DurationNs: 30_000_000, // 3000 ticks, crosses noise boundaries
+		Telemetry:  seed%2 == 0,
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			per := m.Config().CyclesPerTick()
+			ncpu := m.Topology().LogicalCPUs()
+
+			// Work item menu; costs straddle the tick budget so items
+			// complete mid-tick, exactly at boundaries, and across many
+			// ticks.
+			item := func(kind, size byte) workload.Item {
+				n := float64(size%8) + 0.5
+				switch kind % 4 {
+				case 0: // pure compute
+					return workload.Work(workload.Compute(n * per / 2))
+				case 1: // cache-heavy
+					c := workload.Compute(n * per / 4)
+					c.Add(workload.MemRead(workload.L2, int64(size%64)+8))
+					c.Add(workload.MemRead(workload.L3, int64(size%32)+4))
+					return workload.Work(c)
+				case 2: // DRAM-heavy
+					c := workload.Compute(n * per / 8)
+					c.Add(workload.MemRead(workload.DRAM, int64(size%128)+16))
+					c.Add(workload.MemWrite(workload.DRAM, int64(size%16)))
+					return workload.Work(c)
+				default: // I/O sleep
+					return workload.Sleep(int64(size%20+1) * 37_000)
+				}
+			}
+
+			var procs []*kernel.Process
+			lastProc := func() *kernel.Process {
+				if len(procs) == 0 {
+					procs = append(procs, k.Spawn("p0", 1))
+				}
+				return procs[len(procs)-1]
+			}
+
+			for i := 0; i+3 < len(program); i += 4 {
+				op, a, b, c := program[i], program[i+1], program[i+2], program[i+3]
+				switch op % 4 {
+				case 0: // spawn a process with 1-3 threads
+					procs = append(procs,
+						k.Spawn(fmt.Sprintf("p%d", len(procs)), int(a%3)+1))
+				case 1: // pin the latest process to a CPU subset
+					mask := int(a)%(1<<ncpu-1) + 1 // nonzero bitmask
+					var cpus []int
+					for p := 0; p < ncpu; p++ {
+						if mask&(1<<p) != 0 {
+							cpus = append(cpus, p)
+						}
+					}
+					pinTo(lastProc(), cpus...)
+				case 2: // periodic push to every thread of the latest proc
+					period := int64(a%40+1) * 25_000
+					it := item(b, c)
+					tag := fmt.Sprintf("op%d", i)
+					it.OnComplete = func(now int64) { record(tag, now) }
+					p := lastProc()
+					m.SchedulePeriodic(period, func(int64) {
+						for _, th := range p.Threads() {
+							th.HW.Push(it)
+						}
+					})
+				default: // one-shot burst partway through the run
+					at := int64(a%250+1) * 100_000
+					it := item(b, c)
+					p := lastProc()
+					m.Schedule(at, func(int64) {
+						for _, th := range p.Threads() {
+							th.HW.Push(it)
+						}
+					})
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,265 @@
+package equiv
+
+import (
+	"fmt"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// Scenarios returns the standard differential table. Each entry is
+// shaped to stress one boundary of the interval engine's no-op proofs:
+// SMT sibling interference mid-stretch, timeslice rotations, work
+// stealing, sleep/wake events, affinity churn, OU-noise boundary
+// crossings, DRAM bandwidth saturation, telemetry-attached accounting,
+// and idle/loaded composition with the IdleSkipper fast path.
+func Scenarios() []Scenario {
+	return []Scenario{
+		smtSiblings(),
+		timesliceRotation(),
+		stealSpread(),
+		sleepWake(),
+		affinityChurn(),
+		noiseCrossing(),
+		bandwidthSaturation(),
+		telemetryAttached(),
+		idleLoadedMix(),
+	}
+}
+
+// pinTo restricts every thread of p to the given CPUs.
+func pinTo(p *kernel.Process, cpus ...int) {
+	if err := p.SetAffinity(cpuid.MaskOf(cpus...)); err != nil {
+		panic(err)
+	}
+}
+
+// smtSiblings puts a latency thread and a memory-heavy batch thread on
+// hyperthread siblings so every batched tick runs the two-phase duty
+// handoff and the interference factors.
+func smtSiblings() Scenario {
+	return Scenario{
+		Name:       "smt-siblings",
+		Seed:       11,
+		DurationNs: 25_000_000, // crosses two noise boundaries
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			per := m.Config().CyclesPerTick()
+			svc := k.Spawn("svc", 1)
+			batch := k.Spawn("batch", 1)
+			pinTo(svc, 0)
+			pinTo(batch, m.Sibling(0))
+
+			req := workload.Compute(0.6 * per)
+			req.Add(workload.MemRead(workload.L3, 40))
+			req.Add(workload.MemRead(workload.DRAM, 25))
+			m.SchedulePeriodic(100_000, func(int64) {
+				svc.Threads()[0].HW.Push(workload.Item{Cost: req, OnComplete: func(now int64) {
+					record("svc", now)
+				}})
+			})
+
+			chunk := workload.Compute(3 * per)
+			chunk.Add(workload.MemRead(workload.DRAM, 400))
+			m.SchedulePeriodic(250_000, func(int64) {
+				batch.Threads()[0].HW.Push(workload.Work(chunk))
+			})
+		},
+	}
+}
+
+// timesliceRotation stacks three compute threads on one CPU so the
+// horizon must stop one tick short of every rotation and the rotation
+// itself runs through a real Assign.
+func timesliceRotation() Scenario {
+	return Scenario{
+		Name:       "timeslice-rotation",
+		Seed:       12,
+		DurationNs: 30_000_000,
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			per := m.Config().CyclesPerTick()
+			p := k.Spawn("stacked", 3)
+			pinTo(p, 2)
+			for i, t := range p.Threads() {
+				tag := fmt.Sprintf("stacked/%d", i)
+				for j := 0; j < 40; j++ {
+					t.HW.Push(workload.Item{
+						Cost:       workload.Compute(7.3 * per),
+						OnComplete: func(now int64) { record(tag, now) },
+					})
+				}
+			}
+		},
+	}
+}
+
+// stealSpread starts four threads crammed onto one CPU with a full
+// allowed mask, so periodic steals pull waiters out to idle CPUs while
+// intervals are in flight.
+func stealSpread() Scenario {
+	return Scenario{
+		Name:       "steal-spread",
+		Seed:       13,
+		DurationNs: 20_000_000,
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			per := m.Config().CyclesPerTick()
+			p := k.Spawn("burst", 4)
+			pinTo(p, 5)
+			work := workload.Compute(2 * per)
+			work.Add(workload.MemRead(workload.DRAM, 60))
+			for _, t := range p.Threads() {
+				for j := 0; j < 30; j++ {
+					t.HW.Push(workload.Work(work))
+				}
+			}
+			// Widen the mask mid-run: the next steal boundary spreads the
+			// stack across idle CPUs.
+			m.Schedule(3_000_000, func(now int64) {
+				record("widen", now)
+				pinTo(p, 5, 6, 7, 8)
+			})
+		},
+	}
+}
+
+// sleepWake alternates compute bursts with non-tick-aligned sleeps, so
+// wake events land mid-stretch and must end intervals exactly where
+// per-tick stepping would observe them.
+func sleepWake() Scenario {
+	return Scenario{
+		Name:       "sleep-wake",
+		Seed:       14,
+		DurationNs: 60_000_000,
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			per := m.Config().CyclesPerTick()
+			p := k.Spawn("io", 2)
+			burst := workload.Compute(2.5 * per)
+			burst.Add(workload.MemRead(workload.DRAM, 50))
+			for i, t := range p.Threads() {
+				tag := fmt.Sprintf("io/%d", i)
+				for j := 0; j < 12; j++ {
+					sleep := int64(700_000 + j*530_000 + i*13_333)
+					t.HW.Push(workload.Item{Cost: burst, OnComplete: func(now int64) {
+						record(tag, now)
+					}})
+					t.HW.Push(workload.Sleep(sleep))
+				}
+			}
+		},
+	}
+}
+
+// affinityChurn flips a process between disjoint CPU sets while loaded,
+// forcing migrations (and generation bumps) from outside the scheduler.
+func affinityChurn() Scenario {
+	return Scenario{
+		Name:       "affinity-churn",
+		Seed:       15,
+		DurationNs: 20_000_000,
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			per := m.Config().CyclesPerTick()
+			p := k.Spawn("roam", 2)
+			pinTo(p, 0, 16)
+			work := workload.Compute(1.5 * per)
+			work.Add(workload.MemRead(workload.L3, 80))
+			for _, t := range p.Threads() {
+				for j := 0; j < 200; j++ {
+					t.HW.Push(workload.Work(work))
+				}
+			}
+			flip := false
+			m.SchedulePeriodic(1_700_000, func(now int64) {
+				flip = !flip
+				if flip {
+					pinTo(p, 1, 17)
+				} else {
+					pinTo(p, 0, 16)
+				}
+				record("flip", now)
+			})
+		},
+	}
+}
+
+// noiseCrossing runs one long uninterrupted compute+DRAM thread: with no
+// events, rotations, or viable steals the horizon is unbounded and every
+// stretch must end exactly on the 10 ms OU-noise deadline.
+func noiseCrossing() Scenario {
+	return Scenario{
+		Name:       "noise-crossing",
+		Seed:       16,
+		DurationNs: 55_000_000,
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			per := m.Config().CyclesPerTick()
+			p := k.Spawn("steady", 1)
+			pinTo(p, 3)
+			work := workload.Compute(0.9 * per)
+			work.Add(workload.MemRead(workload.DRAM, 30))
+			t := p.Threads()[0]
+			for j := 0; j < 4000; j++ {
+				t.HW.Push(workload.Work(work))
+			}
+		},
+	}
+}
+
+// bandwidthSaturation drives enough DRAM traffic from spread-out threads
+// that the queueing factor departs from 1, exercising the carried-over
+// dramBytesTick accounting between batched ticks.
+func bandwidthSaturation() Scenario {
+	return Scenario{
+		Name:       "bandwidth-saturation",
+		Seed:       17,
+		DurationNs: 15_000_000,
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			p := k.Spawn("stream", 8)
+			for i, t := range p.Threads() {
+				if err := k.SetAffinity(t.TID, cpuid.MaskOf(i)); err != nil {
+					panic(err)
+				}
+				for j := 0; j < 100; j++ {
+					t.HW.Push(workload.Work(workload.ReadBytes(workload.DRAM, 96_000)))
+				}
+			}
+		},
+	}
+}
+
+// telemetryAttached repeats a stacked/steal mix with the registry wired
+// in: runqueue-depth observations pin every steal boundary, and the
+// migration/steal counters must match to the event.
+func telemetryAttached() Scenario {
+	s := stealSpread()
+	s.Name = "telemetry-attached"
+	s.Seed = 18
+	s.Telemetry = true
+	return s
+}
+
+// idleLoadedMix interleaves loaded bursts with idle gaps long enough for
+// the IdleSkipper fast-forward, pinning the composition of the two fast
+// paths.
+func idleLoadedMix() Scenario {
+	return Scenario{
+		Name:       "idle-loaded-mix",
+		Seed:       19,
+		DurationNs: 80_000_000,
+		Build: func(m *machine.Machine, k *kernel.Kernel, record func(string, int64)) {
+			per := m.Config().CyclesPerTick()
+			p := k.Spawn("bursty", 2)
+			pinTo(p, 4, m.Sibling(4))
+			burst := workload.Compute(4 * per)
+			burst.Add(workload.MemRead(workload.DRAM, 120))
+			m.SchedulePeriodic(7_300_000, func(int64) {
+				for _, t := range p.Threads() {
+					for j := 0; j < 20; j++ {
+						t.HW.Push(workload.Item{Cost: burst, OnComplete: func(now int64) {
+							record("burst", now)
+						}})
+					}
+				}
+			})
+		},
+	}
+}

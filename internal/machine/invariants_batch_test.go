@@ -1,0 +1,156 @@
+// Randomized-configuration invariants for the interval-batched loaded
+// path. These live in the external test package because they drive the
+// machine through the kernel scheduler (the only IntervalScheduler), and
+// kernel imports machine. The per-mechanism invariants on the raw machine
+// are in invariants_test.go.
+package machine_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/cpuid"
+	"github.com/holmes-colocation/holmes/internal/kernel"
+	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/workload"
+)
+
+// invariantRun drives a randomized colocation workload on a randomized
+// configuration and hands the machine back for invariant checks. Using
+// math/rand with a fixed per-case seed keeps failures reproducible while
+// covering a spread of topologies, affinities, work shapes and run-chunk
+// boundaries.
+func invariantRun(t *testing.T, caseSeed int64, batching bool) (*machine.Machine, *kernel.Kernel) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(caseSeed))
+
+	cfg := machine.DefaultConfig()
+	cfg.Seed = uint64(rnd.Intn(1_000_000) + 1)
+	cfg.Topology = cpuid.Topology{Sockets: 1, Cores: rnd.Intn(4) + 1}
+	cfg.IntervalBatching = batching
+	m := machine.New(cfg)
+	k := kernel.New(m)
+
+	per := cfg.CyclesPerTick()
+	nprocs := rnd.Intn(3) + 1
+	for pi := 0; pi < nprocs; pi++ {
+		proc := k.Spawn(fmt.Sprintf("p%d", pi), rnd.Intn(3)+1)
+		if rnd.Intn(2) == 0 {
+			cpu := rnd.Intn(cfg.Topology.LogicalCPUs())
+			if err := proc.SetAffinity(cpuid.MaskOf(cpu, m.Sibling(cpu))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var c workload.Cost
+		c.ComputeCycles = (rnd.Float64()*3 + 0.1) * per
+		if rnd.Intn(2) == 0 {
+			c.Acc[workload.L3].Loads = int64(rnd.Intn(60))
+			c.Acc[workload.DRAM].Loads = int64(rnd.Intn(120))
+			c.Acc[workload.DRAM].Stores = int64(rnd.Intn(20))
+		}
+		it := workload.Work(c)
+		period := int64(rnd.Intn(20)+1) * 50_000
+		m.SchedulePeriodic(period, func(int64) {
+			for _, th := range proc.Threads() {
+				th.HW.Push(it)
+			}
+		})
+		if rnd.Intn(2) == 0 {
+			sleepItem := workload.Sleep(int64(rnd.Intn(10)+1) * 100_000)
+			m.Schedule(int64(rnd.Intn(40)+1)*500_000, func(int64) {
+				proc.Threads()[0].HW.Push(sleepItem)
+			})
+		}
+	}
+
+	// Advance in uneven chunks so RunUntil boundaries land mid-stretch
+	// and simulated time must stay monotone across re-entries.
+	prev := m.Now()
+	for i := 0; i < 10; i++ {
+		m.RunFor(int64(rnd.Intn(9)+1) * 2_500_000)
+		if m.Now() < prev {
+			t.Fatalf("sim time went backwards: %d -> %d", prev, m.Now())
+		}
+		prev = m.Now()
+	}
+	return m, k
+}
+
+// TestRandomizedInvariants holds the interval engine to the model's
+// global invariants across randomized configurations, batching on and
+// off:
+//
+//   - simulated time only moves forward, in whole ticks;
+//   - work conservation: cycles charged to CPUs equal cycles consumed by
+//     threads (the same per-exec additions feed both sums, grouped by
+//     CPU on one side and by thread on the other, so the comparison
+//     allows float reassociation tolerance);
+//   - every hardware counter is non-negative and finite;
+//   - busy cycles per CPU never exceed elapsed capacity.
+func TestRandomizedInvariants(t *testing.T) {
+	for caseSeed := int64(1); caseSeed <= 12; caseSeed++ {
+		for _, batching := range []bool{false, true} {
+			name := fmt.Sprintf("case%d/batching=%v", caseSeed, batching)
+			t.Run(name, func(t *testing.T) {
+				m, k := invariantRun(t, caseSeed, batching)
+
+				now := m.Now()
+				if now <= 0 {
+					t.Fatalf("sim time did not advance: %d", now)
+				}
+				if now%m.Config().TickNs != 0 {
+					t.Fatalf("sim time %d not tick-aligned", now)
+				}
+
+				cfg := m.Config()
+				elapsedTicks := float64(now / cfg.TickNs)
+				capacity := elapsedTicks * cfg.CyclesPerTick()
+
+				var cpuCycles, threadCycles float64
+				for p := 0; p < m.Topology().LogicalCPUs(); p++ {
+					busy := m.BusyCycles(p)
+					if busy < 0 || busy > capacity*(1+1e-9) {
+						t.Fatalf("cpu %d busy cycles %g outside [0, %g]", p, busy, capacity)
+					}
+					cpuCycles += busy
+
+					c := m.Counters(p)
+					for _, v := range []struct {
+						name string
+						val  float64
+					}{
+						{"Cycles", c.Cycles}, {"Instructions", c.Instructions},
+						{"Loads", c.Loads}, {"Stores", c.Stores},
+						{"CyclesL3Miss", c.CyclesL3Miss}, {"StallsL3Miss", c.StallsL3Miss},
+						{"CyclesMemAny", c.CyclesMemAny}, {"StallsMemAny", c.StallsMemAny},
+					} {
+						if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+							t.Fatalf("cpu %d counter %s = %g", p, v.name, v.val)
+						}
+					}
+				}
+
+				for _, proc := range k.Processes() {
+					for _, th := range proc.Threads() {
+						if th.HW.ConsumedCycles < 0 {
+							t.Fatalf("thread %s consumed %g cycles", th.HW.Name, th.HW.ConsumedCycles)
+						}
+						threadCycles += th.HW.ConsumedCycles
+					}
+				}
+
+				diff := math.Abs(cpuCycles - threadCycles)
+				if diff > 1e-6*(1+cpuCycles) {
+					t.Fatalf("work not conserved: cpu side %g, thread side %g (diff %g)",
+						cpuCycles, threadCycles, diff)
+				}
+
+				if !batching && m.BatchedTicks() != 0 {
+					t.Fatalf("batching off but %d ticks batched", m.BatchedTicks())
+				}
+			})
+		}
+	}
+}

@@ -59,7 +59,58 @@ type lcpu struct {
 	nextExec     float64
 	// OU noise state per noisy counter (multiplicative, log-space).
 	noise [4]float64
+
+	// Memoized interference factors: the last (sibling memDuty, sibling
+	// euDuty, machine bwFactor) input triple and the factors the full
+	// computation produced for it. Loaded stretches hit steady states
+	// where the inputs repeat bitwise for many ticks; returning the
+	// stored result of the identical computation is exact. ifBw == 0 is
+	// the never-computed sentinel (real bandwidth factors are >= 1).
+	ifMemD, ifEuD, ifBw      float64
+	ifDRAM, ifL3, ifL2, ifEU float64
+	// Memoized duty commit: the last (nextMemStall, nextExec) pair fed
+	// into the end-of-tick commit and the duties it produced. The zero
+	// state maps to zero duties, which clamp01(0/budget) == +0.0 also
+	// yields, so the zero initialization is a valid cache entry.
+	dcNextMem, dcNextExec float64
+	dcMemDuty, dcEuDuty   float64
 }
+
+// commitDuty turns the tick's accumulated stall/exec cycles into the duty
+// fractions the sibling reads next tick, then clears the accumulators. The
+// division results are memoized on the accumulator values: duties are a
+// pure function of (nextMemStall, nextExec, budget), budget is fixed for
+// the machine's lifetime, and loaded steady states repeat the accumulator
+// values bitwise for many ticks. The zero-initialized cache entry is valid
+// because clamp01(0/budget) == +0.0 and the accumulators, as sums of
+// nonnegative terms starting at +0.0, are never -0.0.
+// commitDutyFast applies the memoized duties if the accumulators match
+// the cached pair, reporting whether it did. It contains no calls so the
+// per-tick commit loops inline it; on a miss the caller falls back to
+// commitDutyMiss. The split exists because a single function with both
+// paths exceeds the inlining budget by exactly the cost of the residual
+// call.
+func (c *lcpu) commitDutyFast() bool {
+	if c.nextMemStall == c.dcNextMem && c.nextExec == c.dcNextExec {
+		c.memDuty, c.euDuty = c.dcMemDuty, c.dcEuDuty
+		c.nextMemStall, c.nextExec = 0, 0
+		return true
+	}
+	return false
+}
+
+// commitDutyMiss recomputes and re-memoizes the duties on a cache miss.
+func (c *lcpu) commitDutyMiss(budget float64) {
+	c.dcNextMem, c.dcNextExec = c.nextMemStall, c.nextExec
+	c.memDuty = clamp01(c.nextMemStall / budget)
+	c.euDuty = clamp01(c.nextExec / budget)
+	c.dcMemDuty, c.dcEuDuty = c.memDuty, c.euDuty
+	c.nextMemStall, c.nextExec = 0, 0
+}
+
+// The unrolled purity check in Thread.nextItem assumes four hierarchy
+// levels; this fails to compile if workload gains one.
+var _ [4]workload.Access = [workload.NumLevels]workload.Access{}
 
 // Noise indices into lcpu.noise.
 const (
@@ -77,7 +128,8 @@ type Machine struct {
 	events          eventQueue
 	lcpus           []lcpu
 	sched           TickScheduler
-	skipper         IdleSkipper // sched, if it opts into idle skipping
+	skipper         IdleSkipper       // sched, if it opts into idle skipping
+	interval        IntervalScheduler // sched, if it opts into interval batching (and cfg allows)
 	assign          []*Thread
 	rng             *rng.Source
 	nextTID         int
@@ -107,6 +159,23 @@ type Machine struct {
 	// queueing factor applied this tick.
 	dramBytesTick int64
 	bwFactor      float64
+	// Memoized bandwidthFactor evaluation: the factor is a pure function
+	// of the byte count, and loaded steady states repeat the same count
+	// tick after tick. New seeds the entry with (0, 1), which is exact:
+	// rawBandwidthFactor(0) == 1.
+	bwInBytes   int64
+	bwOutFactor float64
+
+	// batchedTicks counts ticks advanced through the interval-batched
+	// loaded path, for tests and benchmarks asserting the fast path ran.
+	batchedTicks int64
+
+	// active lists, in ascending order, the logical CPUs that may carry
+	// nonzero duty state (memDuty/euDuty/nextMemStall/nextExec) on the
+	// interval path; every CPU outside it is exactly zero, which is what
+	// lets the narrow commit scans skip the rest of the topology. Only
+	// maintained while interval != nil.
+	active []int32
 }
 
 // New constructs a Machine from cfg. It panics on invalid configuration
@@ -123,6 +192,7 @@ func New(cfg Config) *Machine {
 		assign:          make([]*Thread, n),
 		rng:             rng.New(cfg.Seed),
 		bwFactor:        1,
+		bwOutFactor:     1,
 		lastNoiseUpdate: -1,
 		siblingOf:       make([]int, n),
 		cyclesPerTick:   cfg.CyclesPerTick(),
@@ -162,10 +232,25 @@ func (m *Machine) Now() int64 { return m.now }
 
 // SetScheduler installs the per-tick assignment policy. It must be set
 // before Run; a nil scheduler leaves every CPU idle. Schedulers that also
-// implement IdleSkipper opt into idle-tick fast-forwarding.
+// implement IdleSkipper opt into idle-tick fast-forwarding; schedulers
+// that implement IntervalScheduler additionally opt into the
+// interval-batched loaded path when Config.IntervalBatching is set.
 func (m *Machine) SetScheduler(s TickScheduler) {
 	m.sched = s
 	m.skipper, _ = s.(IdleSkipper)
+	m.interval = nil
+	if m.cfg.IntervalBatching {
+		m.interval, _ = s.(IntervalScheduler)
+	}
+	if m.interval != nil {
+		// Seed the active set with every CPU: a previous scheduler's full
+		// steps don't maintain it, so the first narrow commit must cover
+		// whatever duty state they left behind.
+		m.active = m.active[:0]
+		for p := range m.lcpus {
+			m.active = append(m.active, int32(p))
+		}
+	}
 }
 
 // NewThread creates a thread in the Idle state. listener may be nil.
@@ -212,17 +297,29 @@ func (m *Machine) BusyCycles(p int) float64 { return m.lcpus[p].busyCycles }
 // Sibling returns the hyperthread sibling of logical CPU p.
 func (m *Machine) Sibling(p int) int { return m.siblingOf[p] }
 
+// BatchedTicks returns the cumulative number of ticks advanced through
+// the interval-batched loaded path (zero when Config.IntervalBatching is
+// off or the scheduler does not implement IntervalScheduler).
+func (m *Machine) BatchedTicks() int64 { return m.batchedTicks }
+
 // RunUntil advances the simulation to absolute time end. Stretches with no
 // runnable thread and no due event are fast-forwarded in one jump when the
 // scheduler permits it (see IdleSkipper); time still lands on exactly the
-// tick boundaries a tick-by-tick run would produce.
+// tick boundaries a tick-by-tick run would produce. Loaded stretches —
+// runs of ticks between scheduling events with a fixed assignment — take
+// the interval-batched path when the scheduler opts in (see
+// IntervalScheduler); both fast paths are bit-identical to stepping.
 func (m *Machine) RunUntil(end int64) {
 	for m.now < end {
 		if m.idleNow() {
 			m.fastForward(end)
-		} else {
-			m.step()
+			continue
 		}
+		if m.interval != nil {
+			m.stepInterval(end)
+			continue
+		}
+		m.step()
 	}
 }
 
@@ -283,10 +380,21 @@ func (m *Machine) settleIdleState() {
 	m.dramBytesTick = 0
 	m.bwFactor = 1 // == bandwidthFactor(0)
 	if !m.dutyClean {
-		for p := range m.lcpus {
-			c := &m.lcpus[p]
-			c.memDuty, c.euDuty = 0, 0
-			c.nextMemStall, c.nextExec = 0, 0
+		if m.interval != nil {
+			// Interval path: only CPUs in the active set can carry duty
+			// state; everything else is already at the zero fixed point.
+			for _, p := range m.active {
+				c := &m.lcpus[p]
+				c.memDuty, c.euDuty = 0, 0
+				c.nextMemStall, c.nextExec = 0, 0
+			}
+			m.active = m.active[:0]
+		} else {
+			for p := range m.lcpus {
+				c := &m.lcpus[p]
+				c.memDuty, c.euDuty = 0, 0
+				c.nextMemStall, c.nextExec = 0, 0
+			}
 		}
 		m.dutyClean = true
 	}
@@ -343,10 +451,9 @@ func (m *Machine) step() {
 	if anyExec || !m.dutyClean {
 		budget := m.cyclesPerTick
 		for p := range m.lcpus {
-			c := &m.lcpus[p]
-			c.memDuty = clamp01(c.nextMemStall / budget)
-			c.euDuty = clamp01(c.nextExec / budget)
-			c.nextMemStall, c.nextExec = 0, 0
+			if c := &m.lcpus[p]; !c.commitDutyFast() {
+				c.commitDutyMiss(budget)
+			}
 		}
 		m.dutyClean = !anyExec
 	}
@@ -357,21 +464,63 @@ func (m *Machine) step() {
 // interference returns the latency multipliers for logical CPU p given its
 // sibling's previous-tick duty cycles.
 func (m *Machine) interference(p int) (fDRAM, fL3, fL2, fEU float64) {
+	fDRAM, fL3, fL2, fEU, ok := m.interferenceFast(p)
+	if ok {
+		return
+	}
+	sib := &m.lcpus[m.siblingOf[p]]
+	return m.interferenceMiss(&m.lcpus[p], sib.memDuty, sib.euDuty)
+}
+
+// interferenceFast handles the two call-free cases — idle sibling and
+// memo hit — so exec inlines them; ok == false sends the caller to the
+// interference fallback.
+func (m *Machine) interferenceFast(p int) (fDRAM, fL3, fL2, fEU float64, ok bool) {
 	sib := &m.lcpus[m.siblingOf[p]]
 	memD, euD := sib.memDuty, sib.euDuty
+	if memD == 0 && euD == 0 {
+		// Idle sibling: every coefficient multiplies a zero duty, so each
+		// factor is exactly 1 and 1*bwFactor == bwFactor bitwise — the
+		// shortcut is exact, not approximate.
+		return m.bwFactor, 1, 1, 1, true
+	}
+	c := &m.lcpus[p]
+	if memD == c.ifMemD && euD == c.ifEuD && m.bwFactor == c.ifBw {
+		// The factors are a pure function of this input triple; bitwise
+		// equal inputs reproduce the stored result exactly.
+		return c.ifDRAM, c.ifL3, c.ifL2, c.ifEU, true
+	}
+	return 0, 0, 0, 0, false
+}
+
+// interferenceMiss recomputes and re-memoizes the factors on a cache miss.
+func (m *Machine) interferenceMiss(c *lcpu, memD, euD float64) (fDRAM, fL3, fL2, fEU float64) {
 	fDRAM = 1 + m.cfg.InterfDRAMMem*memD + m.cfg.InterfDRAMEU*euD
 	fL3 = 1 + m.cfg.InterfL3Mem*memD + m.cfg.InterfL3EU*euD
 	fL2 = 1 + m.cfg.InterfL2Mem*memD
 	fEU = 1 + m.cfg.EUContention*euD + m.cfg.EUMemContention*memD
 	fDRAM *= m.bwFactor
+	c.ifMemD, c.ifEuD, c.ifBw = memD, euD, m.bwFactor
+	c.ifDRAM, c.ifL3, c.ifL2, c.ifEU = fDRAM, fL3, fL2, fEU
 	return
 }
 
 // effectiveCost returns the effective cycle cost of base cost c on CPU p
 // under the current interference factors, split into compute and memory
-// stall portions.
-func (m *Machine) effectiveCost(c workload.Cost, fDRAM, fL3, fL2, fEU float64) (exec, memStall, dramStall float64) {
+// stall portions. exec's hot loop open-codes the pure-compute case (every
+// stall term would be 0*k*f == +0.0 and exec += +0.0 is the identity) and
+// calls effectiveCostMem directly; this wrapper is the reference spelling.
+func (m *Machine) effectiveCost(c *workload.Cost, pure bool, fDRAM, fL3, fL2, fEU float64) (exec, memStall, dramStall float64) {
 	exec = c.ComputeCycles * fEU
+	if pure {
+		return exec, 0, 0
+	}
+	return m.effectiveCostMem(c, exec, fDRAM, fL3, fL2)
+}
+
+// effectiveCostMem prices the memory-access side of a cost.
+func (m *Machine) effectiveCostMem(c *workload.Cost, execIn, fDRAM, fL3, fL2 float64) (exec, memStall, dramStall float64) {
+	exec = execIn
 	l2 := float64(c.Acc[workload.L2].Loads) * m.cfg.L2Cycles * fL2
 	l3 := float64(c.Acc[workload.L3].Loads) * m.cfg.L3Cycles * fL3
 	dram := float64(c.Acc[workload.DRAM].Loads) * m.cfg.DRAMCycles * fDRAM
@@ -385,7 +534,10 @@ func (m *Machine) effectiveCost(c workload.Cost, fDRAM, fL3, fL2, fEU float64) (
 // exec runs thread t on logical CPU p for one tick.
 func (m *Machine) exec(p int, t *Thread) {
 	budget := m.cyclesPerTick
-	fDRAM, fL3, fL2, fEU := m.interference(p)
+	fDRAM, fL3, fL2, fEU, ok := m.interferenceFast(p)
+	if !ok {
+		fDRAM, fL3, fL2, fEU = m.interference(p)
+	}
 	c := &m.lcpus[p]
 	consumed := 0.0
 
@@ -402,7 +554,11 @@ func (m *Machine) exec(p int, t *Thread) {
 			break
 		}
 
-		exec, memStall, dramStall := m.effectiveCost(t.rem, fDRAM, fL3, fL2, fEU)
+		exec := t.rem.ComputeCycles * fEU
+		var memStall, dramStall float64
+		if !t.remPure {
+			exec, memStall, dramStall = m.effectiveCostMem(&t.rem, exec, fDRAM, fL3, fL2)
+		}
 		total := exec + memStall
 		if total <= 0 {
 			// Degenerate zero-cost item: complete instantly.
@@ -411,30 +567,69 @@ func (m *Machine) exec(p int, t *Thread) {
 		}
 		avail := budget - consumed
 		if total <= avail {
-			m.attribute(p, c, t, t.rem, exec, memStall, dramStall, fDRAM)
+			var loads, stores, dramLoads int64
+			if !t.remPure {
+				loads = t.rem.Loads()
+				stores = t.rem.Stores()
+				dramLoads = t.rem.Acc[workload.DRAM].Loads
+				m.dramBytesTick += t.rem.DRAMBytes()
+			}
+			m.attribute(c, p, t.rem.ComputeCycles,
+				float64(loads), float64(stores), float64(dramLoads),
+				exec, memStall, dramStall)
 			consumed += total
 			doneNs := m.now + int64(consumed/budget*m.tickNsF)
 			t.finishItem(doneNs)
 		} else {
 			frac := avail / total
-			part := t.rem.Scale(frac)
-			pExec, pMem, pDRAM := exec*frac, memStall*frac, dramStall*frac
-			m.attribute(p, c, t, part, pExec, pMem, pDRAM, fDRAM)
-			// Subtract the executed portion from the remaining base cost.
-			t.rem.ComputeCycles -= part.ComputeCycles
-			for l := range t.rem.Acc {
-				t.rem.Acc[l].Loads -= part.Acc[l].Loads
-				t.rem.Acc[l].Stores -= part.Acc[l].Stores
-				if t.rem.Acc[l].Loads < 0 {
-					t.rem.Acc[l].Loads = 0
-				}
-				if t.rem.Acc[l].Stores < 0 {
-					t.rem.Acc[l].Stores = 0
-				}
-			}
+			// Pure-compute items skip the per-level rounding loop and the
+			// subtract loop below: scaling and subtracting zero access
+			// counts yields zero counts exactly. The non-pure branch is
+			// Cost.Scale written in place, fused with the subtraction and
+			// with the load/store totals the attribution needs, so the
+			// access array is walked once instead of three times. The
+			// per-entry zero guards skip exact no-ops: with v == 0 the
+			// rounded portion is int64(+0.5) == 0 and the subtract-and-
+			// clamp leaves zero in place.
+			pCompute := t.rem.ComputeCycles * frac
+			t.rem.ComputeCycles -= pCompute
 			if t.rem.ComputeCycles < 0 {
 				t.rem.ComputeCycles = 0
 			}
+			var pLoads, pStores, pDRAMLoads, pDRAMBytes int64
+			if !t.remPure {
+				for l := range t.rem.Acc {
+					a := &t.rem.Acc[l]
+					if v := a.Loads; v != 0 {
+						part := int64(float64(v)*frac + 0.5)
+						pLoads += part
+						if workload.Level(l) == workload.DRAM {
+							pDRAMLoads = part
+							pDRAMBytes += part * workload.CacheLineBytes
+						}
+						a.Loads = v - part
+						if a.Loads < 0 {
+							a.Loads = 0
+						}
+					}
+					if v := a.Stores; v != 0 {
+						part := int64(float64(v)*frac + 0.5)
+						pStores += part
+						if workload.Level(l) == workload.DRAM {
+							pDRAMBytes += part * workload.CacheLineBytes
+						}
+						a.Stores = v - part
+						if a.Stores < 0 {
+							a.Stores = 0
+						}
+					}
+				}
+				m.dramBytesTick += pDRAMBytes
+			}
+			pExec, pMem, pDRAM := exec*frac, memStall*frac, dramStall*frac
+			m.attribute(c, p, pCompute,
+				float64(pLoads), float64(pStores), float64(pDRAMLoads),
+				pExec, pMem, pDRAM)
 			consumed = budget
 		}
 	}
@@ -445,20 +640,26 @@ func (m *Machine) exec(p int, t *Thread) {
 	t.ConsumedCycles += consumed
 }
 
-// attribute charges an executed cost chunk to CPU p's counters.
-func (m *Machine) attribute(p int, c *lcpu, t *Thread, base workload.Cost, exec, memStall, dramStall float64, fDRAM float64) {
-	loads := float64(base.Loads())
-	stores := float64(base.Stores())
-	dramLoads := float64(base.Acc[workload.DRAM].Loads)
-
+// attribute charges an executed cost chunk to CPU p's counters. The
+// caller precomputes the retired-instruction totals (loads, stores,
+// dramLoads) during its single walk over the chunk's access counts; pure
+// chunks pass exact zeros.
+func (m *Machine) attribute(c *lcpu, p int, compute, loads, stores, dramLoads, exec, memStall, dramStall float64) {
 	c.counters.Cycles += exec + memStall
-	c.counters.Instructions += base.ComputeCycles + loads + stores
+	c.counters.Instructions += compute + loads + stores
 	c.counters.Loads += loads
 	c.counters.Stores += stores
 
-	// Stall-counting events track the effective memory stall cycles.
-	c.counters.StallsMemAny += memStall * (1 + c.noise[nStallsMemAny])
-	c.counters.StallsL3Miss += dramStall * (1 + c.noise[nStallsL3Miss])
+	// Stall-counting events track the effective memory stall cycles. A
+	// zero stall contributes 0*(1+noise) = ±0.0, and x += ±0.0 leaves x
+	// bit-unchanged (the operands here are never -0.0), so the guards
+	// skip only exact no-ops.
+	if memStall != 0 {
+		c.counters.StallsMemAny += memStall * (1 + c.noise[nStallsMemAny])
+	}
+	if dramStall != 0 {
+		c.counters.StallsL3Miss += dramStall * (1 + c.noise[nStallsL3Miss])
+	}
 
 	// CYCLES_MEM_ANY adds the execute-overlap window on top of stalls.
 	c.counters.CyclesMemAny += (memStall + m.cfg.CyclesMemAnyExecFrac*exec) *
@@ -470,29 +671,40 @@ func (m *Machine) attribute(p int, c *lcpu, t *Thread, base workload.Cost, exec,
 	// slightly under sibling interference (miss-level parallelism
 	// degrades). This occupancy-vs-stall distinction is what produces the
 	// weak negative correlation of event 0x02A3 in Table 1.
-	sib := &m.lcpus[m.siblingOf[p]]
-	ownMem := c.memDuty
-	occ := m.cfg.DRAMCycles * (m.cfg.OccupancyBase +
-		m.cfg.OccupancyOwnMem*ownMem -
-		m.cfg.OccupancySibMem*sib.memDuty)
-	if occ < 0 {
-		occ = 0
+	// With no DRAM loads the contribution is 0*occ*(1+noise) = ±0.0 —
+	// an exact no-op (occ >= 0 after the clamp) — so the occupancy math
+	// and the sibling lookup are skipped entirely.
+	if dramLoads != 0 {
+		sib := &m.lcpus[m.siblingOf[p]]
+		ownMem := c.memDuty
+		occ := m.cfg.DRAMCycles * (m.cfg.OccupancyBase +
+			m.cfg.OccupancyOwnMem*ownMem -
+			m.cfg.OccupancySibMem*sib.memDuty)
+		if occ < 0 {
+			occ = 0
+		}
+		c.counters.CyclesL3Miss += dramLoads * occ * (1 + c.noise[nCyclesL3Miss])
 	}
-	c.counters.CyclesL3Miss += dramLoads * occ * (1 + c.noise[nCyclesL3Miss])
 
 	// Duty-cycle accumulation for the sibling's next tick.
 	c.nextMemStall += memStall
 	c.nextExec += exec
-
-	// Bandwidth accounting.
-	m.dramBytesTick += base.DRAMBytes()
 }
 
 // bandwidthFactor converts last tick's DRAM traffic into a latency
 // multiplier. Below ~80% utilization the penalty is negligible; it grows
 // sharply as the bus saturates (open-loop M/D/1-style knee).
 func (m *Machine) bandwidthFactor(bytesLastTick int64) float64 {
-	cap := m.bwCapBytes
+	if bytesLastTick == m.bwInBytes {
+		return m.bwOutFactor
+	}
+	m.bwInBytes = bytesLastTick
+	m.bwOutFactor = rawBandwidthFactor(bytesLastTick, m.bwCapBytes)
+	return m.bwOutFactor
+}
+
+// rawBandwidthFactor is the unmemoized curve behind bandwidthFactor.
+func rawBandwidthFactor(bytesLastTick int64, cap float64) float64 {
 	if cap <= 0 {
 		return 1
 	}

@@ -67,6 +67,11 @@ type Thread struct {
 	// thread to two logical CPUs in one tick.
 	lastExecTick int64
 
+	// remPure records that the in-progress item carries no memory
+	// accesses, letting the exec hot path skip the per-level scale and
+	// subtract loops (scaling and subtracting zero counts is exact).
+	remPure bool
+
 	// wakeFn is the sleep-expiry callback, built once on the first sleep
 	// and reused: a thread has at most one outstanding wake event, so the
 	// per-sleep closure the event queue holds can be shared.
@@ -141,6 +146,11 @@ func (t *Thread) nextItem() bool {
 	t.head++
 	t.curSet = true
 	t.rem = t.cur.Cost
+	// OR-fold instead of an array compare: zero iff every count is zero
+	// (counts are never negative), and it stays inlined.
+	a := &t.rem.Acc
+	t.remPure = a[0].Loads|a[0].Stores|a[1].Loads|a[1].Stores|
+		a[2].Loads|a[2].Stores|a[3].Loads|a[3].Stores == 0
 	// Compact occasionally so the deque doesn't grow without bound.
 	if t.head > 1024 && t.head*2 > len(t.queue) {
 		n := copy(t.queue, t.queue[t.head:])

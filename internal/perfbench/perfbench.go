@@ -13,6 +13,13 @@
 //   - loaded-colocation: service-style periodic bursts plus batch-style
 //     compute chunks on SMT siblings, the alternating busy/idle cadence a
 //     real colocation run produces.
+//   - loaded-batched: four threads pinned one-per-logical-CPU on two
+//     SMT sibling pairs, kept runnable by millisecond-period refills, so
+//     the interval engine sees the longest stretches the machine model
+//     allows (no timeslice rotation on single-thread runqueues, no
+//     migrations). This is the regime the interval-batched loaded path
+//     targets; the delta against loaded-colocation shows how much of the
+//     batching win the event-dense cadence gives back.
 //   - loaded-telemetry: the same colocation load with the Holmes daemon
 //     running and a full telemetry set (registry, latency tracer, span
 //     recorder) attached — the worst-case observability configuration.
@@ -33,6 +40,7 @@ import (
 
 	"github.com/holmes-colocation/holmes/internal/cgroupfs"
 	"github.com/holmes-colocation/holmes/internal/core"
+	"github.com/holmes-colocation/holmes/internal/cpuid"
 	"github.com/holmes-colocation/holmes/internal/experiments"
 	"github.com/holmes-colocation/holmes/internal/kernel"
 	"github.com/holmes-colocation/holmes/internal/machine"
@@ -137,6 +145,51 @@ func buildLoaded(seed uint64) *machine.Machine {
 	return m
 }
 
+// buildBatched constructs the loaded-batched scenario: two service and
+// two batch threads pinned one-per-logical-CPU across two physical cores,
+// each core carrying one service and one batch hyperthread, refilled with
+// multi-tick work every millisecond. Every runqueue holds a single pinned
+// thread, so nothing rotates, steals or migrates, and the per-CPU
+// assignment stays fixed for entire refill periods — the best case for
+// interval batching, bounded only by event and noise deadlines.
+func buildBatched(seed uint64) (*machine.Machine, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	m := machine.New(cfg)
+	k := kernel.New(m)
+	svc := k.Spawn("svc", 2)
+	batch := k.Spawn("batch", 2)
+	cores := cfg.Topology.PhysicalCores()
+	for i, t := range svc.Threads() {
+		if err := k.SetAffinity(t.TID, cpuid.MaskOf(i)); err != nil {
+			return nil, err
+		}
+	}
+	for i, t := range batch.Threads() {
+		if err := k.SetAffinity(t.TID, cpuid.MaskOf(i+cores)); err != nil {
+			return nil, err
+		}
+	}
+	perTick := cfg.CyclesPerTick()
+	// Refill with roughly half a period of base work: SMT contention
+	// inflates the effective cost, and the refill must stay below the
+	// period so queues drain instead of growing without bound.
+	burst := workload.Work(workload.Compute(50 * perTick))
+	var chunk workload.Cost
+	chunk.ComputeCycles = 35 * perTick
+	chunk.Acc[workload.DRAM].Loads = 2000
+	chunkItem := workload.Work(chunk)
+	m.SchedulePeriodic(1_000_000, func(int64) {
+		for _, t := range svc.Threads() {
+			t.HW.Push(burst)
+		}
+		for _, t := range batch.Threads() {
+			t.HW.Push(chunkItem)
+		}
+	})
+	return m, nil
+}
+
 // buildTelemetry constructs the loaded-telemetry scenario: the colocation
 // cadence of buildLoaded with the Holmes daemon sampling at its default
 // interval and a full telemetry set attached, so every daemon decision
@@ -227,6 +280,15 @@ func RunLoaded(simNs int64, seed uint64) TickResult {
 	return measure("loaded-colocation", m, simNs, m.Config().TickNs)
 }
 
+// RunBatched measures the loaded-batched scenario.
+func RunBatched(simNs int64, seed uint64) (TickResult, error) {
+	m, err := buildBatched(seed)
+	if err != nil {
+		return TickResult{}, fmt.Errorf("perfbench: loaded-batched: %w", err)
+	}
+	return measure("loaded-batched", m, simNs, m.Config().TickNs), nil
+}
+
 // RunTelemetry measures the loaded-telemetry scenario.
 func RunTelemetry(simNs int64, seed uint64) (TickResult, error) {
 	m, err := buildTelemetry(seed)
@@ -241,6 +303,11 @@ func Collect(o Options) (*Report, error) {
 	r := &Report{Schema: Schema, GoVersion: runtime.Version()}
 	r.Scenarios = append(r.Scenarios, RunIdle(o.IdleSimNs, o.Seed))
 	r.Scenarios = append(r.Scenarios, RunLoaded(o.LoadedSimNs, o.Seed))
+	batched, err := RunBatched(o.LoadedSimNs, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.Scenarios = append(r.Scenarios, batched)
 	telem, err := RunTelemetry(o.LoadedSimNs, o.Seed)
 	if err != nil {
 		return nil, err

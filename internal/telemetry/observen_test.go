@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Direct edge-case coverage for Histogram.ObserveN, the bulk-observe
+// primitive the kernel's idle-skip replay and the interval engine's
+// batched accounting depend on. The broader "ObserveN == n × Observe"
+// property is pinned in alloc_test.go; these tests nail the boundary
+// behaviors individually.
+
+// TestObserveNZeroAndNegativeCount checks that non-positive counts are
+// complete no-ops: no count, no sum, no bucket movement.
+func TestObserveNZeroAndNegativeCount(t *testing.T) {
+	h := NewRegistry().Histogram("h", "t", 1, 64, 5)
+	h.Observe(7) // establish a nonzero baseline
+	before := h.Snapshot()
+
+	h.ObserveN(7, 0)
+	h.ObserveN(7, -1)
+	h.ObserveN(math.Inf(1), 0) // value must not matter when n <= 0
+
+	after := h.Snapshot()
+	if before.Count != after.Count || before.Sum != after.Sum {
+		t.Fatalf("no-op ObserveN moved count/sum: (%d, %v) -> (%d, %v)",
+			before.Count, before.Sum, after.Count, after.Sum)
+	}
+	for i := range before.Buckets {
+		if before.Buckets[i] != after.Buckets[i] {
+			t.Fatalf("no-op ObserveN moved bucket %d: %+v -> %+v",
+				i, before.Buckets[i], after.Buckets[i])
+		}
+	}
+}
+
+// TestObserveNOverflowBucket checks that values at and beyond the
+// histogram's upper bound all land in the last (overflow) bucket, with
+// counts and sums matching the repeated-Observe spelling exactly.
+func TestObserveNOverflowBucket(t *testing.T) {
+	const min, max, perDecade = 1, 64, 5
+	batched := NewRegistry().Histogram("h", "t", min, max, perDecade)
+	single := NewRegistry().Histogram("h", "t", min, max, perDecade)
+
+	// Dyadic values keep the sum additions exact.
+	overflowing := []float64{64, 128, 1 << 20, math.MaxFloat64}
+	const n = 9
+	for _, v := range overflowing {
+		batched.ObserveN(v, n)
+		for i := 0; i < n; i++ {
+			single.Observe(v)
+		}
+	}
+
+	b, s := batched.Snapshot(), single.Snapshot()
+	if b.Count != s.Count || b.Sum != s.Sum {
+		t.Fatalf("overflow count/sum diverged: (%d, %v) vs (%d, %v)",
+			b.Count, b.Sum, s.Count, s.Sum)
+	}
+	last := len(b.Buckets) - 1
+	want := int64(n * len(overflowing))
+	if got := b.Buckets[last].Count; got != want {
+		t.Fatalf("overflow bucket holds %d observations, want %d\nbuckets: %+v",
+			got, want, b.Buckets)
+	}
+	for i := 0; i < last; i++ {
+		if b.Buckets[i].Count != 0 {
+			t.Fatalf("overflowing value leaked into bucket %d: %+v", i, b.Buckets[i])
+		}
+	}
+}
+
+// TestObserveNBelowMinimum checks that sub-minimum values (including
+// zero) fall into the first bucket, mirroring Observe.
+func TestObserveNBelowMinimum(t *testing.T) {
+	h := NewRegistry().Histogram("h", "t", 1, 64, 5)
+	h.ObserveN(0, 3)
+	h.ObserveN(0.25, 5)
+
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count %d, want 8", s.Count)
+	}
+	if got := s.Buckets[0].Count; got != 8 {
+		t.Fatalf("first bucket holds %d, want 8\nbuckets: %+v", got, s.Buckets)
+	}
+	if s.Sum != 0.25*5 {
+		t.Fatalf("sum %v, want %v", s.Sum, 0.25*5)
+	}
+}
