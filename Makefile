@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check batch-equiv cluster-smoke chaos-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check batch-equiv cluster-smoke chaos-smoke traffic-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -43,6 +43,21 @@ chaos-smoke:
 		-warmup 0.2 -duration 1.0 -batch-pods 6 -chaos
 	$(GO) run ./cmd/holmes-cluster -nodes 3 -cores 4 -services 2 \
 		-warmup 0.2 -duration 1.0 -batch-pods 6 -chaos -no-degrade
+
+# Compressed-day traffic run: a small fleet driving the default diurnal
+# topology (replicated services, least-queue balancer, autoscaler) with a
+# BestEffort backfill stream, rendered with the fleet dashboard into
+# traffic-out/report.txt. CI uploads the directory as an artifact so every
+# commit carries a readable traffic-plane report (request accounting,
+# spike/trough SLO split, autoscaler sparklines).
+traffic-smoke:
+	mkdir -p traffic-out
+	$(GO) run ./cmd/holmes-cluster -nodes 4 -cores 4 -traffic 120000 \
+		-warmup 0.5 -duration 3.5 -batch-pods 12 -dashboard \
+		> traffic-out/report.txt
+	grep -q "request accounting" traffic-out/report.txt
+	grep -q "conserved" traffic-out/report.txt
+	@echo "traffic-smoke artifact in traffic-out/: report.txt"
 
 # Short fuzz smoke: a few seconds per fuzz target over the codec and
 # generator corpora. CI runs this; `go test` alone only replays seeds.
@@ -107,4 +122,4 @@ examples:
 	$(GO) run ./examples/kubernetes
 
 clean:
-	rm -rf out obs-out equiv-diff holmes-report.html test_output.txt bench_output.txt
+	rm -rf out obs-out traffic-out equiv-diff holmes-report.html test_output.txt bench_output.txt

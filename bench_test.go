@@ -276,3 +276,17 @@ func BenchmarkClusterPlacement(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTrafficEngine measures the open-loop traffic control plane end
+// to end: a 3-node cluster under the default diurnal topology, reported
+// as control-plane rounds and dispatched arrivals per wall second.
+func BenchmarkTrafficEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := perfbench.RunTrafficBench(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RoundsPerSec, "rounds/s")
+		b.ReportMetric(r.ArrivalsPerSec, "arrivals/s")
+	}
+}

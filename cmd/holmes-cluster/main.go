@@ -10,6 +10,8 @@
 //	holmes-cluster -spec cluster.json        run a JSON-described cluster
 //	holmes-cluster -chaos [flags]            inject the default fault schedule
 //	holmes-cluster -chaos-spec faults.json   inject a JSON-described schedule
+//	holmes-cluster -traffic 1000000          drive a modeled 1M-user diurnal day
+//	holmes-cluster -topology topo.json       drive a JSON-described traffic topology
 //
 // Every run is deterministic: per-node seeds derive from (seed, node ID),
 // so -parallel N changes wall-clock time, never the output. Fault
@@ -29,6 +31,7 @@ import (
 	"github.com/holmes-colocation/holmes/internal/obs"
 	"github.com/holmes-colocation/holmes/internal/report"
 	"github.com/holmes-colocation/holmes/internal/runner"
+	"github.com/holmes-colocation/holmes/internal/scenario"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
 )
 
@@ -52,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 0, "simulation seed (default 1)")
 	chaos := fs.Bool("chaos", false, "inject the default fault schedule (faults.DefaultSchedule)")
 	chaosSpec := fs.String("chaos-spec", "", "JSON fault schedule to inject (overrides -chaos)")
+	trafficUsers := fs.Int("traffic", 0, "attach the default open-loop traffic topology modeling N users")
+	topoPath := fs.String("topology", "", "JSON traffic topology (replicated services + programs; overrides -traffic)")
 	noDegrade := fs.Bool("no-degrade", false, "disable graceful degradation (watchdog, re-scan, failure detector)")
 	parallel := fs.Int("parallel", runner.DefaultParallelism(),
 		"max concurrent node simulations (1 = serial; output identical either way)")
@@ -97,6 +102,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel < 1 {
 		return fail("-parallel %d must be at least 1", *parallel)
+	}
+	if *trafficUsers < 0 {
+		return fail("-traffic %d must be positive (modeled users)", *trafficUsers)
 	}
 
 	spec := cluster.DefaultSpec()
@@ -155,6 +163,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *noDegrade {
 		spec.DisableDegradation = true
+	}
+	if *topoPath != "" {
+		f, err := os.Open(*topoPath)
+		if err != nil {
+			return fail("%v", err)
+		}
+		topo, err := scenario.LoadTopology(f)
+		f.Close()
+		if err != nil {
+			return fail("-topology %s: %v", *topoPath, err)
+		}
+		spec.Topology = &topo
+		spec.Services = nil
+	} else if *trafficUsers > 0 {
+		// The default diurnal day spans the whole run (warmup + measured
+		// window), so the trough, both spikes and the evening decay all
+		// land inside the simulation.
+		topo := scenario.DefaultTopology(int64(*trafficUsers), spec.WarmupSeconds+spec.DurationSeconds)
+		spec.Topology = &topo
+		spec.Services = nil
 	}
 
 	opt := cluster.RunOptions{Workers: *parallel}
@@ -246,6 +274,13 @@ Flags:
   -chaos            inject the default deterministic fault schedule
                     (counter faults, cgroup event loss, node crashes)
   -chaos-spec FILE  JSON fault schedule (see internal/faults); overrides -chaos
+  -traffic N        attach the default open-loop traffic topology modeling N
+                    users: replicated LC services behind a least-queue load
+                    balancer, a diurnal arrival curve with two flash-crowd
+                    spikes, and a telemetry-driven autoscaler. Replaces the
+                    spec's static services; the day spans warmup + duration
+  -topology FILE    JSON traffic topology (replicated services + traffic
+                    programs, see internal/scenario); overrides -traffic
   -no-degrade       disable graceful degradation: no daemon watchdog or
                     cgroupfs re-scan, no failure detector or rescheduling
   -parallel N       max concurrent node simulations (default GOMAXPROCS);

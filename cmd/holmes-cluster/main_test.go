@@ -192,3 +192,64 @@ func TestTracingDoesNotChangeReport(t *testing.T) {
 		t.Fatalf("tracing changed the report:\n--- off ---\n%s\n--- on ---\n%s", plain, traced)
 	}
 }
+
+func TestTrafficFlag(t *testing.T) {
+	code, stdout, stderr := runCLI("-nodes", "4", "-traffic", "60000",
+		"-warmup", "0.5", "-duration", "2", "-batch-pods", "0", "-dashboard")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"traffic plane: replicated services under open-loop load",
+		"request accounting",
+		"conserved",
+		"-- autoscaler --",
+		"frontend replicas",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("traffic run missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestTrafficFlagRejectsNegative(t *testing.T) {
+	code, _, stderr := runCLI("-traffic", "-5")
+	if code == 0 || !strings.Contains(stderr, "-traffic -5 must be positive") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestTopologyFileFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	doc := `{
+		"services": [{
+			"name": "api", "store": "memcached", "program": "day",
+			"replicas": 2, "queue_cap": 128
+		}],
+		"programs": [{
+			"name": "day", "users": 50000,
+			"base_rps": 300, "peak_rps": 1500, "day_seconds": 2
+		}]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI("-nodes", "3", "-topology", path,
+		"-warmup", "0.3", "-duration", "1.7", "-batch-pods", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "api") || !strings.Contains(stdout, "conserved") {
+		t.Fatalf("topology run missing service accounting:\n%s", stdout)
+	}
+
+	// A topology that fails validation is rejected with the field named.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"services": [], "programs": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI("-topology", bad)
+	if code == 0 || !strings.Contains(stderr, "at least one replicated service") {
+		t.Fatalf("bad topology accepted: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -69,7 +69,8 @@ var debugVPI = os.Getenv("HOLMES_CLUSTER_DEBUG") != ""
 // pendingPod is one queue entry awaiting placement.
 type pendingPod struct {
 	req                        PodRequest
-	svc                        *ServiceSpec // non-nil for Guaranteed service pods
+	svc                        *ServiceSpec    // non-nil for Guaranteed service pods
+	rep                        *trafficReplica // non-nil for replicated-service pods
 	kind                       batch.Kind
 	containers, threads, units int
 	retries                    int // placement attempts that found no node
@@ -139,6 +140,9 @@ type Result struct {
 	PageAlerts   int
 	TicketAlerts int
 	Alerts       []obs.Alert
+	// Traffic is the open-loop traffic plane's outcome (nil when the spec
+	// has no topology).
+	Traffic *TrafficResult
 }
 
 // TotalQueries returns the completed, measured queries summed over the
@@ -185,6 +189,13 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	burn := newBurnEngine(spec, totalRounds)
 	tracer := newRunTracer(opt.Obs, hbNs)
 	rollup := newFleetRollup(opt.Obs, hbNs)
+	// The traffic plane (nil without a topology): arrival processes, the
+	// load-balancer tier and the autoscalers, all driven serially from
+	// this loop.
+	tc, err := newTrafficController(spec, tracer, opt.Obs, hbNs, warmupRounds)
+	if err != nil {
+		return nil, err
+	}
 	prevQ := make([]int64, spec.Nodes)
 	prevBad := make([]int64, spec.Nodes)
 
@@ -247,6 +258,10 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			svc: &ss,
 		})
 		tracer.admit(ss.Name, 0)
+	}
+	for _, p := range tc.initialPods() {
+		queue = append(queue, p)
+		tracer.admit(p.req.Name, 0)
 	}
 	containers, threads, units := spec.Batch.podSpecShape()
 	arrived := 0
@@ -314,6 +329,14 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				})
 			}
 			res.ServiceFailovers++
+		}
+		// Replicas on the lost node: their in-flight requests are gone
+		// (accounted as lost), and the traffic plane queues replacements
+		// up to each service's minimum.
+		for _, p := range tc.nodeLost(i, r) {
+			p.notBefore = r + 1
+			queue = append(queue, p)
+			tracer.admit(p.req.Name, r)
 		}
 	}
 
@@ -407,7 +430,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			}
 			target := placer.Place(states, p.req)
 			if target < 0 {
-				if p.svc != nil && !anyNodeCouldFit(states, p.req) {
+				if (p.svc != nil || p.rep != nil) && !anyNodeCouldFit(states, p.req) {
 					return nil, fmt.Errorf("cluster: no node fits service %s", p.req.Name)
 				}
 				p.retries++
@@ -415,6 +438,9 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 					if p.svc != nil {
 						return nil, fmt.Errorf("cluster: service %s unplaced after %d rounds",
 							p.req.Name, maxPlaceRetries)
+					}
+					if p.rep != nil {
+						tc.placementFailed(p)
 					}
 					res.FailedPlacements++
 					tel.inc(tel.failed)
@@ -424,7 +450,15 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				waiting = append(waiting, p)
 				continue
 			}
-			if p.svc != nil {
+			if p.rep != nil {
+				if err := tc.place(p, target, nodes[target]); err != nil {
+					return nil, err
+				}
+				states[target].HB.ServicePods++
+				states[target].HB.ServiceThreads += p.req.Threads
+				tel.inc(tel.placedGuaranteed)
+				tracer.servicePlace(p.req.Name, r, target)
+			} else if p.svc != nil {
 				if err := nodes[target].PlaceService(*p.svc); err != nil {
 					return nil, err
 				}
@@ -447,6 +481,11 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			}
 		}
 		queue = waiting
+
+		// Open-loop arrivals for this round, routed through the balancer
+		// tier. Runs after placement (fresh replicas serve immediately) and
+		// before the advance, so every request lands inside the round.
+		tc.inject(r)
 
 		// Advance every live node one heartbeat period, fanned out on the
 		// worker pool. Nodes share nothing mid-round, so the outcome is
@@ -527,7 +566,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				}
 				fenced, err := n.Fence(keep, func(svc string) bool {
 					idx, ok := serviceNode[svc]
-					return ok && idx == i
+					return (ok && idx == i) || tc.keepsReplica(svc, i)
 				})
 				if err != nil {
 					return nil, err
@@ -595,6 +634,15 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			burn.Observe("availability", r, roundNs, int64(spec.Nodes)-nodesBad, nodesBad)...)
 		publishAlerts(opt.Telemetry, opt.Obs, transitions)
 		rollup.record(r, states, down, roundGoodQ, roundBadQ)
+
+		// Traffic-plane reconciliation: balancer health and queue estimates,
+		// drained-replica retirement, the autoscaler decisions. Scale-ups
+		// enter the placement queue for next round.
+		for _, p := range tc.postRound(r, nodes, states, down, burn.Paging()) {
+			p.notBefore = r + 1
+			queue = append(queue, p)
+			tracer.admit(p.req.Name, r)
+		}
 
 		// Reconcile: drain one BestEffort pod per persistently hot node.
 		// While a page-severity alert is active the fleet is burning error
@@ -714,6 +762,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	res.PageAlerts = burn.Pages()
 	res.TicketAlerts = burn.Tickets()
 	res.Alerts = burn.Alerts()
+	tc.collect(res, nodes, down)
 	return res, nil
 }
 
@@ -879,6 +928,9 @@ func (r *Result) Render() string {
 		100*r.ClusterUtil, r.BatchCompleted, r.PlacedBatch)
 	fmt.Fprintf(&b, "reconciler: %d evictions, %d requeues, %d failed placements, %d pinned pods (peak node VPI %.1f)\n",
 		r.Evictions, r.Requeues, r.FailedPlacements, r.PinnedPods, r.PeakSmoothedVPI)
+	if r.Traffic != nil {
+		r.Traffic.render(&b)
+	}
 	fmt.Fprintf(&b, "alerts: %d page, %d ticket burn-rate activations\n",
 		r.PageAlerts, r.TicketAlerts)
 	for _, a := range r.Alerts {

@@ -17,6 +17,7 @@ import (
 	"github.com/holmes-colocation/holmes/internal/lcservice"
 	"github.com/holmes-colocation/holmes/internal/machine"
 	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/scenario"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
 	"github.com/holmes-colocation/holmes/internal/ycsb"
 )
@@ -275,6 +276,51 @@ func (n *Node) PlaceService(ss ServiceSpec) error {
 	return nil
 }
 
+// PlaceReplica launches one replica of a replicated (traffic-driven)
+// service: the same store + lcservice + Guaranteed pod path as
+// PlaceService, but with no closed-loop client — the load-balancer tier
+// submits its requests. Store and load seeds derive from the service
+// name (not the replica name), so every replica holds an identical
+// preloaded working set wherever and whenever it boots.
+func (n *Node) PlaceReplica(name, service string, rs scenario.ReplicatedService) error {
+	if _, dup := n.services[name]; dup {
+		return fmt.Errorf("cluster: node %d already runs replica %s", n.ID, name)
+	}
+	store, err := newStore(rs.Store, rng.DeriveSeed(n.seed, "replica-store", service))
+	if err != nil {
+		return err
+	}
+	svc := lcservice.Launch(n.k, store, lcservice.DefaultConfigFor(rs.Store))
+	wl, err := ycsb.ByName(rs.WorkloadName())
+	if err != nil {
+		return err
+	}
+	gcfg := ycsb.DefaultConfig(wl)
+	gcfg.RecordCount = rs.Records()
+	gcfg.Seed = rng.DeriveSeed(n.seed, "replica-gen", service)
+	svc.Load(ycsb.NewGenerator(gcfg))
+	if _, err := n.kl.RunServicePod(name, svc.Process()); err != nil {
+		return err
+	}
+	n.services[name] = &nodeService{
+		spec:  ServiceSpec{Name: name, Store: rs.Store, Workload: rs.WorkloadName()},
+		svc:   svc,
+		store: store,
+	}
+	return nil
+}
+
+// RetireReplica removes a drained replica: the pod is deleted and the
+// service instance forgotten (the autoscaler's scale-down completion).
+func (n *Node) RetireReplica(name string) error {
+	s := n.services[name]
+	if s == nil {
+		return fmt.Errorf("cluster: node %d has no replica %s", n.ID, name)
+	}
+	delete(n.services, name)
+	return n.kl.DeletePod(name)
+}
+
 // PlaceBatch admits a BestEffort pod through the kubelite agent; the
 // node's Holmes daemon discovers it via the cgroup watch and manages its
 // sibling access from then on.
@@ -322,7 +368,9 @@ func (n *Node) Fence(keepPods map[string]bool, keepService func(string) bool) (i
 			if s == nil || keepService(name) {
 				continue
 			}
-			s.client.Stop()
+			if s.client != nil {
+				s.client.Stop()
+			}
 			delete(n.services, name)
 		}
 		if err := n.kl.DeletePod(name); err != nil {
@@ -397,7 +445,9 @@ func (n *Node) CompletedPods() int { return n.completedPods }
 // Stop halts the node's daemon and clients.
 func (n *Node) Stop() {
 	for _, s := range n.services {
-		s.client.Stop()
+		if s.client != nil {
+			s.client.Stop()
+		}
 	}
 	n.kl.Stop()
 }

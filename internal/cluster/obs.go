@@ -192,6 +192,39 @@ func (t *runTracer) servicePlace(name string, r, node int) {
 		StartNs: now, EndNs: now, Node: node, CPU: -1, Name: name})
 }
 
+// replicaScaleUp records an autoscaler grow decision for a service;
+// Value carries the per-replica queue depth that armed it.
+func (t *runTracer) replicaScaleUp(svc string, r int, depth float64) {
+	if t == nil {
+		return
+	}
+	now := t.roundNs(r)
+	t.rec.Add(telemetry.Span{Kind: telemetry.SpanReplicaScaleUp,
+		StartNs: now, EndNs: now, Node: -1, CPU: -1, Name: svc, Value: depth})
+}
+
+// replicaScaleDown records an autoscaler shrink decision: the named
+// replica starts draining on its node.
+func (t *runTracer) replicaScaleDown(name string, r, node int, depth float64) {
+	if t == nil {
+		return
+	}
+	now := t.roundNs(r)
+	t.rec.Add(telemetry.Span{Kind: telemetry.SpanReplicaScaleDown,
+		StartNs: now, EndNs: now, Node: node, CPU: -1, Name: name, Value: depth})
+}
+
+// replicaRetire records a replica leaving the fleet — a drained
+// scale-down or a node loss (the detail says which).
+func (t *runTracer) replicaRetire(name string, r, node int, detail string) {
+	if t == nil {
+		return
+	}
+	now := t.roundNs(r)
+	t.rec.Add(telemetry.Span{Kind: telemetry.SpanReplicaRetire,
+		StartNs: now, EndNs: now, Node: node, CPU: -1, Name: name, Detail: detail})
+}
+
 func (t *runTracer) nodeCrash(node, r int) {
 	if t == nil {
 		return

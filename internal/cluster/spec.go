@@ -7,6 +7,7 @@ import (
 
 	"github.com/holmes-colocation/holmes/internal/batch"
 	"github.com/holmes-colocation/holmes/internal/faults"
+	"github.com/holmes-colocation/holmes/internal/scenario"
 	"github.com/holmes-colocation/holmes/internal/ycsb"
 )
 
@@ -69,6 +70,14 @@ type Spec struct {
 
 	Services []ServiceSpec `json:"services"`
 	Batch    BatchStream   `json:"batch"`
+
+	// Topology, when non-nil, adds the open-loop traffic plane: replicated
+	// services behind the load-balancer tier, driven by declarative
+	// traffic programs and grown/shrunk by the horizontal autoscaler (see
+	// internal/scenario.Topology and internal/traffic). A spec may carry
+	// classic closed-loop Services, a Topology, or both; with a Topology
+	// present, Services may be empty.
+	Topology *scenario.Topology `json:"topology,omitempty"`
 }
 
 // ServiceSpec is one Guaranteed service pod: a latency-critical store
@@ -164,8 +173,13 @@ func (s Spec) Validate() error {
 	if s.WarmupSeconds < 0 {
 		return fmt.Errorf("cluster: warmup_seconds must not be negative")
 	}
-	if len(s.Services) == 0 {
+	if len(s.Services) == 0 && s.Topology == nil {
 		return fmt.Errorf("cluster: at least one service required")
+	}
+	if s.Topology != nil {
+		if err := s.Topology.Validate(); err != nil {
+			return err
+		}
 	}
 	seen := map[string]bool{}
 	for _, svc := range s.Services {

@@ -1,0 +1,555 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/holmes-colocation/holmes/internal/obs"
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/scenario"
+	"github.com/holmes-colocation/holmes/internal/stats"
+	"github.com/holmes-colocation/holmes/internal/trace"
+	"github.com/holmes-colocation/holmes/internal/traffic"
+	"github.com/holmes-colocation/holmes/internal/ycsb"
+)
+
+// trafficController is the control-plane side of the open-loop traffic
+// plane: it compiles the spec's topology into arrival processes, routes
+// each round's arrivals through the per-service balancers, reconciles
+// queue estimates against replica completion counters, and runs the
+// horizontal autoscalers. Every step executes serially inside the round
+// loop against control-plane state, so — like placement and
+// reconciliation — the traffic plane is byte-identical at any worker
+// count. All methods are nil-receiver-safe: a spec without a topology
+// simply has no traffic plane.
+type trafficController struct {
+	hbNs   int64
+	warmup int
+	sloNs  float64
+	tracer *runTracer
+	store  *obs.Store // nil without an observability plane
+
+	services []*trafficService
+
+	// Fleet-utilization accounting (whole-node busy cycles per round,
+	// split by spike/trough classification of the round).
+	nodeRef    []*Node
+	prevBusy   []float64
+	freqGHz    float64
+	cpusPer    int
+	roundSpike bool
+
+	spikeUtilSum, troughUtilSum float64
+	spikeRounds, troughRounds   int
+}
+
+// trafficService is one replicated service's control-plane state.
+type trafficService struct {
+	spec scenario.ReplicatedService
+	prog scenario.TrafficProgram
+	proc *traffic.Process
+	gen  *traffic.OpGen
+	bal  *traffic.Balancer
+	sc   *traffic.Autoscaler
+	src  *rng.Source // intra-round arrival offsets
+
+	replicas map[string]*trafficReplica
+	nextIdx  int
+	pending  int // replica pods queued but not yet placed
+
+	// Admission-window queue signal, captured at the end of inject: the
+	// per-service outstanding depth (carried backlog + this round's
+	// dispatches) and the routable count it spread over. Post-reconcile
+	// depth is ~0 whenever replicas keep up, so this is the congestion
+	// signal the autoscaler keys on.
+	lastDemand   int64
+	lastRoutable int
+
+	// Accounting for replicas no longer registered (retired or lost).
+	retiredCompleted int64
+	lost             int64
+	failedPlacements int
+
+	// Measured-window SLI deltas split by the round's spike status.
+	spikeGood, spikeBad   int64
+	troughGood, troughBad int64
+
+	peakReplicas int
+}
+
+// trafficReplica is one replica booking. It implements traffic.Replica:
+// Submit schedules the request's execution on the replica's node at
+// offsetNs into the node's current round (node-local time, so slow or
+// rebooted nodes keep a coherent clock).
+type trafficReplica struct {
+	name string
+	idx  int
+	ts   *trafficService
+	node int
+	n    *Node
+	ns   *nodeService
+
+	submitted     int64
+	completedSeen int64
+	prevQ         int64
+	prevBad       int64
+	draining      bool
+}
+
+func (r *trafficReplica) Submit(op ycsb.Op, offsetNs int64) {
+	r.submitted++
+	s := r.ns
+	r.n.m.Schedule(r.n.m.Now()+offsetNs, func(t int64) { s.svc.Submit(op, t) })
+}
+
+// outstanding is the replica's in-flight estimate against the last
+// completion count the control plane has seen.
+func (r *trafficReplica) outstanding() int64 { return r.submitted - r.completedSeen }
+
+// newTrafficController compiles the spec's topology; returns nil (no
+// traffic plane) when the spec has none.
+func newTrafficController(spec Spec, tracer *runTracer, p *obs.Plane, hbNs int64, warmupRounds int) (*trafficController, error) {
+	if spec.Topology == nil {
+		return nil, nil
+	}
+	tc := &trafficController{
+		hbNs:     hbNs,
+		warmup:   warmupRounds,
+		sloNs:    spec.sloNs(),
+		tracer:   tracer,
+		prevBusy: make([]float64, spec.Nodes),
+		nodeRef:  make([]*Node, spec.Nodes),
+	}
+	if p != nil {
+		tc.store = p.Store
+	}
+	for _, rs := range spec.Topology.Services {
+		prog, ok := spec.Topology.Program(rs.Program)
+		if !ok {
+			return nil, fmt.Errorf("cluster: service %s references unknown program %q", rs.Name, rs.Program)
+		}
+		seed := rng.DeriveSeed(spec.Seed, "traffic", rs.Name)
+		gen, err := traffic.NewOpGen(prog, rs, seed)
+		if err != nil {
+			return nil, err
+		}
+		tc.services = append(tc.services, &trafficService{
+			spec:     rs,
+			prog:     prog,
+			proc:     traffic.NewProcess(prog, rng.DeriveSeed(seed, "arrivals")),
+			gen:      gen,
+			bal:      traffic.NewBalancer(rs.QueueCapacity()),
+			sc:       traffic.NewAutoscaler(rs.Autoscaler),
+			src:      rng.New(rng.DeriveSeed(seed, "offsets")),
+			replicas: map[string]*trafficReplica{},
+		})
+	}
+	return tc, nil
+}
+
+// newReplicaPending queues one fresh replica pod for placement.
+func (tc *trafficController) newReplicaPending(ts *trafficService) *pendingPod {
+	idx := ts.nextIdx
+	ts.nextIdx++
+	ts.pending++
+	rep := &trafficReplica{name: fmt.Sprintf("%s/%d", ts.spec.Name, idx), idx: idx, ts: ts}
+	return &pendingPod{
+		req: PodRequest{Name: rep.name, Guaranteed: true, Threads: serviceThreads(ts.spec.Store)},
+		rep: rep,
+	}
+}
+
+// initialPods returns the topology's initial replica pods in spec order.
+func (tc *trafficController) initialPods() []*pendingPod {
+	if tc == nil {
+		return nil
+	}
+	var pods []*pendingPod
+	for _, ts := range tc.services {
+		for i := 0; i < ts.spec.Replicas; i++ {
+			pods = append(pods, tc.newReplicaPending(ts))
+		}
+	}
+	return pods
+}
+
+// place books a freshly placed replica: the node launched it, the
+// balancer starts routing to it.
+func (tc *trafficController) place(p *pendingPod, target int, n *Node) error {
+	rep := p.rep
+	ts := rep.ts
+	if err := n.PlaceReplica(rep.name, ts.spec.Name, ts.spec); err != nil {
+		return err
+	}
+	rep.node = target
+	rep.n = n
+	rep.ns = n.services[rep.name]
+	ts.pending--
+	ts.replicas[rep.name] = rep
+	ts.bal.Add(rep.name, rep)
+	return nil
+}
+
+// placementFailed drops a replica pod that exhausted its placement
+// retries; the autoscaler or the min-replica floor will requeue demand.
+func (tc *trafficController) placementFailed(p *pendingPod) {
+	p.rep.ts.pending--
+	p.rep.ts.failedPlacements++
+}
+
+// keepsReplica reports whether the control plane still books a replica
+// of that name on node i — the fencing predicate for rejoining nodes.
+func (tc *trafficController) keepsReplica(name string, node int) bool {
+	if tc == nil {
+		return false
+	}
+	for _, ts := range tc.services {
+		if rep := ts.replicas[name]; rep != nil {
+			return rep.node == node
+		}
+	}
+	return false
+}
+
+// inject draws and routes this round's arrivals for every service. It
+// runs after the placement pass (replicas placed this round serve
+// immediately) and before the nodes advance, so every scheduled request
+// lands inside the round's simulated window.
+func (tc *trafficController) inject(r int) {
+	if tc == nil {
+		return
+	}
+	t0 := int64(r) * tc.hbNs
+	tc.roundSpike = false
+	for _, ts := range tc.services {
+		n := ts.proc.Arrivals(t0, tc.hbNs)
+		if ts.proc.InSpike(t0 + tc.hbNs/2) {
+			tc.roundSpike = true
+		}
+		for i := 0; i < n; i++ {
+			offset := ts.src.Int63n(tc.hbNs)
+			ts.bal.Dispatch(ts.gen.Next(), offset)
+		}
+		ts.lastDemand = ts.bal.TotalOutstanding()
+		ts.lastRoutable = ts.bal.Routable()
+		if tc.store != nil {
+			tc.store.Series("traffic/"+ts.spec.Name+"/arrivals").Append(t0, float64(n))
+			tc.store.Series("traffic/"+ts.spec.Name+"/rate_rps").Append(t0, ts.proc.Rate(t0+tc.hbNs/2))
+			tc.store.Series("traffic/"+ts.spec.Name+"/queue").Append(t0, float64(ts.lastDemand))
+		}
+	}
+}
+
+// nodeLost removes every replica booked on a node the control plane now
+// considers gone: their in-flight requests are accounted as lost, and
+// enough fresh replicas are queued to restore the service's minimum.
+func (tc *trafficController) nodeLost(i, r int) []*pendingPod {
+	if tc == nil {
+		return nil
+	}
+	var pods []*pendingPod
+	for _, ts := range tc.services {
+		names := make([]string, 0, len(ts.replicas))
+		for name, rep := range ts.replicas {
+			if rep.node == i {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rep := ts.replicas[name]
+			ts.lost += rep.outstanding()
+			ts.retiredCompleted += rep.completedSeen
+			ts.bal.Remove(name)
+			delete(ts.replicas, name)
+			tc.tracer.replicaRetire(name, r, i, "node-lost")
+		}
+		want := ts.spec.MinReplicas() - len(ts.replicas) - ts.pending
+		for k := 0; k < want; k++ {
+			pods = append(pods, tc.newReplicaPending(ts))
+		}
+	}
+	return pods
+}
+
+// postRound reconciles the traffic plane after the nodes advanced and
+// the registry refreshed: balancer health from the detector's view,
+// queue estimates from completion counters, spike/trough SLI deltas,
+// draining-replica retirement, fleet-utilization accounting, series
+// rollups, and the autoscaler decisions. Returns freshly queued replica
+// pods (scale-ups).
+func (tc *trafficController) postRound(r int, nodes []*Node, states []NodeState, down []bool, paging bool) []*pendingPod {
+	if tc == nil {
+		return nil
+	}
+	now := int64(r) * tc.hbNs
+	var pods []*pendingPod
+	for _, ts := range tc.services {
+		names := make([]string, 0, len(ts.replicas))
+		for name := range ts.replicas {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rep := ts.replicas[name]
+			stale := rep.n != nodes[rep.node] // node rebooted under the booking (degradation off)
+			if stale || down[rep.node] || states[rep.node].Dead || states[rep.node].Suspect {
+				ts.bal.SetHealthy(name, false)
+				continue
+			}
+			ts.bal.SetHealthy(name, true)
+			rep.completedSeen = rep.ns.svc.Completed()
+			ts.bal.SetOutstanding(name, rep.outstanding())
+			lat := rep.ns.svc.Latencies()
+			q, bad := lat.Count(), lat.CountAbove(tc.sloNs)
+			dq, db := q-rep.prevQ, bad-rep.prevBad
+			if dq < 0 {
+				dq = 0
+			}
+			if db < 0 {
+				db = 0
+			}
+			if db > dq {
+				db = dq
+			}
+			rep.prevQ, rep.prevBad = q, bad
+			if r >= tc.warmup {
+				if tc.roundSpike {
+					ts.spikeGood += dq - db
+					ts.spikeBad += db
+				} else {
+					ts.troughGood += dq - db
+					ts.troughBad += db
+				}
+			}
+			// A draining replica with nothing in flight retires now.
+			if rep.draining && rep.outstanding() == 0 {
+				if err := rep.n.RetireReplica(name); err == nil {
+					ts.retiredCompleted += rep.completedSeen
+					ts.bal.Remove(name)
+					delete(ts.replicas, name)
+					tc.tracer.replicaRetire(name, r, rep.node, "scale-down")
+				}
+			}
+		}
+
+		routable := ts.bal.Routable()
+		if routable+ts.pending > ts.peakReplicas {
+			ts.peakReplicas = routable + ts.pending
+		}
+		perReplica := float64(ts.lastDemand)
+		if ts.lastRoutable > 0 {
+			perReplica /= float64(ts.lastRoutable)
+		}
+		switch ts.sc.Observe(r, routable+ts.pending, perReplica, paging) {
+		case 1:
+			p := tc.newReplicaPending(ts)
+			pods = append(pods, p)
+			tc.tracer.replicaScaleUp(ts.spec.Name, r, perReplica)
+		case -1:
+			// Drain the youngest routable replica (least cache warmth to
+			// lose is not modeled; youngest-first mirrors the reconciler).
+			var victim *trafficReplica
+			for _, name := range names {
+				rep := ts.replicas[name]
+				if rep == nil || rep.draining || rep.ns == nil {
+					continue
+				}
+				if victim == nil || rep.idx > victim.idx {
+					victim = rep
+				}
+			}
+			if victim != nil {
+				victim.draining = true
+				ts.bal.SetDraining(victim.name, true)
+				tc.tracer.replicaScaleDown(victim.name, r, victim.node, perReplica)
+			}
+		}
+		if tc.store != nil {
+			tc.store.Series("autoscaler/"+ts.spec.Name+"/replicas").Append(now, float64(routable+ts.pending))
+		}
+	}
+
+	// Whole-node busy-cycle deltas -> fleet utilization for the round,
+	// attributed to the spike or trough bucket inside the measured window.
+	var deltaSum float64
+	for i, n := range nodes {
+		if tc.nodeRef[i] != n {
+			tc.nodeRef[i] = n
+			tc.prevBusy[i] = 0
+			tc.freqGHz = n.m.Config().FreqGHz
+			tc.cpusPer = n.m.Topology().LogicalCPUs()
+		}
+		if down[i] {
+			continue
+		}
+		busy := n.totalBusy()
+		d := busy - tc.prevBusy[i]
+		tc.prevBusy[i] = busy
+		if d > 0 {
+			deltaSum += d
+		}
+	}
+	util := 0.0
+	if tc.freqGHz > 0 {
+		util = deltaSum / (tc.freqGHz * float64(tc.hbNs) * float64(tc.cpusPer*len(nodes)))
+	}
+	if r >= tc.warmup {
+		if tc.roundSpike {
+			tc.spikeUtilSum += util
+			tc.spikeRounds++
+		} else {
+			tc.troughUtilSum += util
+			tc.troughRounds++
+		}
+	}
+	if tc.store != nil {
+		tc.store.Series("traffic/fleet_util").Append(now, util)
+	}
+	return pods
+}
+
+// TrafficServiceResult is one replicated service's measured outcome.
+type TrafficServiceResult struct {
+	Name    string
+	Store   string
+	Program string
+	// Replicas is the final routable replica count; PeakReplicas the
+	// highest count (placed + pending) any round reached.
+	Replicas     int
+	PeakReplicas int
+	ScaleUps     int
+	ScaleDowns   int
+	// Request accounting over the whole run (warmup included). The
+	// conservation identity Arrivals = Completions + Drops + Lost +
+	// InFlight holds by construction; Conserved in TrafficResult checks it.
+	Arrivals    int64
+	Completions int64
+	Drops       int64
+	Lost        int64
+	InFlight    int64
+	// Latency over the measured window, merged across live replicas.
+	Queries       int64
+	Summary       stats.Summary
+	SLOViolations float64
+	// Spike/trough SLO-violation split (measured window, rounds
+	// classified by the arrival process's spike schedule).
+	SpikeQueries     int64
+	SpikeSLO         float64
+	TroughQueries    int64
+	TroughSLO        float64
+	FailedPlacements int
+}
+
+// TrafficResult aggregates the traffic plane's outcome.
+type TrafficResult struct {
+	Services                                     []TrafficServiceResult
+	Arrivals, Completions, Drops, Lost, InFlight int64
+	// Conserved asserts the request-accounting identity fleet-wide.
+	Conserved            bool
+	ScaleUps, ScaleDowns int
+	// SpikeUtil/TroughUtil are mean whole-fleet busy fractions over the
+	// measured window's spike vs trough rounds.
+	SpikeUtil, TroughUtil     float64
+	SpikeRounds, TroughRounds int
+}
+
+// collect finalizes the traffic plane into the run result.
+func (tc *trafficController) collect(res *Result, nodes []*Node, down []bool) {
+	if tc == nil {
+		return
+	}
+	tr := &TrafficResult{}
+	for _, ts := range tc.services {
+		sr := TrafficServiceResult{
+			Name:             ts.spec.Name,
+			Store:            ts.spec.Store,
+			Program:          ts.spec.Program,
+			Replicas:         ts.bal.Routable(),
+			PeakReplicas:     ts.peakReplicas,
+			ScaleUps:         ts.sc.Ups(),
+			ScaleDowns:       ts.sc.Downs(),
+			Arrivals:         ts.bal.Arrivals(),
+			Drops:            ts.bal.Drops(),
+			Lost:             ts.lost,
+			Completions:      ts.retiredCompleted,
+			FailedPlacements: ts.failedPlacements,
+		}
+		lat := stats.NewHistogram(1e3, 1e10, 60)
+		names := make([]string, 0, len(ts.replicas))
+		for name := range ts.replicas {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rep := ts.replicas[name]
+			live := rep.n == nodes[rep.node] && !down[rep.node]
+			if live {
+				rep.completedSeen = rep.ns.svc.Completed()
+				_ = lat.Merge(rep.ns.svc.Latencies())
+			}
+			sr.Completions += rep.completedSeen
+			sr.InFlight += rep.outstanding()
+		}
+		sr.Queries = lat.Count()
+		sr.Summary = lat.Summarize()
+		sr.SLOViolations = lat.FractionAbove(tc.sloNs)
+		sr.SpikeQueries = ts.spikeGood + ts.spikeBad
+		if sr.SpikeQueries > 0 {
+			sr.SpikeSLO = float64(ts.spikeBad) / float64(sr.SpikeQueries)
+		}
+		sr.TroughQueries = ts.troughGood + ts.troughBad
+		if sr.TroughQueries > 0 {
+			sr.TroughSLO = float64(ts.troughBad) / float64(sr.TroughQueries)
+		}
+		tr.Services = append(tr.Services, sr)
+		tr.Arrivals += sr.Arrivals
+		tr.Completions += sr.Completions
+		tr.Drops += sr.Drops
+		tr.Lost += sr.Lost
+		tr.InFlight += sr.InFlight
+		tr.ScaleUps += sr.ScaleUps
+		tr.ScaleDowns += sr.ScaleDowns
+	}
+	tr.Conserved = tr.Arrivals == tr.Completions+tr.Drops+tr.Lost+tr.InFlight
+	if tc.spikeRounds > 0 {
+		tr.SpikeUtil = tc.spikeUtilSum / float64(tc.spikeRounds)
+	}
+	if tc.troughRounds > 0 {
+		tr.TroughUtil = tc.troughUtilSum / float64(tc.troughRounds)
+	}
+	tr.SpikeRounds = tc.spikeRounds
+	tr.TroughRounds = tc.troughRounds
+	res.Traffic = tr
+}
+
+// renderTraffic appends the traffic plane's section to a rendered run.
+func (tr *TrafficResult) render(b *strings.Builder) {
+	tb := trace.NewTable("traffic plane: replicated services under open-loop load",
+		"service", "program", "replicas", "arrivals", "done", "drop", "lost", "p99 us", "SLO viol", "spike SLO", "trough SLO")
+	for _, s := range tr.Services {
+		p99 := "n/a"
+		slo := "n/a"
+		if s.Summary.Valid {
+			p99 = fmt.Sprintf("%.1f", s.Summary.P99/1e3)
+			slo = fmt.Sprintf("%.2f%%", 100*s.SLOViolations)
+		}
+		tb.AddRow(s.Name, s.Program,
+			fmt.Sprintf("%d (peak %d)", s.Replicas, s.PeakReplicas),
+			s.Arrivals, s.Completions, s.Drops, s.Lost, p99, slo,
+			fmt.Sprintf("%.2f%%", 100*s.SpikeSLO),
+			fmt.Sprintf("%.2f%%", 100*s.TroughSLO))
+	}
+	b.WriteString("\n")
+	b.WriteString(tb.String())
+	conserved := "conserved"
+	if !tr.Conserved {
+		conserved = "NOT CONSERVED"
+	}
+	fmt.Fprintf(b, "\nrequest accounting: %d arrivals = %d completed + %d dropped + %d lost + %d in flight (%s)\n",
+		tr.Arrivals, tr.Completions, tr.Drops, tr.Lost, tr.InFlight, conserved)
+	fmt.Fprintf(b, "autoscaler: %d scale-ups, %d scale-downs; fleet utilization %.1f%% in spikes (%d rounds) vs %.1f%% in troughs (%d rounds)\n",
+		tr.ScaleUps, tr.ScaleDowns,
+		100*tr.SpikeUtil, tr.SpikeRounds, 100*tr.TroughUtil, tr.TroughRounds)
+}

@@ -26,8 +26,11 @@
 //     The delta against loaded-colocation is the measured overhead of
 //     the daemon plus its telemetry and span recording.
 //
-// A final entry times a small registry experiment end to end, so changes
-// to setup cost and the non-tick layers show up too.
+// A traffic-engine entry times the open-loop traffic control plane (a
+// small cluster under the default diurnal topology) so balancer dispatch,
+// replica reconciliation and autoscaler costs are tracked, and a final
+// entry times a small registry experiment end to end, so changes to setup
+// cost and the non-tick layers show up too.
 package perfbench
 
 import (
@@ -39,11 +42,13 @@ import (
 	"time"
 
 	"github.com/holmes-colocation/holmes/internal/cgroupfs"
+	"github.com/holmes-colocation/holmes/internal/cluster"
 	"github.com/holmes-colocation/holmes/internal/core"
 	"github.com/holmes-colocation/holmes/internal/cpuid"
 	"github.com/holmes-colocation/holmes/internal/experiments"
 	"github.com/holmes-colocation/holmes/internal/kernel"
 	"github.com/holmes-colocation/holmes/internal/machine"
+	"github.com/holmes-colocation/holmes/internal/scenario"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
 	"github.com/holmes-colocation/holmes/internal/workload"
 )
@@ -95,12 +100,29 @@ type ExperimentResult struct {
 	WallMs float64 `json:"wall_ms"`
 }
 
+// TrafficBenchResult times the open-loop traffic plane end to end: a
+// small cluster driven by the default diurnal topology, measured as
+// control-plane rounds and dispatched requests per wall second. It
+// captures the cost layers the tick scenarios do not — balancer
+// dispatch, per-replica reconciliation and the autoscaler — on top of
+// the node simulations they feed.
+type TrafficBenchResult struct {
+	Nodes          int     `json:"nodes"`
+	Users          int64   `json:"users"`
+	Rounds         int     `json:"rounds"`
+	Arrivals       int64   `json:"arrivals"`
+	WallMs         float64 `json:"wall_ms"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+}
+
 // Report is the full BENCH_tick.json payload.
 type Report struct {
-	Schema     string           `json:"schema"`
-	GoVersion  string           `json:"go_version"`
-	Scenarios  []TickResult     `json:"scenarios"`
-	Experiment ExperimentResult `json:"experiment"`
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	Scenarios  []TickResult       `json:"scenarios"`
+	Traffic    TrafficBenchResult `json:"traffic"`
+	Experiment ExperimentResult   `json:"experiment"`
 }
 
 // buildIdle constructs the idle-heavy scenario: kernel installed, one
@@ -241,6 +263,47 @@ func buildTelemetry(seed uint64) (*machine.Machine, error) {
 	return m, nil
 }
 
+// RunTrafficBench measures the traffic control plane: a 3-node cluster
+// under the default diurnal topology at a modeled 60k users, serial
+// workers so the number tracks per-round cost rather than parallelism.
+func RunTrafficBench(seed uint64) (TrafficBenchResult, error) {
+	const users = 60_000
+	spec := cluster.DefaultSpec()
+	spec.Nodes = 3
+	spec.Services = nil
+	spec.Batch = cluster.BatchStream{}
+	spec.WarmupSeconds = 0.5
+	spec.DurationSeconds = 1.5
+	spec.Seed = seed
+	topo := scenario.DefaultTopology(users, spec.WarmupSeconds+spec.DurationSeconds)
+	spec.Topology = &topo
+
+	start := time.Now()
+	res, err := cluster.Run(spec, cluster.RunOptions{Workers: 1})
+	if err != nil {
+		return TrafficBenchResult{}, fmt.Errorf("perfbench: traffic: %w", err)
+	}
+	wall := time.Since(start)
+	hbNs := spec.HeartbeatMs * 1_000_000
+	if hbNs <= 0 {
+		hbNs = 50_000_000
+	}
+	rounds := int((spec.WarmupSeconds + spec.DurationSeconds) * 1e9 / float64(hbNs))
+	wallSec := wall.Seconds()
+	if wallSec <= 0 {
+		wallSec = 1e-9
+	}
+	return TrafficBenchResult{
+		Nodes:          spec.Nodes,
+		Users:          users,
+		Rounds:         rounds,
+		Arrivals:       res.Traffic.Arrivals,
+		WallMs:         float64(wall.Nanoseconds()) / 1e6,
+		RoundsPerSec:   float64(rounds) / wallSec,
+		ArrivalsPerSec: float64(res.Traffic.Arrivals) / wallSec,
+	}, nil
+}
+
 // measure runs m for simNs and returns wall time and allocation rates. A
 // short warmup run first lets queues and caches reach steady state so the
 // allocs/tick number reflects the per-tick path, not setup.
@@ -313,6 +376,11 @@ func Collect(o Options) (*Report, error) {
 		return nil, err
 	}
 	r.Scenarios = append(r.Scenarios, telem)
+	traffic, err := RunTrafficBench(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.Traffic = traffic
 
 	opts := experiments.Options{Seed: o.Seed, Scale: o.ExperimentScale, Parallel: 1}
 	start := time.Now()
@@ -342,6 +410,9 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "  %-18s %8.1f Mticks/s  %6.1f ns/tick  %6.3f allocs/tick  %7.1f B/tick\n",
 			s.Name, s.TicksPerSec/1e6, s.NsPerTick, s.AllocsPerTick, s.BytesPerTick)
 	}
+	fmt.Fprintf(&b, "  %-18s %8.1f ms wall  %6.1f rounds/s  %8.0f arrivals/s (%d nodes, %dk users)\n",
+		"traffic-engine", r.Traffic.WallMs, r.Traffic.RoundsPerSec,
+		r.Traffic.ArrivalsPerSec, r.Traffic.Nodes, r.Traffic.Users/1000)
 	fmt.Fprintf(&b, "  %-18s %8.1f ms wall (scale %g)\n",
 		"experiment "+r.Experiment.ID, r.Experiment.WallMs, r.Experiment.Scale)
 	return b.String()

@@ -28,6 +28,10 @@ func Dashboard(title string, p *obs.Plane) string {
 		b.WriteString(p.Store.Render())
 	}
 
+	if panel := autoscalerPanel(p.Store); panel != "" {
+		b.WriteString(panel)
+	}
+
 	alerts := p.Alerts()
 	fmt.Fprintf(&b, "\n-- burn-rate alerts (%d transitions) --\n", len(alerts))
 	if len(alerts) == 0 {
@@ -44,6 +48,52 @@ func Dashboard(title string, p *obs.Plane) string {
 	for _, line := range spanKindCounts(spans) {
 		b.WriteString(line)
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// autoscalerPanel pairs each service's replica-count series with its
+// arrival-rate series so an operator can eyeball whether the scaler
+// tracked the diurnal load. Empty when no autoscaler series exist (runs
+// without a traffic topology).
+func autoscalerPanel(st *obs.Store) string {
+	const prefix = "autoscaler/"
+	var services []string
+	have := map[string]bool{}
+	for _, name := range st.Names() {
+		have[name] = true
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, "/replicas") {
+			services = append(services, strings.TrimSuffix(strings.TrimPrefix(name, prefix), "/replicas"))
+		}
+	}
+	if len(services) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\n-- autoscaler --\n")
+	for _, svc := range services {
+		reps := st.Series(prefix + svc + "/replicas")
+		vals := reps.Values()
+		if len(vals) == 0 {
+			continue
+		}
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(&b, "%-24s %s\n", svc+" replicas",
+			obs.Sparkline(vals, 48))
+		fmt.Fprintf(&b, "%-24s floor %.0f  peak %.0f  last %.0f\n", "", min, max, vals[len(vals)-1])
+		if rateName := "traffic/" + svc + "/rate_rps"; have[rateName] {
+			rate := st.Series(rateName)
+			fmt.Fprintf(&b, "%-24s %s\n%-24s %s\n", svc+" arrival rps",
+				obs.Sparkline(rate.Values(), 48), "", rate.Summary())
+		}
 	}
 	return b.String()
 }

@@ -40,6 +40,29 @@ func TestDashboardRender(t *testing.T) {
 	}
 }
 
+func TestDashboardAutoscalerPanel(t *testing.T) {
+	p := obs.NewPlane(1, 16)
+	for i := 0; i < 30; i++ {
+		p.Store.Series("autoscaler/frontend/replicas").Append(int64(i)*1e6, float64(2+i/10))
+		p.Store.Series("traffic/frontend/rate_rps").Append(int64(i)*1e6, 1000+100*float64(i))
+	}
+	out := Dashboard("traffic run", p)
+	for _, want := range []string{
+		"-- autoscaler --",
+		"frontend replicas",
+		"floor 2  peak 4  last 4",
+		"frontend arrival rps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("autoscaler panel missing %q:\n%s", want, out)
+		}
+	}
+	// Without autoscaler series the panel is absent entirely.
+	if out := Dashboard("plain", obs.NewPlane(1, 16)); strings.Contains(out, "-- autoscaler --") {
+		t.Error("autoscaler panel rendered without autoscaler series")
+	}
+}
+
 func TestDashboardNilPlane(t *testing.T) {
 	out := Dashboard("empty", nil)
 	if !strings.Contains(out, "no observability plane") {

@@ -1,0 +1,364 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Topology is the declarative cluster-composition spec: replicated
+// latency-critical services, the open-loop traffic programs that drive
+// them, and the autoscaler bounds — everything an experiment previously
+// wired by hand, in one JSON-loadable document consumed by
+// internal/cluster. It is pure data: internal/traffic compiles the
+// programs into arrival processes, internal/cluster places the replicas.
+type Topology struct {
+	Services []ReplicatedService `json:"services"`
+	Programs []TrafficProgram    `json:"programs"`
+}
+
+// ReplicatedService is one latency-critical KV service horizontally
+// replicated behind the load-balancer tier. Every replica is a full
+// store+service instance on some cluster node; the balancer spreads the
+// program's arrivals across them with per-replica queue admission.
+type ReplicatedService struct {
+	Name  string `json:"name"`
+	Store string `json:"store"`
+	// Workload selects the YCSB operation mix ("" = b). Scan and insert
+	// proportions are folded into read and update respectively: scans are
+	// unsupported on some stores and inserts would diverge the replicas'
+	// keyspaces, so the open-loop mix keeps read/update/rmw only.
+	Workload string `json:"workload"`
+	// RecordCount preloads each replica's store with the hot working set
+	// (0 = 20,000). The program's modeled user population folds onto it:
+	// a drawn user index maps to record index user % RecordCount.
+	RecordCount int64 `json:"record_count"`
+	// Program names the TrafficProgram that drives this service.
+	Program string `json:"program"`
+	// Replicas is the initial replica count.
+	Replicas int `json:"replicas"`
+	// QueueCap bounds each replica's outstanding requests; the balancer
+	// drops arrivals when every routable replica is at the cap (0 = 256).
+	QueueCap int `json:"queue_cap"`
+	// Autoscaler, when non-nil, lets the control plane grow and shrink
+	// the replica set; nil pins the count at Replicas.
+	Autoscaler *AutoscalerSpec `json:"autoscaler,omitempty"`
+}
+
+// AutoscalerSpec bounds the horizontal autoscaler for one service.
+type AutoscalerSpec struct {
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// UpQueue/DownQueue are per-replica queue-depth watermarks against the
+	// admission-window depth (carried backlog plus the round's dispatches,
+	// per routable replica): depth at or above UpQueue (or a paging
+	// latency burn) builds scale-up pressure, depth at or below DownQueue
+	// builds scale-down pressure (0 = 48 and 8).
+	UpQueue   float64 `json:"up_queue"`
+	DownQueue float64 `json:"down_queue"`
+	// UpRounds/DownRounds are the consecutive-round streaks required
+	// before acting (0 = 2 and 6): one bursty heartbeat cannot scale.
+	UpRounds   int `json:"up_rounds"`
+	DownRounds int `json:"down_rounds"`
+	// CooldownRounds suppresses scale-downs after any scale action
+	// (0 = 10), so the set grows promptly under load and decays slowly.
+	CooldownRounds int `json:"cooldown_rounds"`
+}
+
+// TrafficProgram is one open-loop arrival process: a diurnal base curve
+// between BaseRPS and PeakRPS over a compressed day, flash-crowd spikes
+// multiplying it, and regional keyspace skew over a modeled user
+// population. Arrivals are Poisson draws from the composed rate; every
+// random choice derives from the run seed, never from scheduling.
+type TrafficProgram struct {
+	Name string `json:"name"`
+	// Users is the modeled population: the key universe regional shards
+	// partition. It scales the keyspace, not the arrival rate — the rate
+	// is stated directly so a compressed day stays CI-feasible.
+	Users int64 `json:"users"`
+	// BaseRPS/PeakRPS are the diurnal trough and peak arrival rates; the
+	// curve is sinusoidal with the trough at t=0 and the peak at midday.
+	BaseRPS float64 `json:"base_rps"`
+	PeakRPS float64 `json:"peak_rps"`
+	// DaySeconds is the compressed day length in simulated seconds; the
+	// curve wraps for runs longer than one day.
+	DaySeconds float64 `json:"day_seconds"`
+	// ZipfTheta skews each region's key popularity (0 = 0.99).
+	ZipfTheta float64 `json:"zipf_theta"`
+	Spikes    []Spike `json:"spikes,omitempty"`
+	// Regions partition the user keyspace; empty means one region over
+	// the full range.
+	Regions []Region `json:"regions,omitempty"`
+}
+
+// Spike is one flash crowd: the diurnal rate is multiplied by up to
+// Multiplier inside [StartSeconds, StartSeconds+DurationSeconds), with
+// linear ramps covering RampFraction of the duration on each side
+// (0 = 0.25).
+type Spike struct {
+	StartSeconds    float64 `json:"start_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Multiplier      float64 `json:"multiplier"`
+	RampFraction    float64 `json:"ramp_fraction"`
+}
+
+// Region is one user-population segment: Weight of the arrivals draw
+// their keys from the Shard slice [lo, hi) of the user keyspace, under
+// the region's own scrambled-Zipf popularity — different regions are hot
+// on different keys.
+type Region struct {
+	Name   string     `json:"name"`
+	Weight float64    `json:"weight"`
+	Shard  [2]float64 `json:"shard"`
+}
+
+// LoadTopology parses a JSON topology, rejecting unknown fields.
+func LoadTopology(r io.Reader) (Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return t, fmt.Errorf("topology: %w", err)
+	}
+	return t, t.Validate()
+}
+
+// Validate checks the topology and returns a descriptive error for the
+// first problem found.
+func (t Topology) Validate() error {
+	if len(t.Services) == 0 {
+		return fmt.Errorf("topology: at least one replicated service required")
+	}
+	progs := map[string]bool{}
+	for _, p := range t.Programs {
+		if p.Name == "" {
+			return fmt.Errorf("topology: every traffic program needs a name")
+		}
+		if progs[p.Name] {
+			return fmt.Errorf("topology: duplicate program name %q", p.Name)
+		}
+		progs[p.Name] = true
+		if err := p.validate(); err != nil {
+			return err
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range t.Services {
+		if s.Name == "" {
+			return fmt.Errorf("topology: every service needs a name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("topology: duplicate service name %q", s.Name)
+		}
+		seen[s.Name] = true
+		switch s.Store {
+		case "redis", "memcached", "rocksdb", "wiredtiger":
+		default:
+			return fmt.Errorf("topology: service %s: unknown store %q", s.Name, s.Store)
+		}
+		if s.Workload != "" {
+			switch s.Workload {
+			case "a", "b", "c", "d", "e", "f":
+			default:
+				return fmt.Errorf("topology: service %s: unknown workload %q", s.Name, s.Workload)
+			}
+		}
+		if s.RecordCount < 0 {
+			return fmt.Errorf("topology: service %s: record_count must not be negative", s.Name)
+		}
+		if !progs[s.Program] {
+			return fmt.Errorf("topology: service %s references unknown program %q", s.Name, s.Program)
+		}
+		if s.Replicas < 1 {
+			return fmt.Errorf("topology: service %s needs at least one replica", s.Name)
+		}
+		if s.QueueCap < 0 {
+			return fmt.Errorf("topology: service %s: queue_cap must not be negative", s.Name)
+		}
+		if a := s.Autoscaler; a != nil {
+			if a.Min < 1 {
+				return fmt.Errorf("topology: service %s: autoscaler min %d must be at least 1", s.Name, a.Min)
+			}
+			if a.Min > a.Max {
+				return fmt.Errorf("topology: service %s: autoscaler min %d exceeds max %d", s.Name, a.Min, a.Max)
+			}
+			if s.Replicas < a.Min || s.Replicas > a.Max {
+				return fmt.Errorf("topology: service %s: %d replicas outside autoscaler bounds [%d,%d]",
+					s.Name, s.Replicas, a.Min, a.Max)
+			}
+			if a.UpQueue < 0 || a.DownQueue < 0 {
+				return fmt.Errorf("topology: service %s: autoscaler watermarks must not be negative", s.Name)
+			}
+			if a.UpQueue > 0 && a.DownQueue > 0 && a.DownQueue >= a.UpQueue {
+				return fmt.Errorf("topology: service %s: autoscaler down_queue %.1f must be below up_queue %.1f",
+					s.Name, a.DownQueue, a.UpQueue)
+			}
+			if a.UpRounds < 0 || a.DownRounds < 0 || a.CooldownRounds < 0 {
+				return fmt.Errorf("topology: service %s: autoscaler round counts must not be negative", s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (p TrafficProgram) validate() error {
+	if p.Users < 1 {
+		return fmt.Errorf("topology: program %s needs a positive user population", p.Name)
+	}
+	if p.BaseRPS <= 0 {
+		return fmt.Errorf("topology: program %s: base_rps must be positive", p.Name)
+	}
+	if p.PeakRPS < p.BaseRPS {
+		return fmt.Errorf("topology: program %s: peak_rps %.0f below base_rps %.0f",
+			p.Name, p.PeakRPS, p.BaseRPS)
+	}
+	if p.DaySeconds <= 0 {
+		return fmt.Errorf("topology: program %s: day_seconds must be positive", p.Name)
+	}
+	if p.ZipfTheta < 0 || p.ZipfTheta >= 1 {
+		return fmt.Errorf("topology: program %s: zipf_theta %.2f out of range [0,1)", p.Name, p.ZipfTheta)
+	}
+	for i, sp := range p.Spikes {
+		if sp.StartSeconds < 0 || sp.DurationSeconds <= 0 {
+			return fmt.Errorf("topology: program %s: spike %d needs a non-negative start and positive duration",
+				p.Name, i)
+		}
+		if sp.StartSeconds+sp.DurationSeconds > p.DaySeconds {
+			return fmt.Errorf("topology: program %s: spike %d ends after the %.1fs day",
+				p.Name, i, p.DaySeconds)
+		}
+		if sp.Multiplier < 1 {
+			return fmt.Errorf("topology: program %s: spike %d multiplier %.2f must be at least 1",
+				p.Name, i, sp.Multiplier)
+		}
+		if sp.RampFraction < 0 || sp.RampFraction > 0.5 {
+			return fmt.Errorf("topology: program %s: spike %d ramp_fraction %.2f out of range [0,0.5]",
+				p.Name, i, sp.RampFraction)
+		}
+	}
+	for i, reg := range p.Regions {
+		if reg.Name == "" {
+			return fmt.Errorf("topology: program %s: region %d needs a name", p.Name, i)
+		}
+		if reg.Weight <= 0 {
+			return fmt.Errorf("topology: program %s: region %s needs a positive weight", p.Name, reg.Name)
+		}
+		if reg.Shard[0] < 0 || reg.Shard[1] > 1 || reg.Shard[0] >= reg.Shard[1] {
+			return fmt.Errorf("topology: program %s: region %s shard [%.2f,%.2f) is not a slice of [0,1]",
+				p.Name, reg.Name, reg.Shard[0], reg.Shard[1])
+		}
+		for j := 0; j < i; j++ {
+			o := p.Regions[j]
+			if reg.Shard[0] < o.Shard[1] && o.Shard[0] < reg.Shard[1] {
+				return fmt.Errorf("topology: program %s: regions %s and %s have overlapping keyspace shards",
+					p.Name, o.Name, reg.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Program returns the named traffic program.
+func (t Topology) Program(name string) (TrafficProgram, bool) {
+	for _, p := range t.Programs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return TrafficProgram{}, false
+}
+
+// Defaulted accessors, mirroring the cluster spec convention that zero
+// values mean "use the reference setting".
+
+func (s ReplicatedService) WorkloadName() string {
+	if s.Workload == "" {
+		return "b"
+	}
+	return s.Workload
+}
+
+func (s ReplicatedService) Records() int64 {
+	if s.RecordCount == 0 {
+		return 20_000
+	}
+	return s.RecordCount
+}
+
+func (s ReplicatedService) QueueCapacity() int {
+	if s.QueueCap == 0 {
+		return 256
+	}
+	return s.QueueCap
+}
+
+// MinReplicas is the floor the control plane maintains through node
+// failures: the autoscaler minimum, or the fixed replica count.
+func (s ReplicatedService) MinReplicas() int {
+	if s.Autoscaler != nil {
+		return s.Autoscaler.Min
+	}
+	return s.Replicas
+}
+
+func (p TrafficProgram) Theta() float64 {
+	if p.ZipfTheta == 0 {
+		return 0.99
+	}
+	return p.ZipfTheta
+}
+
+// EffectiveRegions returns the program's regions, defaulting to a single
+// region covering the whole user keyspace.
+func (p TrafficProgram) EffectiveRegions() []Region {
+	if len(p.Regions) > 0 {
+		return p.Regions
+	}
+	return []Region{{Name: "global", Weight: 1, Shard: [2]float64{0, 1}}}
+}
+
+func (sp Spike) Ramp() float64 {
+	if sp.RampFraction == 0 {
+		return 0.25
+	}
+	return sp.RampFraction
+}
+
+// DefaultTopology is the reference traffic topology: one replicated
+// memcached frontend driven by a three-region diurnal program with two
+// flash crowds, sized off the modeled user population (peak ~3% of users
+// issuing a request per second at the compressed-day timescale).
+func DefaultTopology(users int64, daySeconds float64) Topology {
+	peak := float64(users) * 0.03
+	return Topology{
+		Services: []ReplicatedService{{
+			Name:     "frontend",
+			Store:    "memcached",
+			Workload: "b",
+			Program:  "diurnal",
+			Replicas: 2,
+			QueueCap: 256,
+			Autoscaler: &AutoscalerSpec{
+				Min: 2, Max: 6,
+				UpQueue: 48, DownQueue: 16,
+				UpRounds: 2, DownRounds: 6, CooldownRounds: 10,
+			},
+		}},
+		Programs: []TrafficProgram{{
+			Name:       "diurnal",
+			Users:      users,
+			BaseRPS:    peak / 5,
+			PeakRPS:    peak,
+			DaySeconds: daySeconds,
+			Spikes: []Spike{
+				{StartSeconds: 0.33 * daySeconds, DurationSeconds: 0.12 * daySeconds, Multiplier: 2.2},
+				{StartSeconds: 0.68 * daySeconds, DurationSeconds: 0.10 * daySeconds, Multiplier: 2.8},
+			},
+			Regions: []Region{
+				{Name: "us", Weight: 0.5, Shard: [2]float64{0, 0.5}},
+				{Name: "eu", Weight: 0.3, Shard: [2]float64{0.5, 0.8}},
+				{Name: "ap", Weight: 0.2, Shard: [2]float64{0.8, 1}},
+			},
+		}},
+	}
+}

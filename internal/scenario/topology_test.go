@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func minimalTopology() Topology {
+	return Topology{
+		Services: []ReplicatedService{{
+			Name: "frontend", Store: "memcached", Program: "diurnal", Replicas: 2,
+		}},
+		Programs: []TrafficProgram{{
+			Name: "diurnal", Users: 100_000,
+			BaseRPS: 1000, PeakRPS: 5000, DaySeconds: 10,
+		}},
+	}
+}
+
+func TestTopologyLoadValidJSON(t *testing.T) {
+	doc := `{
+		"services": [{
+			"name": "frontend", "store": "memcached", "workload": "b",
+			"program": "day", "replicas": 2, "queue_cap": 128,
+			"autoscaler": {"min": 2, "max": 6, "up_queue": 40, "down_queue": 10}
+		}],
+		"programs": [{
+			"name": "day", "users": 500000,
+			"base_rps": 2000, "peak_rps": 9000, "day_seconds": 8,
+			"spikes": [{"start_seconds": 3, "duration_seconds": 1, "multiplier": 2.5}],
+			"regions": [
+				{"name": "us", "weight": 0.6, "shard": [0, 0.6]},
+				{"name": "eu", "weight": 0.4, "shard": [0.6, 1]}
+			]
+		}]
+	}`
+	topo, err := LoadTopology(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Services) != 1 || topo.Services[0].Autoscaler.Max != 6 {
+		t.Fatalf("parsed: %+v", topo)
+	}
+	if p, ok := topo.Program("day"); !ok || len(p.Regions) != 2 {
+		t.Fatalf("program lookup: %+v %v", p, ok)
+	}
+}
+
+func TestTopologyLoadRejectsUnknownFields(t *testing.T) {
+	doc := `{"services": [], "programs": [], "bogus": 1}`
+	if _, err := LoadTopology(strings.NewReader(doc)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestTopologyValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Topology)
+		want   string // substring the error message must carry
+	}{
+		{"no services", func(tp *Topology) { tp.Services = nil },
+			"at least one replicated service"},
+		{"unnamed service", func(tp *Topology) { tp.Services[0].Name = "" },
+			"every service needs a name"},
+		{"duplicate service", func(tp *Topology) {
+			tp.Services = append(tp.Services, tp.Services[0])
+		}, `duplicate service name "frontend"`},
+		{"unknown store", func(tp *Topology) { tp.Services[0].Store = "cassandra" },
+			`unknown store "cassandra"`},
+		{"unknown workload", func(tp *Topology) { tp.Services[0].Workload = "z" },
+			`unknown workload "z"`},
+		{"negative records", func(tp *Topology) { tp.Services[0].RecordCount = -1 },
+			"record_count must not be negative"},
+		{"unknown program ref", func(tp *Topology) { tp.Services[0].Program = "nope" },
+			`unknown program "nope"`},
+		{"zero replicas", func(tp *Topology) { tp.Services[0].Replicas = 0 },
+			"needs at least one replica"},
+		{"negative queue cap", func(tp *Topology) { tp.Services[0].QueueCap = -4 },
+			"queue_cap must not be negative"},
+		{"autoscaler min zero", func(tp *Topology) {
+			tp.Services[0].Autoscaler = &AutoscalerSpec{Min: 0, Max: 4}
+		}, "min 0 must be at least 1"},
+		{"autoscaler min exceeds max", func(tp *Topology) {
+			tp.Services[0].Autoscaler = &AutoscalerSpec{Min: 5, Max: 2}
+		}, "min 5 exceeds max 2"},
+		{"replicas outside bounds", func(tp *Topology) {
+			tp.Services[0].Autoscaler = &AutoscalerSpec{Min: 3, Max: 6}
+		}, "2 replicas outside autoscaler bounds [3,6]"},
+		{"inverted watermarks", func(tp *Topology) {
+			tp.Services[0].Autoscaler = &AutoscalerSpec{Min: 1, Max: 4, UpQueue: 10, DownQueue: 20}
+		}, "down_queue 20.0 must be below up_queue 10.0"},
+		{"negative watermark", func(tp *Topology) {
+			tp.Services[0].Autoscaler = &AutoscalerSpec{Min: 1, Max: 4, UpQueue: -1}
+		}, "watermarks must not be negative"},
+		{"negative cooldown", func(tp *Topology) {
+			tp.Services[0].Autoscaler = &AutoscalerSpec{Min: 1, Max: 4, CooldownRounds: -1}
+		}, "round counts must not be negative"},
+		{"unnamed program", func(tp *Topology) { tp.Programs[0].Name = "" },
+			"every traffic program needs a name"},
+		{"duplicate program", func(tp *Topology) {
+			tp.Programs = append(tp.Programs, tp.Programs[0])
+		}, `duplicate program name "diurnal"`},
+		{"zero users", func(tp *Topology) { tp.Programs[0].Users = 0 },
+			"positive user population"},
+		{"zero base rps", func(tp *Topology) { tp.Programs[0].BaseRPS = 0 },
+			"base_rps must be positive"},
+		{"peak below base", func(tp *Topology) { tp.Programs[0].PeakRPS = 10 },
+			"peak_rps 10 below base_rps 1000"},
+		{"zero day", func(tp *Topology) { tp.Programs[0].DaySeconds = 0 },
+			"day_seconds must be positive"},
+		{"theta out of range", func(tp *Topology) { tp.Programs[0].ZipfTheta = 1.5 },
+			"zipf_theta 1.50 out of range"},
+		{"spike negative start", func(tp *Topology) {
+			tp.Programs[0].Spikes = []Spike{{StartSeconds: -1, DurationSeconds: 1, Multiplier: 2}}
+		}, "non-negative start and positive duration"},
+		{"spike past day end", func(tp *Topology) {
+			tp.Programs[0].Spikes = []Spike{{StartSeconds: 9.5, DurationSeconds: 2, Multiplier: 2}}
+		}, "ends after the 10.0s day"},
+		{"spike multiplier below one", func(tp *Topology) {
+			tp.Programs[0].Spikes = []Spike{{StartSeconds: 1, DurationSeconds: 1, Multiplier: 0.5}}
+		}, "multiplier 0.50 must be at least 1"},
+		{"spike ramp out of range", func(tp *Topology) {
+			tp.Programs[0].Spikes = []Spike{{StartSeconds: 1, DurationSeconds: 1, Multiplier: 2, RampFraction: 0.8}}
+		}, "ramp_fraction 0.80 out of range"},
+		{"unnamed region", func(tp *Topology) {
+			tp.Programs[0].Regions = []Region{{Weight: 1, Shard: [2]float64{0, 1}}}
+		}, "region 0 needs a name"},
+		{"zero region weight", func(tp *Topology) {
+			tp.Programs[0].Regions = []Region{{Name: "us", Shard: [2]float64{0, 1}}}
+		}, "needs a positive weight"},
+		{"bad shard slice", func(tp *Topology) {
+			tp.Programs[0].Regions = []Region{{Name: "us", Weight: 1, Shard: [2]float64{0.8, 0.2}}}
+		}, "is not a slice of [0,1]"},
+		{"overlapping shards", func(tp *Topology) {
+			tp.Programs[0].Regions = []Region{
+				{Name: "us", Weight: 1, Shard: [2]float64{0, 0.6}},
+				{Name: "eu", Weight: 1, Shard: [2]float64{0.5, 1}},
+			}
+		}, "regions us and eu have overlapping keyspace shards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := minimalTopology()
+			tc.mutate(&topo)
+			err := topo.Validate()
+			if err == nil {
+				t.Fatalf("accepted: %+v", topo)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTopologyDefaults(t *testing.T) {
+	var s ReplicatedService
+	if s.WorkloadName() != "b" || s.Records() != 20_000 || s.QueueCapacity() != 256 {
+		t.Fatalf("service defaults: %q %d %d", s.WorkloadName(), s.Records(), s.QueueCapacity())
+	}
+	s.Replicas = 3
+	if s.MinReplicas() != 3 {
+		t.Fatalf("fixed service floor: %d", s.MinReplicas())
+	}
+	s.Autoscaler = &AutoscalerSpec{Min: 2, Max: 5}
+	if s.MinReplicas() != 2 {
+		t.Fatalf("autoscaled floor: %d", s.MinReplicas())
+	}
+	var p TrafficProgram
+	if p.Theta() != 0.99 {
+		t.Fatalf("default theta: %f", p.Theta())
+	}
+	regs := p.EffectiveRegions()
+	if len(regs) != 1 || regs[0].Shard != [2]float64{0, 1} {
+		t.Fatalf("default regions: %+v", regs)
+	}
+	if (Spike{}).Ramp() != 0.25 {
+		t.Fatalf("default ramp: %f", (Spike{}).Ramp())
+	}
+}
+
+func TestDefaultTopologyValid(t *testing.T) {
+	topo := DefaultTopology(1_000_000, 20)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog := topo.Programs[0]
+	if prog.PeakRPS <= prog.BaseRPS || len(prog.Spikes) != 2 || len(prog.Regions) != 3 {
+		t.Fatalf("default program shape: %+v", prog)
+	}
+}

@@ -100,6 +100,8 @@ func spanCategory(k SpanKind) string {
 		return "daemon"
 	case SpanNodeCrash, SpanNodeReboot:
 		return "fault"
+	case SpanReplicaScaleUp, SpanReplicaScaleDown, SpanReplicaRetire:
+		return "autoscaler"
 	}
 	return "pod"
 }

@@ -38,6 +38,11 @@ const (
 	SpanPoolShrink
 	SpanSafeMode
 
+	// Autoscaler replica lifecycle (control-plane recorder).
+	SpanReplicaScaleUp
+	SpanReplicaScaleDown
+	SpanReplicaRetire
+
 	numSpanKinds
 )
 
@@ -82,6 +87,12 @@ func (k SpanKind) String() string {
 		return "PoolExpand"
 	case SpanPoolShrink:
 		return "PoolShrink"
+	case SpanReplicaScaleUp:
+		return "ReplicaScaleUp"
+	case SpanReplicaScaleDown:
+		return "ReplicaScaleDown"
+	case SpanReplicaRetire:
+		return "ReplicaRetire"
 	case SpanSafeMode:
 		return "SafeMode"
 	}

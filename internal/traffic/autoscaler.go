@@ -1,0 +1,106 @@
+package traffic
+
+import "github.com/holmes-colocation/holmes/internal/scenario"
+
+// Autoscaler is the horizontal replica autoscaler for one service: a
+// deterministic control loop over the per-replica queue depth the
+// heartbeat series already aggregate, plus the fleet latency burn state.
+// It scales up fast (a short streak of high queue depth, or a paging
+// latency burn, adds one replica every UpRounds) and down slowly (a long
+// streak of low depth with no burn pressure removes one, gated by a
+// cooldown after any scale action), within [Min, Max] bounds — the
+// classic HPA asymmetry, kept streak-based so one bursty heartbeat can
+// never flap the replica set.
+type Autoscaler struct {
+	min, max             int
+	upQueue, downQueue   float64
+	upRounds, downRounds int
+	cooldown             int
+
+	upStreak, downStreak int
+	upAllowedAt          int
+	downAllowedAt        int
+	ups, downs           int
+}
+
+// NewAutoscaler builds the control loop from a spec; nil disables
+// autoscaling (Observe always returns 0 and the bounds pin to fixed).
+func NewAutoscaler(spec *scenario.AutoscalerSpec) *Autoscaler {
+	if spec == nil {
+		return nil
+	}
+	a := &Autoscaler{
+		min: spec.Min, max: spec.Max,
+		upQueue: spec.UpQueue, downQueue: spec.DownQueue,
+		upRounds: spec.UpRounds, downRounds: spec.DownRounds,
+		cooldown: spec.CooldownRounds,
+	}
+	if a.upQueue == 0 {
+		a.upQueue = 48
+	}
+	if a.downQueue == 0 {
+		a.downQueue = 8
+	}
+	if a.upRounds == 0 {
+		a.upRounds = 2
+	}
+	if a.downRounds == 0 {
+		a.downRounds = 6
+	}
+	if a.cooldown == 0 {
+		a.cooldown = 10
+	}
+	return a
+}
+
+// Observe feeds one round's signals — the current replica count
+// (placed plus pending), the per-replica queue depth at the balancer's
+// admission window (carried backlog plus the round's dispatches, per
+// routable replica), and whether the fleet latency SLO is burning at
+// page severity — and returns the scale decision: +1, -1 or 0. Nil
+// receivers never scale.
+func (a *Autoscaler) Observe(round, current int, perReplicaQueue float64, burnHot bool) int {
+	if a == nil {
+		return 0
+	}
+	if perReplicaQueue >= a.upQueue || burnHot {
+		a.upStreak++
+	} else {
+		a.upStreak = 0
+	}
+	if perReplicaQueue <= a.downQueue && !burnHot {
+		a.downStreak++
+	} else {
+		a.downStreak = 0
+	}
+	if a.upStreak >= a.upRounds && current < a.max && round >= a.upAllowedAt {
+		a.upStreak = 0
+		a.downStreak = 0
+		a.upAllowedAt = round + a.upRounds
+		a.downAllowedAt = round + a.cooldown
+		a.ups++
+		return 1
+	}
+	if a.downStreak >= a.downRounds && current > a.min && round >= a.downAllowedAt {
+		a.downStreak = 0
+		a.downAllowedAt = round + a.cooldown
+		a.downs++
+		return -1
+	}
+	return 0
+}
+
+// Ups and Downs are the cumulative scale actions taken.
+func (a *Autoscaler) Ups() int {
+	if a == nil {
+		return 0
+	}
+	return a.ups
+}
+
+func (a *Autoscaler) Downs() int {
+	if a == nil {
+		return 0
+	}
+	return a.downs
+}

@@ -1,0 +1,107 @@
+// Package traffic is the open-loop production-traffic engine layered
+// over the cluster substrate: deterministic arrival processes composing
+// a diurnal base curve, flash-crowd spikes and regional keyspace skew
+// (Process); a load-balancer tier spreading a keyspace across service
+// replicas (Balancer); and a horizontal autoscaler driven by the same
+// heartbeat telemetry the control plane already aggregates (Autoscaler).
+//
+// Everything here follows the repo's split-seed determinism contract:
+// every random draw comes from an rng.Source seeded via rng.DeriveSeed
+// from (run seed, purpose key), and every decision is taken serially in
+// the control-plane round loop against control-plane state only. Worker
+// count, scheduling and attached observability never enter any code
+// path, so a run is byte-identical at any parallelism, with interval
+// batching on or off.
+package traffic
+
+import (
+	"math"
+
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/scenario"
+)
+
+// Process is one compiled arrival process. Rate composes the program's
+// diurnal curve with its spike multipliers; Arrivals draws the Poisson
+// arrival count for a round. The Poisson stream is consumed once per
+// round in round order, which is what makes the draw sequence a pure
+// function of (seed, round) regardless of how the rest of the run is
+// scheduled.
+type Process struct {
+	prog scenario.TrafficProgram
+	src  *rng.Source
+}
+
+// NewProcess compiles a traffic program; seed should derive from the run
+// seed and the consuming service's name.
+func NewProcess(prog scenario.TrafficProgram, seed uint64) *Process {
+	return &Process{prog: prog, src: rng.New(seed)}
+}
+
+// dayPos maps a simulation time onto the (wrapping) compressed day,
+// returned in seconds.
+func (p *Process) dayPos(tNs int64) float64 {
+	day := p.prog.DaySeconds
+	t := math.Mod(float64(tNs)/1e9, day)
+	if t < 0 {
+		t += day
+	}
+	return t
+}
+
+// Rate returns the composed arrival rate (requests/second) at time t:
+// the sinusoidal diurnal curve — trough BaseRPS at midnight (t=0), peak
+// PeakRPS at midday — multiplied by every active spike's factor.
+func (p *Process) Rate(tNs int64) float64 {
+	t := p.dayPos(tNs)
+	mean := (p.prog.BaseRPS + p.prog.PeakRPS) / 2
+	amp := (p.prog.PeakRPS - p.prog.BaseRPS) / 2
+	rate := mean - amp*math.Cos(2*math.Pi*t/p.prog.DaySeconds)
+	for _, sp := range p.prog.Spikes {
+		rate *= spikeFactor(sp, t)
+	}
+	return rate
+}
+
+// spikeFactor is the multiplier one spike contributes at day position t:
+// 1 outside the window, Multiplier on the plateau, linear on the ramps.
+func spikeFactor(sp scenario.Spike, t float64) float64 {
+	if t < sp.StartSeconds || t >= sp.StartSeconds+sp.DurationSeconds {
+		return 1
+	}
+	ramp := sp.Ramp() * sp.DurationSeconds
+	into := t - sp.StartSeconds
+	left := sp.StartSeconds + sp.DurationSeconds - t
+	f := 1.0
+	switch {
+	case into < ramp:
+		f = into / ramp
+	case left < ramp:
+		f = left / ramp
+	}
+	return 1 + (sp.Multiplier-1)*f
+}
+
+// InSpike reports whether t falls inside any spike window (ramps
+// included) — the classifier behind the spike-vs-trough SLO breakdown.
+func (p *Process) InSpike(tNs int64) bool {
+	t := p.dayPos(tNs)
+	for _, sp := range p.prog.Spikes {
+		if t >= sp.StartSeconds && t < sp.StartSeconds+sp.DurationSeconds {
+			return true
+		}
+	}
+	return false
+}
+
+// Arrivals draws the open-loop arrival count for the round starting at
+// startNs and lasting durNs: Poisson with the rate evaluated at the
+// round midpoint (the rounds are short against the diurnal curve, so
+// midpoint evaluation is an accurate integral).
+func (p *Process) Arrivals(startNs, durNs int64) int {
+	mean := p.Rate(startNs+durNs/2) * float64(durNs) / 1e9
+	if mean <= 0 {
+		return 0
+	}
+	return p.src.Poisson(mean)
+}

@@ -1,0 +1,260 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/scenario"
+	"github.com/holmes-colocation/holmes/internal/ycsb"
+)
+
+func testProgram() scenario.TrafficProgram {
+	return scenario.TrafficProgram{
+		Name: "p", Users: 100_000,
+		BaseRPS: 1000, PeakRPS: 5000, DaySeconds: 10,
+		Spikes: []scenario.Spike{{StartSeconds: 4, DurationSeconds: 2, Multiplier: 3}},
+		Regions: []scenario.Region{
+			{Name: "us", Weight: 0.7, Shard: [2]float64{0, 0.7}},
+			{Name: "eu", Weight: 0.3, Shard: [2]float64{0.7, 1}},
+		},
+	}
+}
+
+func TestProcessRateShape(t *testing.T) {
+	p := NewProcess(testProgram(), 1)
+	// Trough at t=0, peak at midday.
+	if r := p.Rate(0); math.Abs(r-1000) > 1 {
+		t.Fatalf("trough rate %.1f, want ~1000", r)
+	}
+	// Midday (5s) is inside the spike plateau: diurnal peak x multiplier.
+	if r := p.Rate(5_000_000_000); math.Abs(r-15000) > 100 {
+		t.Fatalf("spiked midday rate %.1f, want ~15000", r)
+	}
+	// Just outside the spike the diurnal curve alone holds.
+	if r := p.Rate(7_000_000_000); r > 5000 || r < 1000 {
+		t.Fatalf("post-spike rate %.1f outside diurnal band", r)
+	}
+	// The day wraps: one full day later the rate repeats.
+	if a, b := p.Rate(1_000_000_000), p.Rate(11_000_000_000); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("day did not wrap: %.3f vs %.3f", a, b)
+	}
+	if !p.InSpike(5_000_000_000) || p.InSpike(1_000_000_000) {
+		t.Fatal("InSpike misclassifies")
+	}
+}
+
+func TestProcessRampIsLinearAndBounded(t *testing.T) {
+	sp := scenario.Spike{StartSeconds: 4, DurationSeconds: 2, Multiplier: 3, RampFraction: 0.25}
+	// Ramp covers 0.5s on each side; the factor rises from 1 to 3.
+	if f := spikeFactor(sp, 4.0); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("ramp start factor %.3f, want 1", f)
+	}
+	if f := spikeFactor(sp, 4.25); math.Abs(f-2) > 1e-9 {
+		t.Fatalf("mid-ramp factor %.3f, want 2", f)
+	}
+	if f := spikeFactor(sp, 5.0); math.Abs(f-3) > 1e-9 {
+		t.Fatalf("plateau factor %.3f, want 3", f)
+	}
+	if f := spikeFactor(sp, 3.9); f != 1 {
+		t.Fatalf("outside factor %.3f, want 1", f)
+	}
+}
+
+func TestProcessArrivalsDeterministic(t *testing.T) {
+	a := NewProcess(testProgram(), 42)
+	b := NewProcess(testProgram(), 42)
+	other := NewProcess(testProgram(), 43)
+	same, diff := true, false
+	for r := 0; r < 50; r++ {
+		start := int64(r) * 50_000_000
+		na, nb := a.Arrivals(start, 50_000_000), b.Arrivals(start, 50_000_000)
+		if na != nb {
+			same = false
+		}
+		if na != other.Arrivals(start, 50_000_000) {
+			diff = true
+		}
+		if na < 0 {
+			t.Fatalf("negative arrivals %d", na)
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different arrival streams")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical arrival streams (suspicious)")
+	}
+}
+
+type fakeReplica struct {
+	submitted int
+	lastAt    int64
+}
+
+func (f *fakeReplica) Submit(op ycsb.Op, atNs int64) { f.submitted++; f.lastAt = atNs }
+
+func TestBalancerLeastQueueAndCaps(t *testing.T) {
+	b := NewBalancer(2)
+	r0, r1 := &fakeReplica{}, &fakeReplica{}
+	b.Add("a/0", r0)
+	b.Add("a/1", r1)
+	op := ycsb.Op{Type: ycsb.OpRead, Key: "k"}
+
+	// Ties go to insertion order; dispatches alternate as queues equalize.
+	if name, ok := b.Dispatch(op, 1); !ok || name != "a/0" {
+		t.Fatalf("first dispatch to %q", name)
+	}
+	if name, ok := b.Dispatch(op, 2); !ok || name != "a/1" {
+		t.Fatalf("second dispatch to %q", name)
+	}
+	// With a healthy replica loaded, the other takes the traffic.
+	b.SetOutstanding("a/0", 2) // at cap
+	if name, ok := b.Dispatch(op, 3); !ok || name != "a/1" {
+		t.Fatalf("cap-avoiding dispatch to %q", name)
+	}
+	// Both at cap: the arrival drops and is counted.
+	b.SetOutstanding("a/1", 2)
+	if _, ok := b.Dispatch(op, 4); ok {
+		t.Fatal("dispatch above cap accepted")
+	}
+	if b.Arrivals() != 4 || b.Drops() != 1 {
+		t.Fatalf("accounting: %d arrivals, %d drops", b.Arrivals(), b.Drops())
+	}
+	// Conservation at the balancer: arrivals = dispatched + dropped.
+	if int64(r0.submitted+r1.submitted)+b.Drops() != b.Arrivals() {
+		t.Fatal("balancer conservation broken")
+	}
+
+	// Unhealthy and draining replicas take no traffic.
+	b.SetOutstanding("a/0", 0)
+	b.SetOutstanding("a/1", 0)
+	b.SetHealthy("a/0", false)
+	b.SetDraining("a/1", true)
+	if b.Routable() != 0 {
+		t.Fatalf("routable %d, want 0", b.Routable())
+	}
+	if _, ok := b.Dispatch(op, 5); ok {
+		t.Fatal("dispatched to unroutable fleet")
+	}
+	b.SetHealthy("a/0", true)
+	if name, ok := b.Dispatch(op, 6); !ok || name != "a/0" {
+		t.Fatalf("recovered dispatch to %q", name)
+	}
+	if got := b.Remove("a/0"); got != 1 {
+		t.Fatalf("removed outstanding %d, want 1", got)
+	}
+	if names := b.Names(); len(names) != 1 || names[0] != "a/1" {
+		t.Fatalf("names after remove: %v", names)
+	}
+}
+
+func TestAutoscalerStreaksAndCooldown(t *testing.T) {
+	a := NewAutoscaler(&scenario.AutoscalerSpec{
+		Min: 2, Max: 4, UpQueue: 50, DownQueue: 10,
+		UpRounds: 2, DownRounds: 3, CooldownRounds: 5,
+	})
+	cur := 2
+	// One hot round is not enough; the second fires.
+	if d := a.Observe(0, cur, 60, false); d != 0 {
+		t.Fatalf("scaled on a single hot round: %d", d)
+	}
+	if d := a.Observe(1, cur, 60, false); d != 1 {
+		t.Fatal("did not scale up after the streak")
+	}
+	cur++
+	// Up again needs a fresh streak and the up gate.
+	if d := a.Observe(2, cur, 60, false); d != 0 {
+		t.Fatal("scaled up without a fresh streak")
+	}
+	if d := a.Observe(3, cur, 60, false); d != 1 {
+		t.Fatal("second scale-up blocked")
+	}
+	cur++
+	// At max, up pressure is ignored.
+	a.Observe(4, 4, 60, false)
+	if d := a.Observe(5, 4, 60, false); d != 0 {
+		t.Fatal("scaled past max")
+	}
+	// Low queue builds down pressure, but the cooldown (last action at
+	// round 3, cooldown 5) holds until round 8.
+	for r := 6; r <= 7; r++ {
+		if d := a.Observe(r, 4, 1, false); d != 0 {
+			t.Fatalf("scaled down inside cooldown at round %d", r)
+		}
+	}
+	if d := a.Observe(8, 4, 1, false); d != -1 {
+		t.Fatal("did not scale down after cooldown + streak")
+	}
+	// At min, down pressure is ignored.
+	for r := 20; r < 30; r++ {
+		if d := a.Observe(r, 2, 1, false); d != 0 {
+			t.Fatal("scaled below min")
+		}
+	}
+	if a.Ups() != 2 || a.Downs() != 1 {
+		t.Fatalf("counters: %d ups, %d downs", a.Ups(), a.Downs())
+	}
+	// A paging burn is up pressure regardless of queue depth.
+	hot := NewAutoscaler(&scenario.AutoscalerSpec{Min: 1, Max: 3, UpRounds: 2})
+	hot.Observe(0, 1, 0, true)
+	if d := hot.Observe(1, 1, 0, true); d != 1 {
+		t.Fatal("paging burn did not scale up")
+	}
+	// Nil autoscaler never scales.
+	var nilA *Autoscaler
+	if nilA.Observe(0, 1, 1e9, true) != 0 || nilA.Ups() != 0 || nilA.Downs() != 0 {
+		t.Fatal("nil autoscaler acted")
+	}
+}
+
+func TestOpGenDeterministicAndFolded(t *testing.T) {
+	prog := testProgram()
+	svc := scenario.ReplicatedService{
+		Name: "s", Store: "memcached", Workload: "b", Program: "p", Replicas: 1,
+	}
+	a, err := NewOpGen(prog, svc, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewOpGen(prog, svc, 9)
+	types := map[ycsb.OpType]int{}
+	for i := 0; i < 5000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Type != ob.Type || oa.Key != ob.Key {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, oa, ob)
+		}
+		types[oa.Type]++
+		switch oa.Type {
+		case ycsb.OpRead, ycsb.OpUpdate, ycsb.OpReadModifyWrite:
+		default:
+			t.Fatalf("unfolded op type %v escaped the generator", oa.Type)
+		}
+	}
+	// Workload b is 95/5 read/update; the folded mix must stay read-heavy.
+	if types[ycsb.OpRead] < 4000 {
+		t.Fatalf("read count %d implausible for workload b", types[ycsb.OpRead])
+	}
+}
+
+func TestOpGenKeysStayInWorkingSet(t *testing.T) {
+	prog := testProgram()
+	svc := scenario.ReplicatedService{
+		Name: "s", Store: "memcached", Workload: "b", Program: "p",
+		Replicas: 1, RecordCount: 500,
+	}
+	g, err := NewOpGen(prog, svc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every drawn key must fold onto the preloaded 500-record store even
+	// though the modeled user population is 100k.
+	want := map[string]bool{}
+	for i := int64(0); i < 500; i++ {
+		want[ycsb.Key(i)] = true
+	}
+	for i := 0; i < 2000; i++ {
+		if op := g.Next(); !want[op.Key] {
+			t.Fatalf("key %q outside the preloaded working set", op.Key)
+		}
+	}
+}
