@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check batch-equiv cluster-smoke chaos-smoke traffic-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check batch-equiv cluster-smoke chaos-smoke traffic-smoke storm-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -58,6 +58,19 @@ traffic-smoke:
 	grep -q "request accounting" traffic-out/report.txt
 	grep -q "conserved" traffic-out/report.txt
 	@echo "traffic-smoke artifact in traffic-out/: report.txt"
+
+# Full retry-storm chaos experiment: flash crowd + scripted node crash,
+# three client-stack arms (naive retries / budgeted+breaker+shedding /
+# no-retry control), rendered with its PASS/FAIL verdict into
+# storm-out/report.txt. The grep gates CI on the verdict line itself; on
+# FAIL the report embeds the flight-recorder bundle, and CI uploads the
+# directory either way.
+storm-smoke:
+	mkdir -p storm-out
+	$(GO) run ./cmd/holmes-bench storm > storm-out/report.txt
+	grep -q "storm verdict" storm-out/report.txt
+	grep -q "storm verdict.*PASS" storm-out/report.txt
+	@echo "storm-smoke artifact in storm-out/: report.txt"
 
 # Short fuzz smoke: a few seconds per fuzz target over the codec and
 # generator corpora. CI runs this; `go test` alone only replays seeds.
@@ -122,4 +135,4 @@ examples:
 	$(GO) run ./examples/kubernetes
 
 clean:
-	rm -rf out obs-out traffic-out equiv-diff holmes-report.html test_output.txt bench_output.txt
+	rm -rf out obs-out traffic-out storm-out equiv-diff holmes-report.html test_output.txt bench_output.txt

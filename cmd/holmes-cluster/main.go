@@ -12,6 +12,7 @@
 //	holmes-cluster -chaos-spec faults.json   inject a JSON-described schedule
 //	holmes-cluster -traffic 1000000          drive a modeled 1M-user diurnal day
 //	holmes-cluster -topology topo.json       drive a JSON-described traffic topology
+//	holmes-cluster -storm 2000000            retry-storm scenario: flash crowd + node crash
 //
 // Every run is deterministic: per-node seeds derive from (seed, node ID),
 // so -parallel N changes wall-clock time, never the output. Fault
@@ -33,6 +34,7 @@ import (
 	"github.com/holmes-colocation/holmes/internal/runner"
 	"github.com/holmes-colocation/holmes/internal/scenario"
 	"github.com/holmes-colocation/holmes/internal/telemetry"
+	"github.com/holmes-colocation/holmes/internal/traffic"
 )
 
 func main() {
@@ -57,6 +59,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chaosSpec := fs.String("chaos-spec", "", "JSON fault schedule to inject (overrides -chaos)")
 	trafficUsers := fs.Int("traffic", 0, "attach the default open-loop traffic topology modeling N users")
 	topoPath := fs.String("topology", "", "JSON traffic topology (replicated services + programs; overrides -traffic)")
+	stormUsers := fs.Int("storm", 0, "run the retry-storm scenario modeling N users: storm topology, resilient client stack, scripted node crash at the flash crowd's onset")
+	deadlineMs := fs.Float64("deadline-ms", 0, "override every service's per-request deadline, milliseconds")
+	retries := fs.Int("retries", 0, "override every service's total attempts per request (1 = no retries)")
+	retryBudget := fs.Float64("retry-budget", -1, "override the retry budget as a fraction of recent successes (0 = unlimited)")
+	shedLimit := fs.Int("shed-limit", -1, "override the replica-side admission concurrency limit (0 = no shedding)")
+	noResilience := fs.Bool("no-resilience", false, "strip the resilience layer from every service (no deadlines, retries, breakers or shedding)")
 	noDegrade := fs.Bool("no-degrade", false, "disable graceful degradation (watchdog, re-scan, failure detector)")
 	parallel := fs.Int("parallel", runner.DefaultParallelism(),
 		"max concurrent node simulations (1 = serial; output identical either way)")
@@ -105,6 +113,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *trafficUsers < 0 {
 		return fail("-traffic %d must be positive (modeled users)", *trafficUsers)
+	}
+	if *stormUsers < 0 {
+		return fail("-storm %d must be positive (modeled users)", *stormUsers)
+	}
+	if *deadlineMs < 0 {
+		return fail("-deadline-ms %g must be positive (milliseconds)", *deadlineMs)
+	}
+	if *retries < 0 {
+		return fail("-retries %d must be positive (total attempts, first included)", *retries)
+	}
+	if *retries > traffic.MaxAttempts {
+		return fail("-retries %d exceeds the per-attempt accounting cap of %d", *retries, traffic.MaxAttempts)
+	}
+	if *retryBudget < 0 && *retryBudget != -1 {
+		return fail("-retry-budget %g must not be negative (fraction of recent successes)", *retryBudget)
+	}
+	if *shedLimit < -1 {
+		return fail("-shed-limit %d must not be negative (concurrent requests per replica)", *shedLimit)
+	}
+	resilienceOverride := *deadlineMs > 0 || *retries > 0 || *retryBudget >= 0 || *shedLimit >= 0
+	if *stormUsers > 0 {
+		if *chaos || *chaosSpec != "" {
+			return fail("-storm scripts its own node crash; drop -chaos/-chaos-spec")
+		}
+		if *trafficUsers > 0 || *topoPath != "" {
+			return fail("-storm brings its own topology; drop -traffic/-topology")
+		}
+	}
+	if *noResilience && resilienceOverride {
+		return fail("-no-resilience conflicts with -deadline-ms/-retries/-retry-budget/-shed-limit")
+	}
+	if (*noResilience || resilienceOverride) && *trafficUsers == 0 && *topoPath == "" && *stormUsers == 0 {
+		return fail("resilience flags need a traffic topology: add -traffic, -topology or -storm")
 	}
 
 	spec := cluster.DefaultSpec()
@@ -183,6 +224,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		topo := scenario.DefaultTopology(int64(*trafficUsers), spec.WarmupSeconds+spec.DurationSeconds)
 		spec.Topology = &topo
 		spec.Services = nil
+	} else if *stormUsers > 0 {
+		// The storm scenario mirrors the registered experiment: resilient
+		// client stack by default, and a scripted crash of a replica-hosting
+		// node just as the flash crowd ramps in.
+		day := spec.WarmupSeconds + spec.DurationSeconds
+		topo := scenario.StormTopology(int64(*stormUsers), day, scenario.StormResilience())
+		spec.Topology = &topo
+		spec.Services = nil
+		hbSec := float64(spec.HeartbeatMs) / 1000
+		spike := topo.Programs[0].Spikes[0]
+		crashRound := int((spike.StartSeconds + 0.05*spike.DurationSeconds) / hbSec)
+		downRounds := int(0.4 * spike.DurationSeconds / hbSec)
+		if downRounds < 4 {
+			downRounds = 4
+		}
+		var sched faults.Spec
+		sched.Nodes.Crashes = []faults.NodeCrash{{Node: 0, Round: crashRound, DownRounds: downRounds}}
+		spec.Chaos = &sched
+	}
+	if spec.Topology != nil && (*noResilience || resilienceOverride) {
+		for i := range spec.Topology.Services {
+			svc := &spec.Topology.Services[i]
+			if *noResilience {
+				svc.Resilience = nil
+				continue
+			}
+			var rz scenario.ResilienceSpec
+			if svc.Resilience != nil {
+				rz = *svc.Resilience
+			} else if *deadlineMs <= 0 {
+				return fail("service %q has no resilience spec; -deadline-ms is required to add one", svc.Name)
+			}
+			if *deadlineMs > 0 {
+				rz.DeadlineMs = *deadlineMs
+			}
+			if *retries > 0 {
+				rz.MaxAttempts = *retries
+			}
+			if *retryBudget >= 0 {
+				rz.RetryBudget = *retryBudget
+			}
+			if *shedLimit >= 0 {
+				rz.ConcurrencyLimit = *shedLimit
+			}
+			svc.Resilience = &rz
+		}
 	}
 
 	opt := cluster.RunOptions{Workers: *parallel}
@@ -281,6 +368,20 @@ Flags:
                     spec's static services; the day spans warmup + duration
   -topology FILE    JSON traffic topology (replicated services + traffic
                     programs, see internal/scenario); overrides -traffic
+  -storm N          run the retry-storm scenario modeling N users: a redis
+                    frontend under a flash crowd, the resilient client stack
+                    (deadlines, budgeted retries, breaker, shedding), and a
+                    scripted crash of a replica-hosting node at the spike's
+                    onset; conflicts with -chaos/-chaos-spec/-traffic/-topology
+  -deadline-ms MS   override every service's per-request deadline; required
+                    when adding resilience to services that have none
+  -retries N        override total attempts per request (1 = no retries,
+                    capped by the per-attempt accounting arrays)
+  -retry-budget F   override the retry budget as a fraction of recent
+                    successes (0 = unlimited retries)
+  -shed-limit N     override the replica admission concurrency limit
+                    (0 = no load shedding)
+  -no-resilience    strip the resilience layer from every service
   -no-degrade       disable graceful degradation: no daemon watchdog or
                     cgroupfs re-scan, no failure detector or rescheduling
   -parallel N       max concurrent node simulations (default GOMAXPROCS);

@@ -31,6 +31,22 @@ func TestFlagValidation(t *testing.T) {
 		{"negative services", []string{"-services", "-1"}, "-services -1 must not be negative"},
 		{"missing spec", []string{"-spec", "/does/not/exist.json"}, "no such file"},
 		{"missing chaos spec", []string{"-chaos-spec", "/does/not/exist.json"}, "no such file"},
+		{"negative storm", []string{"-storm", "-10"}, "-storm -10 must be positive"},
+		{"negative deadline", []string{"-deadline-ms", "-5"}, "-deadline-ms -5 must be positive"},
+		{"negative retries", []string{"-retries", "-2"}, "-retries -2 must be positive"},
+		{"retries over cap", []string{"-retries", "99"}, "exceeds the per-attempt accounting cap"},
+		{"negative retry budget", []string{"-retry-budget", "-0.5"}, "-retry-budget -0.5 must not be negative"},
+		{"negative shed limit", []string{"-shed-limit", "-3"}, "-shed-limit -3 must not be negative"},
+		{"storm with chaos", []string{"-storm", "1000", "-chaos"}, "scripts its own node crash"},
+		{"storm with chaos spec", []string{"-storm", "1000", "-chaos-spec", "x.json"}, "scripts its own node crash"},
+		{"storm with traffic", []string{"-storm", "1000", "-traffic", "1000"}, "brings its own topology"},
+		{"storm with topology", []string{"-storm", "1000", "-topology", "x.json"}, "brings its own topology"},
+		{"no-resilience vs overrides", []string{"-traffic", "1000", "-no-resilience", "-retries", "2"},
+			"-no-resilience conflicts with"},
+		{"resilience without topology", []string{"-deadline-ms", "50"},
+			"resilience flags need a traffic topology"},
+		{"no-resilience without topology", []string{"-no-resilience"},
+			"resilience flags need a traffic topology"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -216,6 +232,56 @@ func TestTrafficFlagRejectsNegative(t *testing.T) {
 	code, _, stderr := runCLI("-traffic", "-5")
 	if code == 0 || !strings.Contains(stderr, "-traffic -5 must be positive") {
 		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestStormFlag(t *testing.T) {
+	code, stdout, stderr := runCLI("-nodes", "5", "-storm", "40000",
+		"-warmup", "0.5", "-duration", "2", "-batch-pods", "0", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"frontend", "storm",
+		"request-path resilience: deadlines, retries, breakers, shedding",
+		"request accounting",
+		"conserved",
+		"chaos: 1 crashes",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("storm run missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestResilienceOverridesOnTraffic(t *testing.T) {
+	// DefaultTopology ships without a resilience layer, so overrides must
+	// insist on a deadline to build one from.
+	args := []string{"-nodes", "3", "-traffic", "30000",
+		"-warmup", "0.3", "-duration", "1", "-batch-pods", "0", "-parallel", "4"}
+	code, _, stderr := runCLI(append(args, "-retries", "2")...)
+	if code == 0 || !strings.Contains(stderr, "-deadline-ms is required") {
+		t.Fatalf("override without deadline accepted: exit %d, stderr %q", code, stderr)
+	}
+
+	code, stdout, stderr := runCLI(append(args, "-deadline-ms", "50", "-retries", "2",
+		"-retry-budget", "0.2", "-shed-limit", "64")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "request-path resilience") {
+		t.Fatalf("override run renders no resilience table:\n%s", stdout)
+	}
+
+	// -no-resilience on a topology that has a layer strips it.
+	code, stdout, stderr = runCLI("-nodes", "3", "-storm", "20000",
+		"-warmup", "0.3", "-duration", "1", "-batch-pods", "0", "-parallel", "4",
+		"-no-resilience")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if strings.Contains(stdout, "request-path resilience") {
+		t.Fatalf("-no-resilience run still renders the resilience table:\n%s", stdout)
 	}
 }
 

@@ -632,13 +632,17 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		transitions := burn.Observe("latency", r, roundNs, roundGoodQ, roundBadQ)
 		transitions = append(transitions,
 			burn.Observe("availability", r, roundNs, int64(spec.Nodes)-nodesBad, nodesBad)...)
-		publishAlerts(opt.Telemetry, opt.Obs, transitions)
-		rollup.record(r, states, down, roundGoodQ, roundBadQ)
 
 		// Traffic-plane reconciliation: balancer health and queue estimates,
-		// drained-replica retirement, the autoscaler decisions. Scale-ups
-		// enter the placement queue for next round.
-		for _, p := range tc.postRound(r, nodes, states, down, burn.Paging()) {
+		// drained-replica retirement, the resilience round step, the
+		// autoscaler decisions. Scale-ups enter the placement queue for
+		// next round; requests-SLO transitions publish with the round's
+		// other alerts.
+		pods, reqAlerts := tc.postRound(r, nodes, states, down, burn)
+		transitions = append(transitions, reqAlerts...)
+		publishAlerts(opt.Telemetry, opt.Obs, transitions)
+		rollup.record(r, states, down, roundGoodQ, roundBadQ)
+		for _, p := range pods {
 			p.notBefore = r + 1
 			queue = append(queue, p)
 			tracer.admit(p.req.Name, r)

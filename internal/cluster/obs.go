@@ -15,12 +15,23 @@ import (
 // availability SLO budgets 1% node-rounds down; one crashed node in a
 // small fleet burns 10-20x, so the chaos experiment's scripted crash
 // reliably pages while a crash-free run cannot (zero bad units).
+// The requests SLO exists only when the topology runs the resilience
+// layer: it budgets 5% client-visible failures (shed + expired + dropped
+// + lost against completions) and pages at a 10x burn — i.e. >50% of the
+// fleet's request outcomes failing across both windows, which is exactly
+// the metastable-collapse signature the storm experiment provokes.
+// Gating it on the topology keeps every non-resilient run's alert
+// stream (and, through Paging, its reconciler and autoscalers)
+// byte-identical to before.
 const (
 	sloLatencyBudget = 0.05
 	sloLatencyPage   = 10
 	sloLatencyTicket = 2
 	sloAvailBudget   = 0.01
 	sloAvailPage     = 10
+	sloReqBudget     = 0.05
+	sloReqPage       = 10
+	sloReqTicket     = 2
 )
 
 // newBurnEngine builds the fleet SLO engine for a run. Window lengths
@@ -35,20 +46,29 @@ func newBurnEngine(spec Spec, totalRounds int) *obs.BurnEngine {
 	if long < 6 {
 		long = 6
 	}
-	return obs.NewBurnEngine(
-		obs.SLOConfig{
+	cfgs := []obs.SLOConfig{
+		{
 			Name: "latency", Objective: sloLatencyBudget,
 			ShortRounds: short, LongRounds: long,
 			PageBurn: sloLatencyPage, TicketBurn: sloLatencyTicket,
 			MinUnits: 100,
 		},
-		obs.SLOConfig{
+		{
 			Name: "availability", Objective: sloAvailBudget,
 			ShortRounds: short, LongRounds: long,
 			PageBurn: sloAvailPage,
 			MinUnits: int64(2 * spec.Nodes),
 		},
-	)
+	}
+	if spec.resilientTopology() {
+		cfgs = append(cfgs, obs.SLOConfig{
+			Name: "requests", Objective: sloReqBudget,
+			ShortRounds: short, LongRounds: long,
+			PageBurn: sloReqPage, TicketBurn: sloReqTicket,
+			MinUnits: 200,
+		})
+	}
+	return obs.NewBurnEngine(cfgs...)
 }
 
 // runTracer records the control plane's pod-lifecycle spans: the causal
@@ -66,6 +86,7 @@ type runTracer struct {
 	runSpan     map[string]uint64
 	requeueSpan map[string]uint64
 	crashSpan   map[int]uint64
+	breakerSpan map[string]uint64
 }
 
 func newRunTracer(p *obs.Plane, hbNs int64) *runTracer {
@@ -77,6 +98,7 @@ func newRunTracer(p *obs.Plane, hbNs int64) *runTracer {
 		hbNs: hbNs,
 		tail: map[string]uint64{}, runSpan: map[string]uint64{},
 		requeueSpan: map[string]uint64{}, crashSpan: map[int]uint64{},
+		breakerSpan: map[string]uint64{},
 	}
 }
 
@@ -223,6 +245,32 @@ func (t *runTracer) replicaRetire(name string, r, node int, detail string) {
 	now := t.roundNs(r)
 	t.rec.Add(telemetry.Span{Kind: telemetry.SpanReplicaRetire,
 		StartNs: now, EndNs: now, Node: node, CPU: -1, Name: name, Detail: detail})
+}
+
+// breakerOpen starts the interval span covering one open/half-open
+// episode of a service's circuit breaker; value carries the windowed
+// failure rate at the trip. A re-trip during half-open extends the same
+// episode rather than stacking spans.
+func (t *runTracer) breakerOpen(svc string, r int, rate float64) {
+	if t == nil {
+		return
+	}
+	if _, ok := t.breakerSpan[svc]; ok {
+		return
+	}
+	t.breakerSpan[svc] = t.rec.Start(telemetry.Span{Kind: telemetry.SpanBreakerOpen,
+		StartNs: t.roundNs(r), Node: -1, CPU: -1, Name: svc, Value: rate})
+}
+
+// breakerClose finishes the episode when the breaker returns to closed.
+func (t *runTracer) breakerClose(svc string, r int) {
+	if t == nil {
+		return
+	}
+	if id, ok := t.breakerSpan[svc]; ok {
+		t.rec.Finish(id, t.roundNs(r))
+		delete(t.breakerSpan, svc)
+	}
 }
 
 func (t *runTracer) nodeCrash(node, r int) {

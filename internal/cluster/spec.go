@@ -249,6 +249,21 @@ func (s Spec) sloNs() float64 {
 	return s.SLOUs * 1e3
 }
 
+// resilientTopology reports whether any replicated service runs the
+// request-path resilience layer — the gate for the "requests" SLO, so
+// non-resilient runs keep their exact pre-existing alert stream.
+func (s Spec) resilientTopology() bool {
+	if s.Topology == nil {
+		return false
+	}
+	for _, rs := range s.Topology.Services {
+		if rs.Resilience != nil {
+			return true
+		}
+	}
+	return false
+}
+
 func (s Spec) evictVPI() float64 {
 	if s.EvictVPI == 0 {
 		return 25

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/holmes-colocation/holmes/internal/lcservice"
 	"github.com/holmes-colocation/holmes/internal/obs"
 	"github.com/holmes-colocation/holmes/internal/rng"
 	"github.com/holmes-colocation/holmes/internal/scenario"
@@ -23,6 +24,18 @@ import (
 // reconciliation — the traffic plane is byte-identical at any worker
 // count. All methods are nil-receiver-safe: a spec without a topology
 // simply has no traffic plane.
+//
+// When a service carries a ResilienceSpec the controller also runs the
+// request-path resilience layer: per-request deadlines detected at the
+// replicas, client-side retries in round-granular cohorts under a retry
+// budget, a per-service circuit breaker gating every presentation, and
+// replica-side load shedding. The conservation identity extends to
+//
+//	arrivals = completions + drops + shed + expired + lost + in-flight
+//
+// with retries a separate, deliberately non-conserved amplification
+// counter (every retry is a fresh arrival; the attempt it replaces was
+// already accounted as shed, expired, dropped or lost).
 type trafficController struct {
 	hbNs   int64
 	warmup int
@@ -30,7 +43,8 @@ type trafficController struct {
 	tracer *runTracer
 	store  *obs.Store // nil without an observability plane
 
-	services []*trafficService
+	services  []*trafficService
+	resilient bool // any service runs the resilience layer
 
 	// Fleet-utilization accounting (whole-node busy cycles per round,
 	// split by spike/trough classification of the round).
@@ -42,6 +56,15 @@ type trafficController struct {
 
 	spikeUtilSum, troughUtilSum float64
 	spikeRounds, troughRounds   int
+
+	// Per-round fleet series for verdicts that need goodput trajectories
+	// (the storm experiment's recovery bound): first-attempt arrivals,
+	// released retries and observed completions, indexed by round.
+	roundArrivals    []int64
+	roundRetries     []int64
+	roundCompletions []int64
+	curFirst         int64
+	curRetries       int64
 }
 
 // trafficService is one replicated service's control-plane state.
@@ -58,6 +81,28 @@ type trafficService struct {
 	nextIdx  int
 	pending  int // replica pods queued but not yet placed
 
+	// Request-path resilience (zero-valued and inert without a
+	// ResilienceSpec on the service).
+	resilient  bool
+	deadlineNs int64
+	attempts   int
+	policy     traffic.RetryPolicy
+	budget     *traffic.RetryBudget
+	breaker    *traffic.Breaker
+	retryQ     traffic.RetryQueue
+	retrySrc   *rng.Source // jitter draws, one stream per service
+	// failsByA accumulates this round's client-visible retryable
+	// failures by the attempt that suffered them: admission drops at
+	// inject, shed/expired deltas at reconcile, write-offs at node loss.
+	// postRound converts it into retry cohorts and resets it.
+	failsByA  [traffic.MaxAttempts]int64
+	retries   int64 // retry presentations (arrivals beyond the first try)
+	exhausted int64 // failures past the attempt cap
+	// Previous-round cumulative counters for per-round deltas.
+	prevDrops        int64
+	prevDropsBreaker int64
+	prevLost         int64
+
 	// Admission-window queue signal, captured at the end of inject: the
 	// per-service outstanding depth (carried backlog + this round's
 	// dispatches) and the routable count it spread over. Post-reconcile
@@ -68,6 +113,8 @@ type trafficService struct {
 
 	// Accounting for replicas no longer registered (retired or lost).
 	retiredCompleted int64
+	retiredShed      int64
+	retiredExpired   int64
 	lost             int64
 	failedPlacements int
 
@@ -82,6 +129,13 @@ type trafficService struct {
 // Submit schedules the request's execution on the replica's node at
 // offsetNs into the node's current round (node-local time, so slow or
 // rebooted nodes keep a coherent clock).
+//
+// Outcome accounting is per attempt: the control plane increments
+// subByA at dispatch, the node's simulation resolves each request into
+// doneByA/expByA/shedByA via the SubmitCB callback, and the control
+// plane snapshots the *SeenByA arrays once per round — the only
+// cross-side handoff, synchronized by the advance barrier exactly like
+// the service's own counters.
 type trafficReplica struct {
 	name string
 	idx  int
@@ -90,22 +144,74 @@ type trafficReplica struct {
 	n    *Node
 	ns   *nodeService
 
-	submitted     int64
-	completedSeen int64
+	submitted int64
+	subByA    [traffic.MaxAttempts]int64
+	// Written from the serving node's simulation callbacks:
+	doneByA [traffic.MaxAttempts]int64
+	expByA  [traffic.MaxAttempts]int64
+	shedByA [traffic.MaxAttempts]int64
+	// Control-plane snapshots of the above:
+	doneSeenByA [traffic.MaxAttempts]int64
+	expSeenByA  [traffic.MaxAttempts]int64
+	shedSeenByA [traffic.MaxAttempts]int64
+
+	completedSeen int64 // sum of doneSeenByA
+	shedSeen      int64
+	expiredSeen   int64
 	prevQ         int64
 	prevBad       int64
 	draining      bool
 }
 
-func (r *trafficReplica) Submit(op ycsb.Op, offsetNs int64) {
+func (r *trafficReplica) Submit(op ycsb.Op, offsetNs int64, attempt int) {
 	r.submitted++
+	r.subByA[attempt]++
 	s := r.ns
-	r.n.m.Schedule(r.n.m.Now()+offsetNs, func(t int64) { s.svc.Submit(op, t) })
+	rep := r
+	r.n.m.Schedule(r.n.m.Now()+offsetNs, func(t int64) {
+		s.svc.SubmitCB(op, t, func(oc lcservice.Outcome, _ int64) {
+			switch oc {
+			case lcservice.OutcomeCompleted:
+				rep.doneByA[attempt]++
+			case lcservice.OutcomeExpired:
+				rep.expByA[attempt]++
+			case lcservice.OutcomeShed:
+				rep.shedByA[attempt]++
+			}
+		})
+	})
 }
 
-// outstanding is the replica's in-flight estimate against the last
-// completion count the control plane has seen.
-func (r *trafficReplica) outstanding() int64 { return r.submitted - r.completedSeen }
+// outstanding is the replica's in-flight estimate against the resolved
+// counts the control plane has seen.
+func (r *trafficReplica) outstanding() int64 {
+	return r.submitted - r.completedSeen - r.shedSeen - r.expiredSeen
+}
+
+// refreshSeen snapshots the replica's resolved counters, returning the
+// round's completion/shed/expired deltas. When fails is non-nil the
+// shed+expired deltas are also charged to it per attempt (the
+// client-side timeout/failure detection feed).
+func (r *trafficReplica) refreshSeen(fails *[traffic.MaxAttempts]int64) (dDone, dShed, dExp int64) {
+	for a := 0; a < traffic.MaxAttempts; a++ {
+		dd := r.doneByA[a] - r.doneSeenByA[a]
+		de := r.expByA[a] - r.expSeenByA[a]
+		ds := r.shedByA[a] - r.shedSeenByA[a]
+		r.doneSeenByA[a] = r.doneByA[a]
+		r.expSeenByA[a] = r.expByA[a]
+		r.shedSeenByA[a] = r.shedByA[a]
+		dDone += dd
+		dExp += de
+		dShed += ds
+		if fails != nil {
+			fails[a] += de + ds
+		}
+	}
+	r.completedSeen += dDone
+	r.shedSeen += dShed
+	r.expiredSeen += dExp
+	return dDone, dShed, dExp
+}
 
 // newTrafficController compiles the spec's topology; returns nil (no
 // traffic plane) when the spec has none.
@@ -134,7 +240,7 @@ func newTrafficController(spec Spec, tracer *runTracer, p *obs.Plane, hbNs int64
 		if err != nil {
 			return nil, err
 		}
-		tc.services = append(tc.services, &trafficService{
+		ts := &trafficService{
 			spec:     rs,
 			prog:     prog,
 			proc:     traffic.NewProcess(prog, rng.DeriveSeed(seed, "arrivals")),
@@ -143,7 +249,29 @@ func newTrafficController(spec Spec, tracer *runTracer, p *obs.Plane, hbNs int64
 			sc:       traffic.NewAutoscaler(rs.Autoscaler),
 			src:      rng.New(rng.DeriveSeed(seed, "offsets")),
 			replicas: map[string]*trafficReplica{},
-		})
+			attempts: 1,
+		}
+		if rz := rs.Resilience; rz != nil {
+			ts.resilient = true
+			tc.resilient = true
+			ts.deadlineNs = int64(rz.DeadlineMs * 1e6)
+			ts.attempts = rz.Attempts()
+			ts.policy = traffic.RetryPolicy{
+				Attempts:      rz.Attempts(),
+				BackoffRounds: rz.Backoff(),
+				JitterRounds:  rz.Jitter(),
+			}
+			ts.budget = traffic.NewRetryBudget(rz.RetryBudget, rz.BudgetWindow())
+			ts.breaker = traffic.NewBreaker(traffic.BreakerConfig{
+				FailureRate:  rz.BreakerFailureRate,
+				WindowRounds: rz.BreakerWindowRounds,
+				MinVolume:    int64(rz.BreakerMinVolume),
+				OpenRounds:   rz.BreakerOpenRounds,
+				Probes:       rz.BreakerProbes,
+			})
+			ts.retrySrc = rng.New(rng.DeriveSeed(seed, "retry-jitter"))
+		}
+		tc.services = append(tc.services, ts)
 	}
 	return tc, nil
 }
@@ -175,7 +303,8 @@ func (tc *trafficController) initialPods() []*pendingPod {
 }
 
 // place books a freshly placed replica: the node launched it, the
-// balancer starts routing to it.
+// balancer starts routing to it. Resilient services push their admission
+// policy (concurrency limit, deadline) onto the replica's service.
 func (tc *trafficController) place(p *pendingPod, target int, n *Node) error {
 	rep := p.rep
 	ts := rep.ts
@@ -185,6 +314,9 @@ func (tc *trafficController) place(p *pendingPod, target int, n *Node) error {
 	rep.node = target
 	rep.n = n
 	rep.ns = n.services[rep.name]
+	if rz := ts.spec.Resilience; rz != nil {
+		rep.ns.svc.SetAdmission(int64(rz.ConcurrencyLimit), ts.deadlineNs)
+	}
 	ts.pending--
 	ts.replicas[rep.name] = rep
 	ts.bal.Add(rep.name, rep)
@@ -212,25 +344,53 @@ func (tc *trafficController) keepsReplica(name string, node int) bool {
 	return false
 }
 
+// present routes one presentation (a fresh arrival or a released retry)
+// through the breaker and the balancer, charging admission drops to the
+// attempt's failure account for retry detection.
+func (ts *trafficService) present(tc *trafficController, attempt int) {
+	if !ts.breaker.Allow() {
+		// Client-side fast-fail: counted as an arrival + drop, never
+		// retried — the whole point of the breaker is to stop hammering.
+		ts.bal.RejectBreaker()
+		return
+	}
+	offset := ts.src.Int63n(tc.hbNs)
+	if _, ok := ts.bal.Dispatch(ts.gen.Next(), offset, attempt); !ok && ts.resilient {
+		ts.failsByA[attempt]++
+	}
+}
+
 // inject draws and routes this round's arrivals for every service. It
 // runs after the placement pass (replicas placed this round serve
 // immediately) and before the nodes advance, so every scheduled request
-// lands inside the round's simulated window.
+// lands inside the round's simulated window. Due retry cohorts release
+// first (they are older requests), then the round's fresh arrivals.
 func (tc *trafficController) inject(r int) {
 	if tc == nil {
 		return
 	}
 	t0 := int64(r) * tc.hbNs
 	tc.roundSpike = false
+	tc.curFirst, tc.curRetries = 0, 0
 	for _, ts := range tc.services {
 		n := ts.proc.Arrivals(t0, tc.hbNs)
 		if ts.proc.InSpike(t0 + tc.hbNs/2) {
 			tc.roundSpike = true
 		}
-		for i := 0; i < n; i++ {
-			offset := ts.src.Int63n(tc.hbNs)
-			ts.bal.Dispatch(ts.gen.Next(), offset)
+		ts.breaker.Tick(r)
+		if ts.resilient {
+			for _, c := range ts.retryQ.PopDue(r) {
+				for k := int64(0); k < c.Count; k++ {
+					ts.retries++
+					tc.curRetries++
+					ts.present(tc, c.Attempt)
+				}
+			}
 		}
+		for i := 0; i < n; i++ {
+			ts.present(tc, 0)
+		}
+		tc.curFirst += int64(n)
 		ts.lastDemand = ts.bal.TotalOutstanding()
 		ts.lastRoutable = ts.bal.Routable()
 		if tc.store != nil {
@@ -242,8 +402,10 @@ func (tc *trafficController) inject(r int) {
 }
 
 // nodeLost removes every replica booked on a node the control plane now
-// considers gone: their in-flight requests are accounted as lost, and
-// enough fresh replicas are queued to restore the service's minimum.
+// considers gone: their in-flight requests are accounted as lost, the
+// clients that sent them observe timeouts (feeding the retry layer per
+// attempt), and enough fresh replicas are queued to restore the
+// service's minimum.
 func (tc *trafficController) nodeLost(i, r int) []*pendingPod {
 	if tc == nil {
 		return nil
@@ -259,8 +421,16 @@ func (tc *trafficController) nodeLost(i, r int) []*pendingPod {
 		sort.Strings(names)
 		for _, name := range names {
 			rep := ts.replicas[name]
+			if ts.resilient {
+				for a := 0; a < traffic.MaxAttempts; a++ {
+					lost := rep.subByA[a] - rep.doneSeenByA[a] - rep.expSeenByA[a] - rep.shedSeenByA[a]
+					ts.failsByA[a] += lost
+				}
+			}
 			ts.lost += rep.outstanding()
 			ts.retiredCompleted += rep.completedSeen
+			ts.retiredShed += rep.shedSeen
+			ts.retiredExpired += rep.expiredSeen
 			ts.bal.Remove(name)
 			delete(ts.replicas, name)
 			tc.tracer.replicaRetire(name, r, i, "node-lost")
@@ -275,22 +445,27 @@ func (tc *trafficController) nodeLost(i, r int) []*pendingPod {
 
 // postRound reconciles the traffic plane after the nodes advanced and
 // the registry refreshed: balancer health from the detector's view,
-// queue estimates from completion counters, spike/trough SLI deltas,
-// draining-replica retirement, fleet-utilization accounting, series
-// rollups, and the autoscaler decisions. Returns freshly queued replica
-// pods (scale-ups).
-func (tc *trafficController) postRound(r int, nodes []*Node, states []NodeState, down []bool, paging bool) []*pendingPod {
+// queue estimates from resolved-request counters, spike/trough SLI
+// deltas, draining-replica retirement, the resilience layer's round
+// step (breaker transitions, budgeted retry scheduling, the "requests"
+// SLO feed), fleet-utilization accounting, series rollups, and the
+// autoscaler decisions. Returns freshly queued replica pods (scale-ups)
+// plus any burn-rate transitions raised by the requests SLO.
+func (tc *trafficController) postRound(r int, nodes []*Node, states []NodeState, down []bool, burn *obs.BurnEngine) ([]*pendingPod, []obs.Alert) {
 	if tc == nil {
-		return nil
+		return nil, nil
 	}
 	now := int64(r) * tc.hbNs
+	paging := burn.Paging()
 	var pods []*pendingPod
+	var fleetDone, reqGood, reqBad int64
 	for _, ts := range tc.services {
 		names := make([]string, 0, len(ts.replicas))
 		for name := range ts.replicas {
 			names = append(names, name)
 		}
 		sort.Strings(names)
+		var dDone, dShed, dExp int64
 		for _, name := range names {
 			rep := ts.replicas[name]
 			stale := rep.n != nodes[rep.node] // node rebooted under the booking (degradation off)
@@ -299,7 +474,14 @@ func (tc *trafficController) postRound(r int, nodes []*Node, states []NodeState,
 				continue
 			}
 			ts.bal.SetHealthy(name, true)
-			rep.completedSeen = rep.ns.svc.Completed()
+			var fails *[traffic.MaxAttempts]int64
+			if ts.resilient {
+				fails = &ts.failsByA
+			}
+			dd, ds, de := rep.refreshSeen(fails)
+			dDone += dd
+			dShed += ds
+			dExp += de
 			ts.bal.SetOutstanding(name, rep.outstanding())
 			lat := rep.ns.svc.Latencies()
 			q, bad := lat.Count(), lat.CountAbove(tc.sloNs)
@@ -327,10 +509,58 @@ func (tc *trafficController) postRound(r int, nodes []*Node, states []NodeState,
 			if rep.draining && rep.outstanding() == 0 {
 				if err := rep.n.RetireReplica(name); err == nil {
 					ts.retiredCompleted += rep.completedSeen
+					ts.retiredShed += rep.shedSeen
+					ts.retiredExpired += rep.expiredSeen
 					ts.bal.Remove(name)
 					delete(ts.replicas, name)
 					tc.tracer.replicaRetire(name, r, rep.node, "scale-down")
 				}
+			}
+		}
+		fleetDone += dDone
+
+		// Resilience round step: per-round failure deltas drive the
+		// breaker, the retry budget accrues this round's successes, and
+		// the round's failures become backoff-jittered retry cohorts.
+		dDrops := ts.bal.Drops() - ts.prevDrops
+		ts.prevDrops = ts.bal.Drops()
+		dDen := ts.bal.DropsBreaker() - ts.prevDropsBreaker
+		ts.prevDropsBreaker = ts.bal.DropsBreaker()
+		dLost := ts.lost - ts.prevLost
+		ts.prevLost = ts.lost
+		if ts.resilient {
+			// The breaker must not feed on its own fast-fails: while
+			// half-open, quota-denied presentations would otherwise read
+			// as failures and re-trip it forever.
+			tripped, closed := ts.breaker.Observe(r, dDone, dShed+dExp+dLost+dDrops-dDen)
+			if tripped {
+				tc.tracer.breakerOpen(ts.spec.Name, r, ts.breaker.TripRate())
+			}
+			if closed {
+				tc.tracer.breakerClose(ts.spec.Name, r)
+			}
+			ts.budget.Observe(dDone)
+			for a := 0; a < ts.attempts; a++ {
+				n := ts.failsByA[a]
+				ts.failsByA[a] = 0
+				if n == 0 {
+					continue
+				}
+				if a+1 >= ts.attempts {
+					ts.exhausted += n
+					continue
+				}
+				grant := ts.budget.Spend(n)
+				for k := int64(0); k < grant; k++ {
+					ts.retryQ.Add(r+ts.policy.Delay(a, ts.retrySrc), a+1, 1)
+				}
+			}
+			reqGood += dDone
+			reqBad += dShed + dExp + dLost + dDrops
+			if tc.store != nil {
+				tc.store.Series("resilience/"+ts.spec.Name+"/retries").Append(now, float64(ts.retryQ.Pending()))
+				tc.store.Series("resilience/"+ts.spec.Name+"/failures").Append(now, float64(dShed+dExp+dLost+dDrops))
+				tc.store.Series("resilience/"+ts.spec.Name+"/breaker").Append(now, breakerLevel(ts.breaker.State()))
 			}
 		}
 
@@ -371,6 +601,20 @@ func (tc *trafficController) postRound(r int, nodes []*Node, states []NodeState,
 		}
 	}
 
+	tc.roundArrivals = append(tc.roundArrivals, tc.curFirst)
+	tc.roundRetries = append(tc.roundRetries, tc.curRetries)
+	tc.roundCompletions = append(tc.roundCompletions, fleetDone)
+
+	// The requests SLO pages when the fleet-wide client-visible failure
+	// fraction (shed + expired + dropped + lost over arrivals' outcomes)
+	// burns its budget across both windows — the wiring that lets
+	// breaker/shed state reach the alerting plane and, via Paging, the
+	// reconciler and autoscalers next round.
+	var alerts []obs.Alert
+	if tc.resilient {
+		alerts = burn.Observe("requests", r, now, reqGood, reqBad)
+	}
+
 	// Whole-node busy-cycle deltas -> fleet utilization for the round,
 	// attributed to the spike or trough bucket inside the measured window.
 	var deltaSum float64
@@ -407,7 +651,18 @@ func (tc *trafficController) postRound(r int, nodes []*Node, states []NodeState,
 	if tc.store != nil {
 		tc.store.Series("traffic/fleet_util").Append(now, util)
 	}
-	return pods
+	return pods, alerts
+}
+
+// breakerLevel maps a breaker state onto a plottable series value.
+func breakerLevel(s traffic.BreakerState) float64 {
+	switch s {
+	case traffic.BreakerOpen:
+		return 1
+	case traffic.BreakerHalfOpen:
+		return 0.5
+	}
+	return 0
 }
 
 // TrafficServiceResult is one replicated service's measured outcome.
@@ -422,13 +677,29 @@ type TrafficServiceResult struct {
 	ScaleUps     int
 	ScaleDowns   int
 	// Request accounting over the whole run (warmup included). The
-	// conservation identity Arrivals = Completions + Drops + Lost +
-	// InFlight holds by construction; Conserved in TrafficResult checks it.
+	// conservation identity Arrivals = Completions + Drops + Shed +
+	// Expired + Lost + InFlight holds by construction; Conserved in
+	// TrafficResult checks it.
 	Arrivals    int64
 	Completions int64
 	Drops       int64
+	Shed        int64
+	Expired     int64
 	Lost        int64
 	InFlight    int64
+	// Drop-reason split (sums to Drops): no routable replica at all, all
+	// routable replicas at the queue cap, breaker fast-fails.
+	DropsUnroutable int64
+	DropsCapacity   int64
+	DropsBreaker    int64
+	// Resilience-layer counters. Retries is deliberately outside the
+	// conservation identity: each retry re-enters Arrivals.
+	Resilient    bool
+	Retries      int64
+	BudgetDenied int64
+	Exhausted    int64
+	BreakerTrips int
+	BreakerState string
 	// Latency over the measured window, merged across live replicas.
 	Queries       int64
 	Summary       stats.Summary
@@ -444,15 +715,32 @@ type TrafficServiceResult struct {
 
 // TrafficResult aggregates the traffic plane's outcome.
 type TrafficResult struct {
-	Services                                     []TrafficServiceResult
-	Arrivals, Completions, Drops, Lost, InFlight int64
+	Services                                                    []TrafficServiceResult
+	Arrivals, Completions, Drops, Shed, Expired, Lost, InFlight int64
 	// Conserved asserts the request-accounting identity fleet-wide.
 	Conserved            bool
+	Retries              int64
 	ScaleUps, ScaleDowns int
 	// SpikeUtil/TroughUtil are mean whole-fleet busy fractions over the
 	// measured window's spike vs trough rounds.
 	SpikeUtil, TroughUtil     float64
 	SpikeRounds, TroughRounds int
+	// Per-round fleet trajectories (indexed by round, warmup included):
+	// first-attempt arrivals, released retries, observed completions.
+	// Verdicts that need recovery bounds read these; rendering does not.
+	RoundArrivals    []int64
+	RoundRetries     []int64
+	RoundCompletions []int64
+}
+
+// Amplification is the request-amplification factor: total arrivals over
+// first-attempt arrivals. 1.0 means no retries.
+func (tr *TrafficResult) Amplification() float64 {
+	first := tr.Arrivals - tr.Retries
+	if first <= 0 {
+		return 1
+	}
+	return float64(tr.Arrivals) / float64(first)
 }
 
 // collect finalizes the traffic plane into the run result.
@@ -460,7 +748,11 @@ func (tc *trafficController) collect(res *Result, nodes []*Node, down []bool) {
 	if tc == nil {
 		return
 	}
-	tr := &TrafficResult{}
+	tr := &TrafficResult{
+		RoundArrivals:    tc.roundArrivals,
+		RoundRetries:     tc.roundRetries,
+		RoundCompletions: tc.roundCompletions,
+	}
 	for _, ts := range tc.services {
 		sr := TrafficServiceResult{
 			Name:             ts.spec.Name,
@@ -472,8 +764,19 @@ func (tc *trafficController) collect(res *Result, nodes []*Node, down []bool) {
 			ScaleDowns:       ts.sc.Downs(),
 			Arrivals:         ts.bal.Arrivals(),
 			Drops:            ts.bal.Drops(),
+			DropsUnroutable:  ts.bal.DropsUnroutable(),
+			DropsCapacity:    ts.bal.DropsCapacity(),
+			DropsBreaker:     ts.bal.DropsBreaker(),
 			Lost:             ts.lost,
 			Completions:      ts.retiredCompleted,
+			Shed:             ts.retiredShed,
+			Expired:          ts.retiredExpired,
+			Resilient:        ts.resilient,
+			Retries:          ts.retries,
+			BudgetDenied:     ts.budget.Denied(),
+			Exhausted:        ts.exhausted,
+			BreakerTrips:     ts.breaker.Trips(),
+			BreakerState:     ts.breaker.State().String(),
 			FailedPlacements: ts.failedPlacements,
 		}
 		lat := stats.NewHistogram(1e3, 1e10, 60)
@@ -486,10 +789,12 @@ func (tc *trafficController) collect(res *Result, nodes []*Node, down []bool) {
 			rep := ts.replicas[name]
 			live := rep.n == nodes[rep.node] && !down[rep.node]
 			if live {
-				rep.completedSeen = rep.ns.svc.Completed()
+				rep.refreshSeen(nil)
 				_ = lat.Merge(rep.ns.svc.Latencies())
 			}
 			sr.Completions += rep.completedSeen
+			sr.Shed += rep.shedSeen
+			sr.Expired += rep.expiredSeen
 			sr.InFlight += rep.outstanding()
 		}
 		sr.Queries = lat.Count()
@@ -507,12 +812,15 @@ func (tc *trafficController) collect(res *Result, nodes []*Node, down []bool) {
 		tr.Arrivals += sr.Arrivals
 		tr.Completions += sr.Completions
 		tr.Drops += sr.Drops
+		tr.Shed += sr.Shed
+		tr.Expired += sr.Expired
 		tr.Lost += sr.Lost
 		tr.InFlight += sr.InFlight
+		tr.Retries += sr.Retries
 		tr.ScaleUps += sr.ScaleUps
 		tr.ScaleDowns += sr.ScaleDowns
 	}
-	tr.Conserved = tr.Arrivals == tr.Completions+tr.Drops+tr.Lost+tr.InFlight
+	tr.Conserved = tr.Arrivals == tr.Completions+tr.Drops+tr.Shed+tr.Expired+tr.Lost+tr.InFlight
 	if tc.spikeRounds > 0 {
 		tr.SpikeUtil = tc.spikeUtilSum / float64(tc.spikeRounds)
 	}
@@ -543,12 +851,37 @@ func (tr *TrafficResult) render(b *strings.Builder) {
 	}
 	b.WriteString("\n")
 	b.WriteString(tb.String())
+	resilient := false
+	for _, s := range tr.Services {
+		if s.Resilient {
+			resilient = true
+		}
+	}
+	if resilient {
+		rb := trace.NewTable("request-path resilience: deadlines, retries, breakers, shedding",
+			"service", "retries", "shed", "expired", "drop cap/unrt/brk", "budget denied", "exhausted", "breaker")
+		for _, s := range tr.Services {
+			if !s.Resilient {
+				continue
+			}
+			rb.AddRow(s.Name, s.Retries, s.Shed, s.Expired,
+				fmt.Sprintf("%d/%d/%d", s.DropsCapacity, s.DropsUnroutable, s.DropsBreaker),
+				s.BudgetDenied, s.Exhausted,
+				fmt.Sprintf("%s (%d trips)", s.BreakerState, s.BreakerTrips))
+		}
+		b.WriteString("\n")
+		b.WriteString(rb.String())
+	}
 	conserved := "conserved"
 	if !tr.Conserved {
 		conserved = "NOT CONSERVED"
 	}
-	fmt.Fprintf(b, "\nrequest accounting: %d arrivals = %d completed + %d dropped + %d lost + %d in flight (%s)\n",
-		tr.Arrivals, tr.Completions, tr.Drops, tr.Lost, tr.InFlight, conserved)
+	fmt.Fprintf(b, "\nrequest accounting: %d arrivals = %d completed + %d dropped + %d shed + %d expired + %d lost + %d in flight (%s)\n",
+		tr.Arrivals, tr.Completions, tr.Drops, tr.Shed, tr.Expired, tr.Lost, tr.InFlight, conserved)
+	if tr.Retries > 0 || resilient {
+		fmt.Fprintf(b, "retry amplification: %.2fx (%d first attempts + %d retries)\n",
+			tr.Amplification(), tr.Arrivals-tr.Retries, tr.Retries)
+	}
 	fmt.Fprintf(b, "autoscaler: %d scale-ups, %d scale-downs; fleet utilization %.1f%% in spikes (%d rounds) vs %.1f%% in troughs (%d rounds)\n",
 		tr.ScaleUps, tr.ScaleDowns,
 		100*tr.SpikeUtil, tr.SpikeRounds, 100*tr.TroughUtil, tr.TroughRounds)

@@ -119,6 +119,76 @@ func TestTrafficFailoverAccounting(t *testing.T) {
 	}
 }
 
+// TestTrafficResilienceUnderFaults drives a resilient client stack
+// (deadlines, budgeted retries, breaker, shedding) through a combined
+// fault schedule — a node crash overlapping a heartbeat partition — and
+// requires the extended accounting identity to stay exact: arrivals =
+// completions + drops + shed + expired + lost + in-flight, with retries
+// tracked separately as amplification.
+func TestTrafficResilienceUnderFaults(t *testing.T) {
+	spec := trafficSpec(120_000)
+	spec.Topology.Services[0].Resilience = &scenario.ResilienceSpec{
+		DeadlineMs:         40,
+		MaxAttempts:        3,
+		RetryBackoffRounds: 1,
+		RetryJitterRounds:  2,
+		RetryBudget:        0.2,
+		BreakerFailureRate: 0.5,
+		BreakerMinVolume:   100,
+		ConcurrencyLimit:   96,
+	}
+	sched := faults.Spec{}
+	sched.Nodes.Crashes = []faults.NodeCrash{{Node: 0, Round: 25, DownRounds: 20}}
+	sched.Nodes.Partitions = []faults.NodePartition{{Node: 1, Round: 30, Rounds: 6}}
+	spec.Chaos = &sched
+	res, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Traffic
+	if res.Crashes == 0 {
+		t.Fatal("scripted crash did not fire")
+	}
+	if !tr.Conserved {
+		t.Fatalf("extended accounting broke under faults: %d arrivals != %d done + %d drop + %d shed + %d expired + %d lost + %d in flight",
+			tr.Arrivals, tr.Completions, tr.Drops, tr.Shed, tr.Expired, tr.Lost, tr.InFlight)
+	}
+	fe := tr.Services[0]
+	if !fe.Resilient {
+		t.Fatal("service did not report a resilience layer")
+	}
+	// Retries are amplification on top of first attempts, never part of
+	// the conserved identity: every retry is itself an arrival.
+	if tr.Retries > 0 && tr.Arrivals <= tr.Completions+tr.Drops {
+		if tr.Amplification() < 1 {
+			t.Fatalf("amplification %.3f below 1 with %d retries", tr.Amplification(), tr.Retries)
+		}
+	}
+	if fe.Retries != tr.Retries {
+		t.Fatalf("service retries %d != fleet retries %d on a one-service topology",
+			fe.Retries, tr.Retries)
+	}
+	// The drop-reason split must cover every drop.
+	if fe.DropsUnroutable+fe.DropsCapacity+fe.DropsBreaker != fe.Drops {
+		t.Fatalf("drop reasons %d+%d+%d do not sum to %d",
+			fe.DropsUnroutable, fe.DropsCapacity, fe.DropsBreaker, fe.Drops)
+	}
+	out := res.Render()
+	for _, want := range []string{"request-path resilience", "shed", "expired", "conserved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered resilient result missing %q", want)
+		}
+	}
+	// Determinism holds under the combined schedule too.
+	again, err := Run(spec, RunOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() != again.Render() {
+		t.Fatal("resilient faulted run not deterministic across workers")
+	}
+}
+
 // TestTrafficAutoscalerSpans checks the replica lifecycle is visible on
 // the observability plane: scale-up/scale-down spans on the control-plane
 // recorder and the autoscaler replica series in the store.

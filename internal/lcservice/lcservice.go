@@ -81,7 +81,34 @@ type Service struct {
 	completed   int64
 	submitted   int64
 	unsupported int64
+
+	// Replica-side admission control (SetAdmission): a concurrency limit
+	// sheds requests at submission when the unresolved count is at the
+	// cap, and a per-request deadline classifies replies that drain after
+	// it as expired — the client already timed out, so the work was
+	// wasted. Both default to off (0), leaving closed-loop services
+	// untouched.
+	concLimit  int64
+	deadlineNs int64
+	shed       int64
+	expired    int64
 }
+
+// Outcome classifies how one submitted request resolved.
+type Outcome uint8
+
+const (
+	// OutcomeCompleted: the reply drained within the deadline (or no
+	// deadline was configured).
+	OutcomeCompleted Outcome = iota
+	// OutcomeExpired: the reply drained after the per-request deadline —
+	// the queueing delay ate the budget, the client saw a timeout, and
+	// the server's work was wasted.
+	OutcomeExpired
+	// OutcomeShed: admission control refused the request at submission
+	// (unresolved count at the concurrency limit); no work was done.
+	OutcomeShed
+)
 
 // Launch creates the service process with its threads. The caller pins
 // threads afterwards (or lets the scheduler under test place them).
@@ -129,11 +156,29 @@ func (s *Service) Latencies() *stats.Histogram { return s.lat }
 // ResetLatencies clears recorded latencies (e.g. after warmup).
 func (s *Service) ResetLatencies() { s.lat.Reset() }
 
-// Completed returns the number of completed queries.
+// Completed returns the number of queries completed within their
+// deadline (all completions when no deadline is configured).
 func (s *Service) Completed() int64 { return s.completed }
 
 // Submitted returns the number of submitted queries.
 func (s *Service) Submitted() int64 { return s.submitted }
+
+// Shed returns the requests refused by admission control.
+func (s *Service) Shed() int64 { return s.shed }
+
+// Expired returns the replies that drained after their deadline.
+func (s *Service) Expired() int64 { return s.expired }
+
+// SetAdmission configures replica-side admission control: a concurrency
+// limit (0 = unlimited) shedding submissions once the unresolved count
+// reaches it, and a per-request deadline in nanoseconds (0 = none) past
+// which a draining reply counts as expired instead of completed.
+// Expired replies still record their latency — the SLI must see the
+// slowness that killed them.
+func (s *Service) SetAdmission(limit, deadlineNs int64) {
+	s.concLimit = limit
+	s.deadlineNs = deadlineNs
+}
 
 // Load performs the YCSB load phase directly (no latency recording): the
 // data is in place before the measured run, as with a real preloaded
@@ -151,7 +196,23 @@ func (s *Service) Load(gen *ycsb.Generator) {
 // thread. The recorded latency spans from now to the completion of the
 // final work item, so it includes queueing behind earlier requests.
 func (s *Service) Submit(op ycsb.Op, nowNs int64) {
+	s.SubmitCB(op, nowNs, nil)
+}
+
+// SubmitCB is Submit with an outcome callback and the configured
+// admission policy applied: a shed outcome fires synchronously inside
+// the call; completed/expired fire when the reply drains, from the
+// serving node's simulation. The callback must only touch state owned
+// by that node's side of the control-plane handoff.
+func (s *Service) SubmitCB(op ycsb.Op, nowNs int64, done func(oc Outcome, latNs int64)) {
 	s.submitted++
+	if s.concLimit > 0 && s.submitted-s.completed-s.expired-s.shed > s.concLimit {
+		s.shed++
+		if done != nil {
+			done(OutcomeShed, 0)
+		}
+		return
+	}
 	var res kvstore.Result
 	switch op.Type {
 	case ycsb.OpRead:
@@ -164,7 +225,13 @@ func (s *Service) Submit(op ycsb.Op, nowNs int64) {
 		res = s.store.Scan(op.Key, op.ScanLen)
 		if !res.Found {
 			// Store without scan support (Memcached): count and drop.
+			// For callers tracking resolution it resolves as shed — no
+			// work was done and no reply will drain.
 			s.unsupported++
+			s.shed++
+			if done != nil {
+				done(OutcomeShed, 0)
+			}
 			return
 		}
 	case ycsb.OpReadModifyWrite:
@@ -177,8 +244,19 @@ func (s *Service) Submit(op ycsb.Op, nowNs int64) {
 
 	res.Cost.Add(s.overhead)
 	items := res.Items(func(doneNs int64) {
+		latNs := doneNs - nowNs
+		s.lat.Add(float64(latNs))
+		if s.deadlineNs > 0 && latNs > s.deadlineNs {
+			s.expired++
+			if done != nil {
+				done(OutcomeExpired, latNs)
+			}
+			return
+		}
 		s.completed++
-		s.lat.Add(float64(doneNs - nowNs))
+		if done != nil {
+			done(OutcomeCompleted, latNs)
+		}
 	})
 	s.dispatch(items)
 	s.drainBackground()

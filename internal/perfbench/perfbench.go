@@ -122,7 +122,11 @@ type Report struct {
 	GoVersion  string             `json:"go_version"`
 	Scenarios  []TickResult       `json:"scenarios"`
 	Traffic    TrafficBenchResult `json:"traffic"`
-	Experiment ExperimentResult   `json:"experiment"`
+	// TrafficResilience is the same control plane with the request-path
+	// resilience layer attached; the delta against Traffic is the layer's
+	// bookkeeping cost.
+	TrafficResilience TrafficBenchResult `json:"traffic_resilience"`
+	Experiment        ExperimentResult   `json:"experiment"`
 }
 
 // buildIdle constructs the idle-heavy scenario: kernel installed, one
@@ -267,6 +271,28 @@ func buildTelemetry(seed uint64) (*machine.Machine, error) {
 // under the default diurnal topology at a modeled 60k users, serial
 // workers so the number tracks per-round cost rather than parallelism.
 func RunTrafficBench(seed uint64) (TrafficBenchResult, error) {
+	return runTrafficBench(seed, nil)
+}
+
+// RunTrafficResilienceBench measures the same control plane with the full
+// resilience layer attached — deadlines, per-attempt accounting, retry
+// queue, budget, breaker and admission control. The delta against
+// RunTrafficBench is the measured cost of the request-path resilience
+// machinery on a healthy fleet (no faults, so retries stay rare and the
+// number tracks bookkeeping, not storm dynamics).
+func RunTrafficResilienceBench(seed uint64) (TrafficBenchResult, error) {
+	return runTrafficBench(seed, &scenario.ResilienceSpec{
+		DeadlineMs:         60,
+		MaxAttempts:        3,
+		RetryBackoffRounds: 1,
+		RetryJitterRounds:  2,
+		RetryBudget:        0.1,
+		BreakerFailureRate: 0.5,
+		ConcurrencyLimit:   128,
+	})
+}
+
+func runTrafficBench(seed uint64, rz *scenario.ResilienceSpec) (TrafficBenchResult, error) {
 	const users = 60_000
 	spec := cluster.DefaultSpec()
 	spec.Nodes = 3
@@ -276,6 +302,9 @@ func RunTrafficBench(seed uint64) (TrafficBenchResult, error) {
 	spec.DurationSeconds = 1.5
 	spec.Seed = seed
 	topo := scenario.DefaultTopology(users, spec.WarmupSeconds+spec.DurationSeconds)
+	for i := range topo.Services {
+		topo.Services[i].Resilience = rz
+	}
 	spec.Topology = &topo
 
 	start := time.Now()
@@ -381,6 +410,11 @@ func Collect(o Options) (*Report, error) {
 		return nil, err
 	}
 	r.Traffic = traffic
+	resilient, err := RunTrafficResilienceBench(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.TrafficResilience = resilient
 
 	opts := experiments.Options{Seed: o.Seed, Scale: o.ExperimentScale, Parallel: 1}
 	start := time.Now()
@@ -413,6 +447,9 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "  %-18s %8.1f ms wall  %6.1f rounds/s  %8.0f arrivals/s (%d nodes, %dk users)\n",
 		"traffic-engine", r.Traffic.WallMs, r.Traffic.RoundsPerSec,
 		r.Traffic.ArrivalsPerSec, r.Traffic.Nodes, r.Traffic.Users/1000)
+	fmt.Fprintf(&b, "  %-18s %8.1f ms wall  %6.1f rounds/s  %8.0f arrivals/s (%d nodes, %dk users)\n",
+		"traffic-resilience", r.TrafficResilience.WallMs, r.TrafficResilience.RoundsPerSec,
+		r.TrafficResilience.ArrivalsPerSec, r.TrafficResilience.Nodes, r.TrafficResilience.Users/1000)
 	fmt.Fprintf(&b, "  %-18s %8.1f ms wall (scale %g)\n",
 		"experiment "+r.Experiment.ID, r.Experiment.WallMs, r.Experiment.Scale)
 	return b.String()

@@ -31,6 +31,9 @@ func Dashboard(title string, p *obs.Plane) string {
 	if panel := autoscalerPanel(p.Store); panel != "" {
 		b.WriteString(panel)
 	}
+	if panel := resiliencePanel(p.Store); panel != "" {
+		b.WriteString(panel)
+	}
 
 	alerts := p.Alerts()
 	fmt.Fprintf(&b, "\n-- burn-rate alerts (%d transitions) --\n", len(alerts))
@@ -93,6 +96,52 @@ func autoscalerPanel(st *obs.Store) string {
 			rate := st.Series(rateName)
 			fmt.Fprintf(&b, "%-24s %s\n%-24s %s\n", svc+" arrival rps",
 				obs.Sparkline(rate.Values(), 48), "", rate.Summary())
+		}
+	}
+	return b.String()
+}
+
+// resiliencePanel pairs each resilient service's breaker-state series
+// (0 closed, 0.5 half-open, 1 open) with its retry and client-visible
+// failure rates, so an operator can see whether the breaker opened on a
+// real failure wave and whether retries tracked it. Empty when no
+// resilience series exist (topologies without a resilience layer).
+func resiliencePanel(st *obs.Store) string {
+	const prefix = "resilience/"
+	var services []string
+	have := map[string]bool{}
+	for _, name := range st.Names() {
+		have[name] = true
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, "/breaker") {
+			services = append(services, strings.TrimSuffix(strings.TrimPrefix(name, prefix), "/breaker"))
+		}
+	}
+	if len(services) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\n-- request-path resilience --\n")
+	for _, svc := range services {
+		breaker := st.Series(prefix + svc + "/breaker")
+		vals := breaker.Values()
+		if len(vals) == 0 {
+			continue
+		}
+		var opens int
+		for _, v := range vals {
+			if v >= 1 {
+				opens++
+			}
+		}
+		fmt.Fprintf(&b, "%-24s %s\n", svc+" breaker",
+			obs.Sparkline(vals, 48))
+		fmt.Fprintf(&b, "%-24s open %d of %d rounds\n", "", opens, len(vals))
+		for _, sub := range []string{"retries", "failures"} {
+			if name := prefix + svc + "/" + sub; have[name] {
+				s := st.Series(name)
+				fmt.Fprintf(&b, "%-24s %s\n%-24s %s\n", svc+" "+sub,
+					obs.Sparkline(s.Values(), 48), "", s.Summary())
+			}
 		}
 	}
 	return b.String()

@@ -43,6 +43,58 @@ type ReplicatedService struct {
 	// Autoscaler, when non-nil, lets the control plane grow and shrink
 	// the replica set; nil pins the count at Replicas.
 	Autoscaler *AutoscalerSpec `json:"autoscaler,omitempty"`
+	// Resilience, when non-nil, enables the request-path resilience
+	// layer for this service: per-request deadlines, budgeted retries,
+	// a circuit breaker and replica-side load shedding. Nil keeps the
+	// fire-and-forget dispatch of the plain traffic plane.
+	Resilience *ResilienceSpec `json:"resilience,omitempty"`
+}
+
+// ResilienceSpec configures the closed-loop request-path behavior of one
+// replicated service: how clients time out, retry and back off, when the
+// per-service circuit breaker trips, and how replicas shed load. Zero
+// fields take the documented defaults; a nil spec disables the whole
+// layer.
+type ResilienceSpec struct {
+	// DeadlineMs is the per-request deadline in milliseconds: replies
+	// draining after it count as expired (the client timed out and the
+	// server's work was wasted), and expiry is what feeds client-side
+	// retry detection. It must be positive — a resilience layer without
+	// timeouts cannot detect anything.
+	DeadlineMs float64 `json:"deadline_ms"`
+	// MaxAttempts is the total tries per request, first included
+	// (0 = 1, i.e. no retries; capped at 6 — the control plane's
+	// per-attempt accounting arrays are sized by the cap).
+	MaxAttempts int `json:"max_attempts"`
+	// RetryBackoffRounds is the base exponential backoff in
+	// control-plane rounds: attempt a's failure retries BackoffRounds<<a
+	// rounds later (0 = 1).
+	RetryBackoffRounds int `json:"retry_backoff_rounds"`
+	// RetryJitterRounds adds a uniform [0, N] seed-derived draw to every
+	// retry delay (0 = 1; negative values are rejected).
+	RetryJitterRounds int `json:"retry_jitter_rounds"`
+	// RetryBudget bounds retries to this fraction of recent successes
+	// over BudgetWindowRounds (0 = unlimited — the naive client).
+	RetryBudget float64 `json:"retry_budget"`
+	// BudgetWindowRounds is the sliding success window the budget
+	// accrues over (0 = 20).
+	BudgetWindowRounds int `json:"budget_window_rounds"`
+	// BreakerFailureRate trips the per-service circuit breaker when the
+	// windowed failure fraction reaches it (0 = breaker disabled).
+	BreakerFailureRate float64 `json:"breaker_failure_rate"`
+	// BreakerWindowRounds is the failure-rate window (0 = 4).
+	BreakerWindowRounds int `json:"breaker_window_rounds"`
+	// BreakerMinVolume is the minimum windowed outcome count before the
+	// rate is trusted (0 = 50).
+	BreakerMinVolume int `json:"breaker_min_volume"`
+	// BreakerOpenRounds holds the breaker open before probing (0 = 8).
+	BreakerOpenRounds int `json:"breaker_open_rounds"`
+	// BreakerProbes is the half-open per-round probe admission quota
+	// (0 = 8).
+	BreakerProbes int `json:"breaker_probes"`
+	// ConcurrencyLimit sheds requests at a replica once its unresolved
+	// count reaches it — replica-side admission control (0 = unlimited).
+	ConcurrencyLimit int `json:"concurrency_limit"`
 }
 
 // AutoscalerSpec bounds the horizontal autoscaler for one service.
@@ -197,6 +249,35 @@ func (t Topology) Validate() error {
 				return fmt.Errorf("topology: service %s: autoscaler round counts must not be negative", s.Name)
 			}
 		}
+		if res := s.Resilience; res != nil {
+			if res.DeadlineMs <= 0 {
+				return fmt.Errorf("topology: service %s: resilience needs a positive deadline_ms", s.Name)
+			}
+			if res.MaxAttempts < 0 || res.MaxAttempts > 6 {
+				return fmt.Errorf("topology: service %s: resilience max_attempts %d out of range [0,6]",
+					s.Name, res.MaxAttempts)
+			}
+			if res.RetryBackoffRounds < 0 || res.RetryJitterRounds < 0 {
+				return fmt.Errorf("topology: service %s: resilience retry rounds must not be negative", s.Name)
+			}
+			if res.RetryBudget < 0 {
+				return fmt.Errorf("topology: service %s: resilience retry_budget must not be negative", s.Name)
+			}
+			if res.BudgetWindowRounds < 0 {
+				return fmt.Errorf("topology: service %s: resilience budget_window_rounds must not be negative", s.Name)
+			}
+			if res.BreakerFailureRate < 0 || res.BreakerFailureRate > 1 {
+				return fmt.Errorf("topology: service %s: resilience breaker_failure_rate %.2f out of range [0,1]",
+					s.Name, res.BreakerFailureRate)
+			}
+			if res.BreakerWindowRounds < 0 || res.BreakerMinVolume < 0 ||
+				res.BreakerOpenRounds < 0 || res.BreakerProbes < 0 {
+				return fmt.Errorf("topology: service %s: resilience breaker settings must not be negative", s.Name)
+			}
+			if res.ConcurrencyLimit < 0 {
+				return fmt.Errorf("topology: service %s: resilience concurrency_limit must not be negative", s.Name)
+			}
+		}
 	}
 	return nil
 }
@@ -322,6 +403,112 @@ func (sp Spike) Ramp() float64 {
 		return 0.25
 	}
 	return sp.RampFraction
+}
+
+// Defaulted accessors for the resilience layer, all safe on the
+// validated spec.
+
+func (r ResilienceSpec) Attempts() int {
+	if r.MaxAttempts == 0 {
+		return 1
+	}
+	return r.MaxAttempts
+}
+
+func (r ResilienceSpec) Backoff() int {
+	if r.RetryBackoffRounds == 0 {
+		return 1
+	}
+	return r.RetryBackoffRounds
+}
+
+func (r ResilienceSpec) Jitter() int {
+	if r.RetryJitterRounds == 0 {
+		return 1
+	}
+	return r.RetryJitterRounds
+}
+
+func (r ResilienceSpec) BudgetWindow() int {
+	if r.BudgetWindowRounds == 0 {
+		return 20
+	}
+	return r.BudgetWindowRounds
+}
+
+// StormResilience is the reference resilience configuration the storm
+// scenario's "budgeted + breakers + shedding" arm runs: a deadline of
+// about one heartbeat round, three attempts with exponential backoff and
+// jitter, retries capped at 10% of recent successes, a breaker tripping
+// at 50% windowed failures, and replica-side shedding at half the
+// balancer's admission window.
+func StormResilience() *ResilienceSpec {
+	return &ResilienceSpec{
+		DeadlineMs:         60,
+		MaxAttempts:        3,
+		RetryBackoffRounds: 1,
+		RetryJitterRounds:  2,
+		RetryBudget:        0.1,
+		BudgetWindowRounds: 20,
+		BreakerFailureRate: 0.5,
+		BreakerWindowRounds: 4,
+		BreakerMinVolume:   100,
+		BreakerOpenRounds:  8,
+		BreakerProbes:      16,
+		ConcurrencyLimit:   128,
+	}
+}
+
+// NaiveResilience is the storm scenario's pathological client: the same
+// deadline so timeouts fire, one extra attempt, and nothing that could
+// stop the feedback loop — no budget, no breaker, no shedding. This is
+// the configuration that exhibits metastable retry amplification.
+func NaiveResilience() *ResilienceSpec {
+	return &ResilienceSpec{
+		DeadlineMs:  60,
+		MaxAttempts: 4,
+	}
+}
+
+// StormTopology is the retry-storm scenario: one replicated redis
+// frontend with a fixed replica set (no autoscaler — recovery must come
+// from the resilience layer, not from capacity growth) driven by a flat
+// program with a single violent flash crowd mid-day. The caller injects
+// a node crash at the spike's onset and picks the resilience arm; peak
+// sizing follows DefaultTopology (~3% of users per second).
+//
+// The shape is deliberately storm-prone: redis serves on a single event
+// loop, so the replicas — not the balancer — are the bottleneck, and the
+// admission window is deep enough (QueueCap 8192 ≈ 150ms of single-worker
+// service time at the ~18µs measured per-op cost) that queueing delay can
+// blow well past the 60ms deadline before the balancer's capacity drop
+// kicks in. That is the metastable regime:
+// expired requests are server work wasted on clients that already timed
+// out, and a naive client stack converts each one into another arrival.
+func StormTopology(users int64, daySeconds float64, res *ResilienceSpec) Topology {
+	peak := float64(users) * 0.03
+	return Topology{
+		Services: []ReplicatedService{{
+			Name:       "frontend",
+			Store:      "redis",
+			Workload:   "b",
+			Program:    "storm",
+			Replicas:   4,
+			QueueCap:   8192,
+			Resilience: res,
+		}},
+		Programs: []TrafficProgram{{
+			Name:       "storm",
+			Users:      users,
+			BaseRPS:    peak / 2,
+			PeakRPS:    peak,
+			DaySeconds: daySeconds,
+			Spikes: []Spike{
+				{StartSeconds: 0.4 * daySeconds, DurationSeconds: 0.35 * daySeconds,
+					Multiplier: 4, RampFraction: 0.15},
+			},
+		}},
+	}
 }
 
 // DefaultTopology is the reference traffic topology: one replicated

@@ -102,6 +102,8 @@ func spanCategory(k SpanKind) string {
 		return "fault"
 	case SpanReplicaScaleUp, SpanReplicaScaleDown, SpanReplicaRetire:
 		return "autoscaler"
+	case SpanBreakerOpen:
+		return "resilience"
 	}
 	return "pod"
 }

@@ -43,6 +43,10 @@ const (
 	SpanReplicaScaleDown
 	SpanReplicaRetire
 
+	// Request-path resilience: one interval span per circuit-breaker
+	// open/half-open episode (control-plane recorder).
+	SpanBreakerOpen
+
 	numSpanKinds
 )
 
@@ -93,6 +97,8 @@ func (k SpanKind) String() string {
 		return "ReplicaScaleDown"
 	case SpanReplicaRetire:
 		return "ReplicaRetire"
+	case SpanBreakerOpen:
+		return "BreakerOpen"
 	case SpanSafeMode:
 		return "SafeMode"
 	}

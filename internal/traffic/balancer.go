@@ -7,9 +7,12 @@ import (
 )
 
 // Replica is the balancer's view of one service instance: somewhere a
-// request can be submitted for execution at a simulated time.
+// request can be submitted for execution at a simulated time. attempt is
+// the request's 0-based try number, threaded through so the control
+// plane can attribute failures to the retry generation that suffered
+// them.
 type Replica interface {
-	Submit(op ycsb.Op, atNs int64)
+	Submit(op ycsb.Op, atNs int64, attempt int)
 }
 
 // Balancer is the load-balancer tier for one replicated service.
@@ -28,14 +31,21 @@ type Replica interface {
 //
 // Admission: a replica at the queue cap is not routable; when every
 // replica is at the cap (or none is healthy) the arrival is dropped and
-// counted, so arrivals = dispatched + dropped always holds.
+// counted, so arrivals = dispatched + dropped always holds. Drops keep
+// their reason: a zero-replica window (nothing routable at all) is
+// operationally different from capacity exhaustion (replicas present but
+// every admission window full), and a breaker fast-fail is a client-side
+// decision before routing was even attempted.
 type Balancer struct {
 	queueCap int64
 	replicas []*replicaSlot
 	byName   map[string]*replicaSlot
 
-	arrivals int64
-	drops    int64
+	arrivals       int64
+	drops          int64
+	dropUnroutable int64
+	dropCapacity   int64
+	dropBreaker    int64
 }
 
 type replicaSlot struct {
@@ -138,13 +148,21 @@ func (b *Balancer) Names() []string {
 }
 
 // Dispatch routes one arrival: the least-loaded routable replica below
-// the queue cap receives the request at atNs. Returns the chosen replica
-// name, or ok=false when the arrival was dropped at admission.
-func (b *Balancer) Dispatch(op ycsb.Op, atNs int64) (string, bool) {
+// the queue cap receives the request at atNs with its attempt number.
+// Returns the chosen replica name, or ok=false when the arrival was
+// dropped at admission — an unroutable drop when no healthy
+// non-draining replica exists (a zero-replica window), a capacity drop
+// when routable replicas exist but all sit at the queue cap.
+func (b *Balancer) Dispatch(op ycsb.Op, atNs int64, attempt int) (string, bool) {
 	b.arrivals++
+	routable := false
 	var best *replicaSlot
 	for _, s := range b.replicas {
-		if !s.healthy || s.draining || s.outstanding >= b.queueCap {
+		if !s.healthy || s.draining {
+			continue
+		}
+		routable = true
+		if s.outstanding >= b.queueCap {
 			continue
 		}
 		if best == nil || s.outstanding < best.outstanding {
@@ -153,13 +171,35 @@ func (b *Balancer) Dispatch(op ycsb.Op, atNs int64) (string, bool) {
 	}
 	if best == nil {
 		b.drops++
+		if routable {
+			b.dropCapacity++
+		} else {
+			b.dropUnroutable++
+		}
 		return "", false
 	}
 	best.outstanding++
-	best.rep.Submit(op, atNs)
+	best.rep.Submit(op, atNs, attempt)
 	return best.name, true
+}
+
+// RejectBreaker accounts one presentation fast-failed by the service's
+// open circuit breaker: it arrived at the client stack and was dropped
+// before routing, so it still enters the conservation identity as an
+// arrival and a drop.
+func (b *Balancer) RejectBreaker() {
+	b.arrivals++
+	b.drops++
+	b.dropBreaker++
 }
 
 // Arrivals and Drops are the balancer's cumulative admission counters.
 func (b *Balancer) Arrivals() int64 { return b.arrivals }
 func (b *Balancer) Drops() int64    { return b.drops }
+
+// Drop-reason split: unroutable (zero-replica window), capacity (every
+// routable replica at the queue cap) and breaker (client-side
+// fast-fail). They sum to Drops.
+func (b *Balancer) DropsUnroutable() int64 { return b.dropUnroutable }
+func (b *Balancer) DropsCapacity() int64   { return b.dropCapacity }
+func (b *Balancer) DropsBreaker() int64    { return b.dropBreaker }

@@ -1,0 +1,229 @@
+package traffic
+
+// BreakerState is the classic three-state circuit-breaker machine.
+type BreakerState uint8
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the state name for rendering and series values.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerConfig parameterizes one service's circuit breaker.
+type BreakerConfig struct {
+	// FailureRate is the windowed failure fraction that trips the
+	// breaker (<= 0 disables it).
+	FailureRate float64
+	// WindowRounds is the sliding window the failure rate is computed
+	// over.
+	WindowRounds int
+	// MinVolume is the minimum outcome count inside the window before
+	// the rate is trusted — a handful of failures on a quiet service
+	// must not trip.
+	MinVolume int64
+	// OpenRounds is how long a tripped breaker fast-fails everything
+	// before probing.
+	OpenRounds int
+	// Probes is how many requests per round the half-open state admits.
+	Probes int
+	// CloseAfter is how many consecutive half-open rounds with admitted
+	// probes, zero failures and at least one success close the breaker.
+	CloseAfter int
+}
+
+// Breaker is a per-service circuit breaker driven once per control-plane
+// round from the balancer's reconciled outcome accounting: Tick at the
+// top of the round advances the state machine, Allow gates every
+// presentation (probe admission while half-open), Observe feeds the
+// round's success/failure deltas and may trip or close the state. All
+// calls happen serially in the round loop, so the breaker is as
+// deterministic as the counters driving it. A nil breaker admits
+// everything.
+type Breaker struct {
+	cfg   BreakerConfig
+	state BreakerState
+
+	good, bad []int64 // rings: per-round outcome counts while closed
+	goodSum   int64
+	badSum    int64
+	pos       int
+
+	reopenAt    int // round the open state starts probing
+	probesLeft  int // admissions remaining this half-open round
+	probeStreak int // consecutive clean half-open rounds
+	probedRound bool
+
+	trips   int
+	denied  int64
+	lastBad float64 // failure rate at the last trip
+}
+
+// NewBreaker builds a breaker; a config with FailureRate <= 0 returns
+// nil (disabled).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureRate <= 0 {
+		return nil
+	}
+	if cfg.WindowRounds < 1 {
+		cfg.WindowRounds = 4
+	}
+	if cfg.MinVolume < 1 {
+		cfg.MinVolume = 50
+	}
+	if cfg.OpenRounds < 1 {
+		cfg.OpenRounds = 8
+	}
+	if cfg.Probes < 1 {
+		cfg.Probes = 8
+	}
+	if cfg.CloseAfter < 1 {
+		cfg.CloseAfter = 2
+	}
+	return &Breaker{
+		cfg:  cfg,
+		good: make([]int64, cfg.WindowRounds),
+		bad:  make([]int64, cfg.WindowRounds),
+	}
+}
+
+// Tick advances the state machine at the top of round r: an open breaker
+// whose hold expired starts half-open probing, and the half-open probe
+// quota refills.
+func (b *Breaker) Tick(r int) {
+	if b == nil {
+		return
+	}
+	if b.state == BreakerOpen && r >= b.reopenAt {
+		b.state = BreakerHalfOpen
+		b.probeStreak = 0
+	}
+	if b.state == BreakerHalfOpen {
+		b.probesLeft = b.cfg.Probes
+		b.probedRound = false
+	}
+}
+
+// Allow reports whether one presentation may proceed. Closed admits
+// everything; open admits nothing; half-open admits up to Probes per
+// round. Denials are counted.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probesLeft > 0 {
+			b.probesLeft--
+			b.probedRound = true
+			return true
+		}
+	}
+	b.denied++
+	return false
+}
+
+// Observe feeds the round's reconciled outcome deltas after the nodes
+// advanced: good successes and bad client-visible failures (shed,
+// expired, lost, admission drops). It returns whether the breaker
+// tripped or closed this round, so the caller can trace transitions.
+func (b *Breaker) Observe(r int, good, bad int64) (tripped, closed bool) {
+	if b == nil {
+		return false, false
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.pos = (b.pos + 1) % b.cfg.WindowRounds
+		b.goodSum += good - b.good[b.pos]
+		b.good[b.pos] = good
+		b.badSum += bad - b.bad[b.pos]
+		b.bad[b.pos] = bad
+		total := b.goodSum + b.badSum
+		if total >= b.cfg.MinVolume {
+			rate := float64(b.badSum) / float64(total)
+			if rate >= b.cfg.FailureRate {
+				b.trip(r, rate)
+				return true, false
+			}
+		}
+	case BreakerHalfOpen:
+		// Probe verdict: any failure while probing re-opens (the backend
+		// is still sick — old queued work expiring counts, which is the
+		// conservative reading); a clean round with admitted probes and
+		// at least one success extends the streak.
+		if bad > 0 {
+			b.trip(r, 1)
+			return true, false
+		}
+		if b.probedRound && good > 0 {
+			b.probeStreak++
+			if b.probeStreak >= b.cfg.CloseAfter {
+				b.state = BreakerClosed
+				b.resetWindow()
+				return false, true
+			}
+		}
+	}
+	return false, false
+}
+
+func (b *Breaker) trip(r int, rate float64) {
+	b.state = BreakerOpen
+	b.reopenAt = r + b.cfg.OpenRounds
+	b.trips++
+	b.lastBad = rate
+	b.resetWindow()
+}
+
+func (b *Breaker) resetWindow() {
+	for i := range b.good {
+		b.good[i], b.bad[i] = 0, 0
+	}
+	b.goodSum, b.badSum = 0, 0
+	b.probeStreak = 0
+}
+
+// State returns the current state; nil breakers are always closed.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker opened.
+func (b *Breaker) Trips() int {
+	if b == nil {
+		return 0
+	}
+	return b.trips
+}
+
+// Denied returns the cumulative presentations fast-failed by the
+// breaker.
+func (b *Breaker) Denied() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.denied
+}
+
+// TripRate returns the windowed failure rate observed at the last trip.
+func (b *Breaker) TripRate() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.lastBad
+}

@@ -1,0 +1,194 @@
+package traffic
+
+import "github.com/holmes-colocation/holmes/internal/rng"
+
+// MaxAttempts is the hard cap on total attempts per request (first try
+// plus retries). The per-attempt accounting arrays in the control plane
+// are sized by it, so topology validation rejects anything above.
+const MaxAttempts = 6
+
+// RetryPolicy is the client-side retry schedule: exponential backoff in
+// control-plane rounds with seed-derived jitter, capped at Attempts total
+// tries. The zero value means "no retries" (Attempts <= 1).
+type RetryPolicy struct {
+	// Attempts is the total number of tries per request, first included.
+	Attempts int
+	// BackoffRounds is the base backoff: a failure of attempt a (0-based)
+	// is retried BackoffRounds<<a rounds later, plus jitter.
+	BackoffRounds int
+	// JitterRounds adds a uniform [0, JitterRounds] draw to every delay,
+	// decorrelating the retry wave that a mass failure would otherwise
+	// synchronize.
+	JitterRounds int
+}
+
+// Delay returns the round delay before retrying a request whose attempt
+// a (0-based) just failed, drawing jitter from src. The exponential term
+// saturates rather than overflowing.
+func (p RetryPolicy) Delay(a int, src *rng.Source) int {
+	back := p.BackoffRounds
+	if back < 1 {
+		back = 1
+	}
+	if a > 16 {
+		a = 16
+	}
+	d := back << a
+	if p.JitterRounds > 0 {
+		d += int(src.Int63n(int64(p.JitterRounds) + 1))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// RetryCohort is a batch of retries sharing a due round and attempt
+// number. Failures are observed as per-round counter deltas, not
+// individual requests, so the retry queue works in cohorts.
+type RetryCohort struct {
+	Due     int
+	Attempt int
+	Count   int64
+}
+
+// RetryQueue holds pending retries ordered by insertion; cohorts with the
+// same (due, attempt) merge. All operations are called serially from the
+// control-plane round loop, so iteration order is deterministic.
+type RetryQueue struct {
+	cohorts []RetryCohort
+}
+
+// Add enqueues count retries of the given attempt, due at round due.
+func (q *RetryQueue) Add(due, attempt int, count int64) {
+	if count <= 0 {
+		return
+	}
+	for i := range q.cohorts {
+		if q.cohorts[i].Due == due && q.cohorts[i].Attempt == attempt {
+			q.cohorts[i].Count += count
+			return
+		}
+	}
+	q.cohorts = append(q.cohorts, RetryCohort{Due: due, Attempt: attempt, Count: count})
+}
+
+// PopDue removes and returns every cohort due at or before round r, in
+// (due, attempt) order so release order never depends on insertion
+// history.
+func (q *RetryQueue) PopDue(r int) []RetryCohort {
+	var due []RetryCohort
+	rest := q.cohorts[:0]
+	for _, c := range q.cohorts {
+		if c.Due <= r {
+			due = append(due, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	q.cohorts = rest
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0; j-- {
+			a, b := due[j-1], due[j]
+			if a.Due < b.Due || (a.Due == b.Due && a.Attempt <= b.Attempt) {
+				break
+			}
+			due[j-1], due[j] = b, a
+		}
+	}
+	return due
+}
+
+// Pending returns the total queued retry count.
+func (q *RetryQueue) Pending() int64 {
+	var n int64
+	for _, c := range q.cohorts {
+		n += c.Count
+	}
+	return n
+}
+
+// RetryBudget bounds retries to a fixed fraction of recent successes —
+// the mechanism that makes retry storms self-extinguishing: when
+// completions collapse, the budget collapses with them and the client
+// stack abandons retries instead of amplifying load. It tracks sliding
+// windows of per-round successes and released retries; the budget
+// available at any instant is frac*successes - released over the window.
+// A nil budget is unlimited.
+type RetryBudget struct {
+	frac     float64
+	window   int
+	succ     []int64 // ring: per-round successes
+	spent    []int64 // ring: per-round retries released
+	succSum  int64
+	spentSum int64
+	pos      int
+	denied   int64
+}
+
+// NewRetryBudget builds a budget of frac retries per success over a
+// sliding window of windowRounds rounds. frac <= 0 returns nil
+// (unlimited).
+func NewRetryBudget(frac float64, windowRounds int) *RetryBudget {
+	if frac <= 0 {
+		return nil
+	}
+	if windowRounds < 1 {
+		windowRounds = 1
+	}
+	return &RetryBudget{
+		frac:   frac,
+		window: windowRounds,
+		succ:   make([]int64, windowRounds),
+		spent:  make([]int64, windowRounds),
+	}
+}
+
+// Observe rolls the window forward one round, crediting that round's
+// successes.
+func (b *RetryBudget) Observe(successes int64) {
+	if b == nil {
+		return
+	}
+	b.pos = (b.pos + 1) % b.window
+	b.succSum += successes - b.succ[b.pos]
+	b.succ[b.pos] = successes
+	b.spentSum -= b.spent[b.pos]
+	b.spent[b.pos] = 0
+}
+
+// Available returns how many retries the budget will currently grant.
+func (b *RetryBudget) Available() int64 {
+	if b == nil {
+		return 1 << 62
+	}
+	n := int64(b.frac*float64(b.succSum)) - b.spentSum
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Spend grants up to n retries, returning how many were granted; the
+// remainder is recorded as denied (abandoned by the client stack).
+func (b *RetryBudget) Spend(n int64) int64 {
+	if b == nil {
+		return n
+	}
+	grant := b.Available()
+	if grant > n {
+		grant = n
+	}
+	b.spent[b.pos] += grant
+	b.spentSum += grant
+	b.denied += n - grant
+	return grant
+}
+
+// Denied returns the cumulative retries abandoned for lack of budget.
+func (b *RetryBudget) Denied() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.denied
+}

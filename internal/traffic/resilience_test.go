@@ -1,0 +1,294 @@
+package traffic
+
+import (
+	"testing"
+
+	"github.com/holmes-colocation/holmes/internal/rng"
+	"github.com/holmes-colocation/holmes/internal/scenario"
+	"github.com/holmes-colocation/holmes/internal/ycsb"
+)
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{Attempts: 4, BackoffRounds: 2}
+	src := rng.New(rng.DeriveSeed(1, "jitter"))
+	// No jitter: pure exponential doubling.
+	for a, want := range []int{2, 4, 8, 16} {
+		if d := p.Delay(a, src); d != want {
+			t.Fatalf("Delay(%d) = %d, want %d", a, d, want)
+		}
+	}
+	// Zero-value policy still waits at least one round.
+	if d := (RetryPolicy{}).Delay(0, src); d != 1 {
+		t.Fatalf("zero policy delay %d, want 1", d)
+	}
+	// The exponential term saturates instead of overflowing.
+	if d := p.Delay(1000, src); d <= 0 {
+		t.Fatalf("saturated delay %d not positive", d)
+	}
+
+	// Jitter stays within [base, base+J] and is deterministic per seed.
+	j := RetryPolicy{BackoffRounds: 1, JitterRounds: 3}
+	a1 := rng.New(rng.DeriveSeed(7, "jitter"))
+	a2 := rng.New(rng.DeriveSeed(7, "jitter"))
+	spread := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		d1, d2 := j.Delay(0, a1), j.Delay(0, a2)
+		if d1 != d2 {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, d1, d2)
+		}
+		if d1 < 1 || d1 > 4 {
+			t.Fatalf("jittered delay %d outside [1, 4]", d1)
+		}
+		spread[d1] = true
+	}
+	if len(spread) < 3 {
+		t.Fatalf("jitter produced only %d distinct delays", len(spread))
+	}
+}
+
+func TestRetryQueueMergeAndOrder(t *testing.T) {
+	var q RetryQueue
+	q.Add(5, 1, 10)
+	q.Add(3, 2, 4)
+	q.Add(5, 1, 7) // merges with the first cohort
+	q.Add(3, 1, 2)
+	q.Add(9, 1, 1)
+	q.Add(4, 1, 0)  // no-op
+	q.Add(4, 1, -3) // no-op
+	if got := q.Pending(); got != 24 {
+		t.Fatalf("pending %d, want 24", got)
+	}
+	due := q.PopDue(5)
+	want := []RetryCohort{{3, 1, 2}, {3, 2, 4}, {5, 1, 17}}
+	if len(due) != len(want) {
+		t.Fatalf("popped %d cohorts, want %d: %+v", len(due), len(want), due)
+	}
+	for i, c := range due {
+		if c != want[i] {
+			t.Fatalf("cohort %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+	// The future cohort stays queued until its round.
+	if got := q.Pending(); got != 1 {
+		t.Fatalf("pending after pop %d, want 1", got)
+	}
+	if due := q.PopDue(8); len(due) != 0 {
+		t.Fatalf("premature pop: %+v", due)
+	}
+	if due := q.PopDue(9); len(due) != 1 || due[0] != (RetryCohort{9, 1, 1}) {
+		t.Fatalf("final pop: %+v", due)
+	}
+}
+
+func TestRetryBudgetAccrualAndDenial(t *testing.T) {
+	if b := NewRetryBudget(0, 10); b != nil {
+		t.Fatal("frac 0 should disable the budget")
+	}
+	// A nil budget is unlimited and inert.
+	var nb *RetryBudget
+	nb.Observe(100)
+	if nb.Spend(42) != 42 || nb.Denied() != 0 || nb.Available() <= 0 {
+		t.Fatal("nil budget limited something")
+	}
+
+	b := NewRetryBudget(0.1, 3)
+	b.Observe(100) // 10 retries accrued
+	if got := b.Available(); got != 10 {
+		t.Fatalf("available %d, want 10", got)
+	}
+	if got := b.Spend(4); got != 4 {
+		t.Fatalf("granted %d, want 4", got)
+	}
+	if got := b.Spend(20); got != 6 {
+		t.Fatalf("granted %d of an over-ask, want the remaining 6", got)
+	}
+	if got := b.Denied(); got != 14 {
+		t.Fatalf("denied %d, want 14", got)
+	}
+	// A collapse in successes starves the budget as the window slides.
+	b.Observe(0)
+	b.Observe(0)
+	if got := b.Available(); got != 0 {
+		t.Fatalf("available %d after partial slide, want 0 (all spent)", got)
+	}
+	b.Observe(0) // the 100-success round leaves the window
+	if got := b.Spend(5); got != 0 {
+		t.Fatalf("starved budget granted %d", got)
+	}
+	// Fresh successes re-arm it.
+	b.Observe(50)
+	if got := b.Available(); got != 5 {
+		t.Fatalf("available %d after recovery, want 5", got)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	// A nil breaker admits everything and never trips.
+	var nilB *Breaker
+	nilB.Tick(0)
+	if !nilB.Allow() || nilB.State() != BreakerClosed || nilB.Trips() != 0 {
+		t.Fatal("nil breaker interfered")
+	}
+	if b := NewBreaker(BreakerConfig{FailureRate: 0}); b != nil {
+		t.Fatal("FailureRate 0 should disable the breaker")
+	}
+
+	b := NewBreaker(BreakerConfig{
+		FailureRate: 0.5, WindowRounds: 2, MinVolume: 100,
+		OpenRounds: 3, Probes: 2, CloseAfter: 2,
+	})
+	// Below min volume the rate is not trusted, however bad.
+	b.Tick(0)
+	if tripped, _ := b.Observe(0, 1, 40); tripped {
+		t.Fatal("tripped below min volume")
+	}
+	// Enough volume at a failing rate trips.
+	b.Tick(1)
+	tripped, _ := b.Observe(1, 30, 60)
+	if !tripped || b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("no trip: state %v, trips %d", b.State(), b.Trips())
+	}
+	if b.TripRate() < 0.5 {
+		t.Fatalf("trip rate %.2f below threshold", b.TripRate())
+	}
+	// Open fast-fails everything until the hold expires.
+	for r := 2; r < 4; r++ {
+		b.Tick(r)
+		if b.Allow() {
+			t.Fatalf("open breaker admitted at round %d", r)
+		}
+	}
+	if b.Denied() != 2 {
+		t.Fatalf("denied %d, want 2", b.Denied())
+	}
+	// reopenAt = 1+3 = 4: the breaker starts probing, admitting Probes per
+	// round.
+	b.Tick(4)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v at reopen, want half-open", b.State())
+	}
+	if !b.Allow() || !b.Allow() || b.Allow() {
+		t.Fatal("half-open probe quota wrong")
+	}
+	// A failed probe round re-trips immediately.
+	if tripped, _ := b.Observe(4, 1, 1); !tripped || b.State() != BreakerOpen {
+		t.Fatal("failure during probing did not re-trip")
+	}
+	// Next probe window: two clean rounds with successes close it.
+	b.Tick(7)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after second hold, want half-open", b.State())
+	}
+	b.Allow()
+	if _, closed := b.Observe(7, 2, 0); closed {
+		t.Fatal("closed after a single clean round")
+	}
+	b.Tick(8)
+	b.Allow()
+	if _, closed := b.Observe(8, 2, 0); !closed || b.State() != BreakerClosed {
+		t.Fatalf("did not close: state %v", b.State())
+	}
+	// A half-open round with no admitted probes does not extend the streak.
+	b2 := NewBreaker(BreakerConfig{
+		FailureRate: 0.5, WindowRounds: 1, MinVolume: 10,
+		OpenRounds: 1, Probes: 1, CloseAfter: 1,
+	})
+	b2.Tick(0)
+	b2.Observe(0, 0, 10)
+	b2.Tick(1)
+	if _, closed := b2.Observe(1, 5, 0); closed {
+		t.Fatal("closed on success traffic that bypassed the probe gate")
+	}
+}
+
+func TestBalancerDropReasons(t *testing.T) {
+	b := NewBalancer(1)
+	op := ycsb.Op{Type: ycsb.OpRead, Key: "k"}
+
+	// Zero-replica window: nothing registered at all.
+	if _, ok := b.Dispatch(op, 1, 0); ok {
+		t.Fatal("dispatched with no replicas")
+	}
+	r0 := &fakeReplica{}
+	b.Add("s/0", r0)
+	// Capacity: a routable replica exists but its window is full.
+	b.SetOutstanding("s/0", 1)
+	if _, ok := b.Dispatch(op, 2, 0); ok {
+		t.Fatal("dispatched above cap")
+	}
+	// All replicas suspected: an unroutable drop, not capacity.
+	b.SetOutstanding("s/0", 0)
+	b.SetHealthy("s/0", false)
+	if _, ok := b.Dispatch(op, 3, 0); ok {
+		t.Fatal("dispatched to a suspected replica")
+	}
+	// Breaker fast-fail is its own reason.
+	b.RejectBreaker()
+	if b.DropsUnroutable() != 2 || b.DropsCapacity() != 1 || b.DropsBreaker() != 1 {
+		t.Fatalf("drop split unrt/cap/brk = %d/%d/%d, want 2/1/1",
+			b.DropsUnroutable(), b.DropsCapacity(), b.DropsBreaker())
+	}
+	if b.Drops() != b.DropsUnroutable()+b.DropsCapacity()+b.DropsBreaker() {
+		t.Fatal("drop reasons do not sum to drops")
+	}
+	if b.Arrivals() != 4 {
+		t.Fatalf("arrivals %d, want 4 (breaker rejects still arrive)", b.Arrivals())
+	}
+}
+
+func TestBalancerZeroCapWindow(t *testing.T) {
+	// A zero admission window drops every arrival as capacity, never
+	// unroutable: the replica is healthy, its window is just empty.
+	b := NewBalancer(0)
+	b.Add("s/0", &fakeReplica{})
+	op := ycsb.Op{Type: ycsb.OpRead, Key: "k"}
+	for i := int64(0); i < 3; i++ {
+		if _, ok := b.Dispatch(op, i, 0); ok {
+			t.Fatal("dispatched through a zero window")
+		}
+	}
+	if b.DropsCapacity() != 3 || b.DropsUnroutable() != 0 {
+		t.Fatalf("drop split cap/unrt = %d/%d, want 3/0",
+			b.DropsCapacity(), b.DropsUnroutable())
+	}
+}
+
+func TestAutoscalerExactThresholdBoundaries(t *testing.T) {
+	a := NewAutoscaler(&scenario.AutoscalerSpec{
+		Min: 1, Max: 5, UpQueue: 50, DownQueue: 10,
+		UpRounds: 2, DownRounds: 2, CooldownRounds: 4,
+	})
+	// Exactly at the up threshold counts toward the streak (>=).
+	if d := a.Observe(0, 1, 50, false); d != 0 {
+		t.Fatal("scaled on the first boundary round")
+	}
+	if d := a.Observe(1, 1, 50, false); d != 1 {
+		t.Fatal("queue == UpQueue did not build the up streak")
+	}
+	// One round below the threshold resets the streak mid-build.
+	a.Observe(2, 2, 60, false)
+	a.Observe(3, 2, 49.9, false) // reset
+	if d := a.Observe(4, 2, 60, false); d != 0 {
+		t.Fatal("streak survived a sub-threshold round")
+	}
+	if d := a.Observe(5, 2, 60, false); d != 1 {
+		t.Fatal("rebuilt streak did not fire")
+	}
+	// Exactly at the down threshold counts toward the down streak (<=),
+	// and the cooldown gate admits the action on its expiry round exactly:
+	// last action round 5, cooldown 4 -> allowed at round 9.
+	a.Observe(6, 3, 10, false)
+	a.Observe(7, 3, 10, false)
+	if d := a.Observe(8, 3, 10, false); d != 0 {
+		t.Fatal("scaled down inside the cooldown")
+	}
+	if d := a.Observe(9, 3, 10, false); d != -1 {
+		t.Fatal("cooldown expiry round did not admit the scale-down")
+	}
+	// A paging burn resets the down streak even with an idle queue.
+	a.Observe(14, 2, 0, true)
+	a.Observe(15, 2, 0, false)
+	if d := a.Observe(16, 2, 0, false); d != -1 {
+		t.Fatal("down streak after burn round mis-counted")
+	}
+}

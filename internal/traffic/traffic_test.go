@@ -91,7 +91,7 @@ type fakeReplica struct {
 	lastAt    int64
 }
 
-func (f *fakeReplica) Submit(op ycsb.Op, atNs int64) { f.submitted++; f.lastAt = atNs }
+func (f *fakeReplica) Submit(op ycsb.Op, atNs int64, attempt int) { f.submitted++; f.lastAt = atNs }
 
 func TestBalancerLeastQueueAndCaps(t *testing.T) {
 	b := NewBalancer(2)
@@ -101,20 +101,20 @@ func TestBalancerLeastQueueAndCaps(t *testing.T) {
 	op := ycsb.Op{Type: ycsb.OpRead, Key: "k"}
 
 	// Ties go to insertion order; dispatches alternate as queues equalize.
-	if name, ok := b.Dispatch(op, 1); !ok || name != "a/0" {
+	if name, ok := b.Dispatch(op, 1, 0); !ok || name != "a/0" {
 		t.Fatalf("first dispatch to %q", name)
 	}
-	if name, ok := b.Dispatch(op, 2); !ok || name != "a/1" {
+	if name, ok := b.Dispatch(op, 2, 0); !ok || name != "a/1" {
 		t.Fatalf("second dispatch to %q", name)
 	}
 	// With a healthy replica loaded, the other takes the traffic.
 	b.SetOutstanding("a/0", 2) // at cap
-	if name, ok := b.Dispatch(op, 3); !ok || name != "a/1" {
+	if name, ok := b.Dispatch(op, 3, 0); !ok || name != "a/1" {
 		t.Fatalf("cap-avoiding dispatch to %q", name)
 	}
 	// Both at cap: the arrival drops and is counted.
 	b.SetOutstanding("a/1", 2)
-	if _, ok := b.Dispatch(op, 4); ok {
+	if _, ok := b.Dispatch(op, 4, 0); ok {
 		t.Fatal("dispatch above cap accepted")
 	}
 	if b.Arrivals() != 4 || b.Drops() != 1 {
@@ -133,11 +133,11 @@ func TestBalancerLeastQueueAndCaps(t *testing.T) {
 	if b.Routable() != 0 {
 		t.Fatalf("routable %d, want 0", b.Routable())
 	}
-	if _, ok := b.Dispatch(op, 5); ok {
+	if _, ok := b.Dispatch(op, 5, 0); ok {
 		t.Fatal("dispatched to unroutable fleet")
 	}
 	b.SetHealthy("a/0", true)
-	if name, ok := b.Dispatch(op, 6); !ok || name != "a/0" {
+	if name, ok := b.Dispatch(op, 6, 0); !ok || name != "a/0" {
 		t.Fatalf("recovered dispatch to %q", name)
 	}
 	if got := b.Remove("a/0"); got != 1 {
