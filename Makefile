@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check batch-equiv cluster-smoke chaos-smoke traffic-smoke storm-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
+.PHONY: all build check batch-equiv cluster-smoke chaos-smoke traffic-smoke storm-smoke scale-smoke fuzz-smoke bench-smoke obs-smoke test test-short vet bench bench-experiments report examples clean
 
 all: build vet test
 
@@ -72,6 +72,19 @@ storm-smoke:
 	grep -q "storm verdict.*PASS" storm-out/report.txt
 	@echo "storm-smoke artifact in storm-out/: report.txt"
 
+# Datacenter-scale placement experiment: a 256-node fleet on the sharded
+# registry with LoD auto, three placement arms (scoring / vpi / binpack)
+# over identical workloads, rendered with its PASS/FAIL verdict into
+# scale-out/report.txt. The greps gate CI on the verdict line itself and
+# on the pod-stream conservation identity holding in all three arms.
+scale-smoke:
+	mkdir -p scale-out
+	$(GO) run ./cmd/holmes-bench scale > scale-out/report.txt
+	grep -q "scale verdict" scale-out/report.txt
+	grep -q "scale verdict.*PASS" scale-out/report.txt
+	test "$$(grep -c ": conserved" scale-out/report.txt)" -eq 3
+	@echo "scale-smoke artifact in scale-out/: report.txt"
+
 # Short fuzz smoke: a few seconds per fuzz target over the codec and
 # generator corpora. CI runs this; `go test` alone only replays seeds.
 fuzz-smoke:
@@ -135,4 +148,4 @@ examples:
 	$(GO) run ./examples/kubernetes
 
 clean:
-	rm -rf out obs-out traffic-out storm-out equiv-diff holmes-report.html test_output.txt bench_output.txt
+	rm -rf out obs-out traffic-out storm-out scale-out equiv-diff holmes-report.html test_output.txt bench_output.txt

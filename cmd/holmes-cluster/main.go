@@ -13,6 +13,10 @@
 //	holmes-cluster -traffic 1000000          drive a modeled 1M-user diurnal day
 //	holmes-cluster -topology topo.json       drive a JSON-described traffic topology
 //	holmes-cluster -storm 2000000            retry-storm scenario: flash crowd + node crash
+//	holmes-cluster -nodes 256 -placer score -lod auto
+//	                                         datacenter-scale fleet: scoring placement
+//	                                         over the sharded registry, quiescent nodes
+//	                                         fast-forwarded
 //
 // Every run is deterministic: per-node seeds derive from (seed, node ID),
 // so -parallel N changes wall-clock time, never the output. Fault
@@ -47,7 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	specPath := fs.String("spec", "", "JSON cluster spec (overrides the shape flags)")
 	nodes := fs.Int("nodes", 0, "fleet size (default 6)")
 	cores := fs.Int("cores", 0, "physical cores per node (default 8)")
-	placer := fs.String("placer", "", `placement policy: "vpi", "binpack" or "both" (default vpi)`)
+	placer := fs.String("placer", "", `placement policy: "vpi", "binpack", "score" or "both" (default vpi)`)
+	lod := fs.String("lod", "", `node fidelity: "full" or "auto" (fast-forward quiescent nodes; default full)`)
 	duration := fs.Float64("duration", 0, "measured window, simulated seconds (default 3)")
 	warmup := fs.Float64("warmup", -1, "warmup before measurement, simulated seconds (default 1)")
 	batchPods := fs.Int("batch-pods", -1, "total BestEffort pods submitted (default 48)")
@@ -110,6 +115,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel < 1 {
 		return fail("-parallel %d must be at least 1", *parallel)
+	}
+	switch *lod {
+	case "", cluster.LoDFull, cluster.LoDAuto:
+	default:
+		return fail(`-lod %q must be "full" or "auto"`, *lod)
 	}
 	if *trafficUsers < 0 {
 		return fail("-traffic %d must be positive (modeled users)", *trafficUsers)
@@ -186,6 +196,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *seed != 0 {
 		spec.Seed = *seed
+	}
+	if *lod != "" {
+		spec.LoD = *lod
 	}
 	if *chaosSpec != "" {
 		f, err := os.Open(*chaosSpec)
@@ -350,7 +363,13 @@ Flags:
   -spec FILE        JSON cluster spec; flags below override its shape fields
   -nodes N          fleet size (default 6)
   -cores N          physical cores per node (default 8)
-  -placer P         "vpi", "binpack", or "both" for a side-by-side comparison
+  -placer P         "vpi", "binpack", "score" (predicted post-placement
+                    interference over the sharded registry), or "both" for a
+                    side-by-side vpi/binpack comparison
+  -lod M            node fidelity: "full" simulates every node every round;
+                    "auto" fast-forwards quiescent nodes (not dead, not
+                    suspect, cool VPI trend, nothing placed) and catches them
+                    up on demand; auto is ignored under node-fault chaos
   -duration S       measured window in simulated seconds (default 3)
   -warmup S         warmup in simulated seconds (default 1)
   -batch-pods N     total BestEffort pods submitted (default 48)

@@ -28,6 +28,7 @@ func TestFlagValidation(t *testing.T) {
 		{"negative evict-vpi", []string{"-evict-vpi", "-25"}, "-evict-vpi -25 must be positive"},
 		{"negative hot-rounds", []string{"-hot-rounds", "-2"}, "-hot-rounds -2 must be positive"},
 		{"zero parallel", []string{"-parallel", "0"}, "-parallel 0 must be at least 1"},
+		{"bad lod", []string{"-lod", "adaptive"}, `-lod "adaptive" must be "full" or "auto"`},
 		{"negative services", []string{"-services", "-1"}, "-services -1 must not be negative"},
 		{"missing spec", []string{"-spec", "/does/not/exist.json"}, "no such file"},
 		{"missing chaos spec", []string{"-chaos-spec", "/does/not/exist.json"}, "no such file"},
@@ -135,6 +136,28 @@ func TestChaosSpecFileAndNoDegrade(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "safe-mode entries 0") {
 		t.Fatalf("-no-degrade run still reports safe-mode entries:\n%s", stdout)
+	}
+}
+
+// TestScorePlacerAndLoDFlags runs a wider fleet under the scoring placer
+// with LoD auto and checks the fidelity line reports fast-forwarded
+// node-rounds, plus byte-identical output across -parallel values.
+func TestScorePlacerAndLoDFlags(t *testing.T) {
+	args := []string{"-nodes", "12", "-services", "2", "-batch-pods", "8",
+		"-warmup", "0.2", "-duration", "0.6", "-placer", "score", "-lod", "auto"}
+	code, stdout, stderr := runCLI(append(args, "-parallel", "8")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"score placement", "fidelity: lod=auto", "cluster utilization"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	_, serial, _ := runCLI(append(args, "-parallel", "1")...)
+	if serial != stdout {
+		t.Fatalf("-lod auto output differs between -parallel 8 and 1:\n--- p8 ---\n%s\n--- p1 ---\n%s",
+			stdout, serial)
 	}
 }
 

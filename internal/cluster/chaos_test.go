@@ -8,6 +8,9 @@ import (
 
 func TestRequeueBackoff(t *testing.T) {
 	cases := []struct{ evictions, want int }{
+		// Zero (and any nonsense below it) takes the minimum backoff
+		// instead of panicking on a negative shift.
+		{-1, 1}, {0, 1},
 		{1, 1}, {2, 2}, {3, 4}, {4, 8}, {5, 8}, {10, 8},
 	}
 	for _, tc := range cases {

@@ -48,6 +48,12 @@ type RunOptions struct {
 	// observation — attaching a plane never changes what the run computes
 	// (the burn-rate engine itself always runs; it feeds the reconciler).
 	Obs *obs.Plane
+	// FullRescan forces the control plane onto its naive O(nodes) paths:
+	// reference full-rescan placement, unconditional reconcile scans, and
+	// full machine fidelity regardless of the spec's LoD setting. The
+	// honest baseline for the perfbench scaling scenario and the
+	// differential tests — results are identical either way.
+	FullRescan bool
 }
 
 // maxPlaceRetries bounds how many rounds a pending pod is retried when no
@@ -62,6 +68,13 @@ const maxBackoffRounds = 8
 
 // trendAlpha is the per-round EWMA weight for a node's VPI trend.
 const trendAlpha = 0.3
+
+// lodQuietVPI is the VPI-trend ceiling below which an unoccupied,
+// unsuspected node counts as quiescent for the level-of-detail policy. A
+// node that was recently hot keeps full fidelity until its trend decays
+// under this (about nine rounds from the eviction threshold at
+// trendAlpha), so the fast-forward path never hides a cooling node.
+const lodQuietVPI = 1.0
 
 // debugVPI prints per-round node VPI trends (development aid).
 var debugVPI = os.Getenv("HOLMES_CLUSTER_DEBUG") != ""
@@ -123,6 +136,19 @@ type Result struct {
 	Requeues         int
 	FailedPlacements int
 	PinnedPods       int
+	// Batch pod-stream conservation accounting (whole run): every admitted
+	// pod is, at run end, completed, still running, still queued, or
+	// dropped — BatchArrived == BatchDoneTotal + BatchRunning + BatchQueued
+	// + BatchFailed. Unlike BatchCompleted, BatchDoneTotal counts warmup
+	// completions too.
+	BatchArrived   int
+	BatchDoneTotal int
+	BatchRunning   int
+	BatchQueued    int
+	BatchFailed    int
+	// LoDSkips counts node-rounds the level-of-detail policy
+	// fast-forwarded instead of simulating (0 under LoD "full").
+	LoDSkips int
 	// Fault and degradation statistics (all zero in fault-free runs).
 	Crashes            int
 	Reboots            int
@@ -242,10 +268,37 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		}
 	}()
 
-	// The registry: one state per node, refreshed each round.
-	states := make([]NodeState, spec.Nodes)
+	// The registry: one state per node, refreshed each round. All
+	// mutations go through reg so its shard aggregates stay exact; states
+	// aliases the backing slice for the read-only passes (rollups,
+	// traffic reconciliation, reference full-rescan placement).
+	reg := newRegistry(spec.Nodes, defaultShardSize)
+	states := reg.States()
 	for i := range states {
-		states[i] = NodeState{ID: i, HB: nodes[i].Heartbeat()}
+		reg.Reset(i, NodeState{ID: i, HB: nodes[i].Heartbeat()})
+	}
+
+	// Level-of-detail: with LoD "auto" (and no node-fault schedule), a
+	// node that is unoccupied, not hot, not suspect and VPI-quiet skips
+	// both its machine advance and its heartbeat this round. Its registry
+	// entry freezes, the failure detector is told the silence is policy,
+	// and the skipped simulated time accrues as lag that is paid back —
+	// on the cheap idle fast-forward path — only if placement later
+	// targets the node. Lag never needs settling at run end: a node that
+	// stayed quiescent to the finish contributes exactly what it would
+	// have simulated — zero busy time, zero queries, zero completions.
+	lodAuto := spec.lodAuto() && !opt.FullRescan
+	var lagNs []int64
+	var lodSkip []bool
+	if lodAuto {
+		lagNs = make([]int64, spec.Nodes)
+		lodSkip = make([]bool, spec.Nodes)
+	}
+	catchUp := func(i int) {
+		if lodAuto && lagNs[i] > 0 {
+			nodes[i].Advance(lagNs[i])
+			lagNs[i] = 0
+		}
 	}
 
 	// Pending queue: services first (placed in round 0), then the batch
@@ -373,7 +426,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			if states[i].Dead {
 				res.NodesRejoined++
 			}
-			states[i] = NodeState{ID: i, HB: nn.Heartbeat()}
+			reg.Reset(i, NodeState{ID: i, HB: nn.Heartbeat()})
 		}
 		if schedule != nil {
 			for i := range nodes {
@@ -422,15 +475,31 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		}
 
 		// Placement pass, in queue order against the current registry.
+		// Decisions route through the sharded fast path unless FullRescan
+		// pins the reference scan; both answer identically.
+		place := func(req PodRequest) int {
+			if !opt.FullRescan {
+				if rp, ok := placer.(registryPlacer); ok {
+					return rp.PlaceReg(reg, req)
+				}
+			}
+			return placer.Place(states, req)
+		}
+		couldFit := func(req PodRequest) bool {
+			if !opt.FullRescan {
+				return reg.AnyNodeCouldFit(req)
+			}
+			return anyNodeCouldFit(states, req)
+		}
 		var waiting []*pendingPod
 		for _, p := range queue {
 			if p.notBefore > r {
 				waiting = append(waiting, p)
 				continue
 			}
-			target := placer.Place(states, p.req)
+			target := place(p.req)
 			if target < 0 {
-				if (p.svc != nil || p.rep != nil) && !anyNodeCouldFit(states, p.req) {
+				if (p.svc != nil || p.rep != nil) && !couldFit(p.req) {
 					return nil, fmt.Errorf("cluster: no node fits service %s", p.req.Name)
 				}
 				p.retries++
@@ -441,6 +510,8 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 					}
 					if p.rep != nil {
 						tc.placementFailed(p)
+					} else {
+						res.BatchFailed++
 					}
 					res.FailedPlacements++
 					tel.inc(tel.failed)
@@ -450,12 +521,17 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				waiting = append(waiting, p)
 				continue
 			}
+			// A fast-forwarded target first pays back its skipped rounds so
+			// the pod lands on a machine aligned with fleet time.
+			catchUp(target)
 			if p.rep != nil {
 				if err := tc.place(p, target, nodes[target]); err != nil {
 					return nil, err
 				}
-				states[target].HB.ServicePods++
-				states[target].HB.ServiceThreads += p.req.Threads
+				reg.Update(target, func(st *NodeState) {
+					st.HB.ServicePods++
+					st.HB.ServiceThreads += p.req.Threads
+				})
 				tel.inc(tel.placedGuaranteed)
 				tracer.servicePlace(p.req.Name, r, target)
 			} else if p.svc != nil {
@@ -463,8 +539,10 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 					return nil, err
 				}
 				serviceNode[p.svc.Name] = target
-				states[target].HB.ServicePods++
-				states[target].HB.ServiceThreads += p.req.Threads
+				reg.Update(target, func(st *NodeState) {
+					st.HB.ServicePods++
+					st.HB.ServiceThreads += p.req.Threads
+				})
 				tel.inc(tel.placedGuaranteed)
 				tracer.servicePlace(p.svc.Name, r, target)
 			} else {
@@ -474,8 +552,10 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				res.PlacedBatch++
 				placed[p.req.Name] = &placedPod{pending: p, node: target, seq: placeSeq}
 				placeSeq++
-				states[target].HB.BatchPods++
-				states[target].HB.BatchThreads += p.req.Threads
+				reg.Update(target, func(st *NodeState) {
+					st.HB.BatchPods++
+					st.HB.BatchThreads += p.req.Threads
+				})
 				tel.inc(tel.placedBestEffort)
 				tracer.place(p.req.Name, r, target)
 			}
@@ -487,14 +567,35 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		// before the advance, so every request lands inside the round.
 		tc.inject(r)
 
+		// Decide fidelity for the round, after placement so fresh targets
+		// count as occupied. The check reads only the registry entry and
+		// the node's pod census, both serial state: the skip set is
+		// deterministic at any worker count.
+		if lodAuto {
+			for i := range nodes {
+				lodSkip[i] = false
+				if down[i] {
+					continue
+				}
+				st := &states[i]
+				if !st.Dead && !st.Suspect && st.Hot == 0 &&
+					st.TrendVPI < lodQuietVPI && !nodes[i].Occupied() {
+					lodSkip[i] = true
+					lagNs[i] += hbNs
+					res.LoDSkips++
+				}
+			}
+		}
+
 		// Advance every live node one heartbeat period, fanned out on the
 		// worker pool. Nodes share nothing mid-round, so the outcome is
 		// identical at any worker count. Crashed nodes are frozen; slow
 		// nodes make proportionally less simulated progress (straggler
-		// semantics without breaking the lockstep rounds).
+		// semantics without breaking the lockstep rounds); fast-forwarded
+		// nodes bank the round as lag instead of simulating it.
 		var tasks []func() error
 		for i := range nodes {
-			if down[i] {
+			if down[i] || (lodAuto && lodSkip[i]) {
 				continue
 			}
 			n := nodes[i]
@@ -512,8 +613,10 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		}
 
 		// Reap finished pods, then refresh the registry from heartbeats.
+		// Fast-forwarded nodes are unoccupied by construction — nothing to
+		// reap, and no heartbeat to deliver below.
 		for i, n := range nodes {
-			if down[i] {
+			if down[i] || (lodAuto && lodSkip[i]) {
 				continue
 			}
 			done, err := n.ReapFinished()
@@ -522,6 +625,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			}
 			for _, name := range done {
 				delete(placed, name)
+				res.BatchDoneTotal++
 				if r >= warmupRounds {
 					res.BatchCompleted++
 				}
@@ -540,16 +644,31 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				}
 				if degrade {
 					fd.observe(i, false)
-					states[i].MissedHB++
-					if !states[i].Dead {
-						states[i].Suspect = fd.suspect(i)
-						if fd.dead(i) {
-							states[i].Dead = true
-							states[i].Suspect = true
-							res.NodesDied++
-							nodeLost(i, r)
+					died := false
+					reg.Update(i, func(st *NodeState) {
+						st.MissedHB++
+						if !st.Dead {
+							st.Suspect = fd.suspect(i)
+							if fd.dead(i) {
+								st.Dead = true
+								st.Suspect = true
+								died = true
+							}
 						}
+					})
+					if died {
+						res.NodesDied++
+						nodeLost(i, r)
 					}
+				}
+				continue
+			}
+			if lodAuto && lodSkip[i] {
+				// Fast-forwarded: the silence is the control plane's own
+				// policy, so the failure detector treats it as a delivered
+				// heartbeat and the registry entry stays frozen.
+				if degrade {
+					fd.observe(i, true)
 				}
 				continue
 			}
@@ -574,12 +693,10 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				res.FencedPods += fenced
 				res.NodesRejoined++
 				fd.reset(i)
-				states[i] = NodeState{ID: i}
+				reg.Reset(i, NodeState{ID: i})
 			}
 			if degrade {
 				fd.observe(i, true)
-				states[i].MissedHB = 0
-				states[i].Suspect = false
 			}
 			hb := n.Heartbeat()
 			// Latency SLI deltas for the burn-rate engine. The cumulative
@@ -601,13 +718,19 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			// Trend smooths the heartbeat VPI one more time at the round
 			// scale: a single bursty heartbeat cannot arm the reconciler,
 			// only a node that keeps reporting interference.
-			states[i].TrendVPI += trendAlpha * (hb.SmoothedVPI - states[i].TrendVPI)
-			if states[i].TrendVPI >= spec.evictVPI() {
-				states[i].Hot++
-			} else {
-				states[i].Hot = 0
-			}
-			states[i].HB = hb
+			reg.Update(i, func(st *NodeState) {
+				if degrade {
+					st.MissedHB = 0
+					st.Suspect = false
+				}
+				st.TrendVPI += trendAlpha * (hb.SmoothedVPI - st.TrendVPI)
+				if st.TrendVPI >= spec.evictVPI() {
+					st.Hot++
+				} else {
+					st.Hot = 0
+				}
+				st.HB = hb
+			})
 			if debugVPI {
 				fmt.Printf("round %d node %d hbVPI %.1f trend %.1f hot %d\n",
 					r, i, hb.SmoothedVPI, states[i].TrendVPI, states[i].Hot)
@@ -656,6 +779,12 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		if burn.Paging() && hot > 1 {
 			hot = 1
 		}
+		// The registry's incremental hot count gives the reconciler an O(1)
+		// early-out: no hot node anywhere, nothing to scan or sort. (The
+		// naive baseline scans unconditionally, like the pre-sharded loop.)
+		if !opt.FullRescan && reg.HotNodes() == 0 {
+			continue
+		}
 		for _, ev := range reconcileDecisions(states, placed, hot, spec.maxEvictions()) {
 			if down[ev.node] || states[ev.node].Dead {
 				// The eviction RPC cannot reach the node; the detector (or
@@ -676,7 +805,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			tracer.evict(ev.pod, r, ev.node, states[ev.node].Hot, states[ev.node].TrendVPI)
 			// Re-arm: the node must stay hot for another full streak before
 			// its next eviction, so draining is paced, not a stampede.
-			states[ev.node].Hot = 0
+			reg.Update(ev.node, func(st *NodeState) { st.Hot = 0 })
 			delete(placed, ev.pod)
 			res.Evictions++
 			tel.inc(tel.evictions)
@@ -756,6 +885,14 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			res.PinnedPods++
 		}
 	}
+	// Conservation accounting: where every admitted batch pod ended up.
+	res.BatchArrived = arrived
+	res.BatchRunning = len(placed)
+	for _, p := range queue {
+		if p.svc == nil && p.rep == nil {
+			res.BatchQueued++
+		}
+	}
 	// Fleet-wide degradation counters from the surviving incarnations
 	// (crashed-and-replaced ones were harvested at reboot).
 	for _, n := range nodes {
@@ -770,12 +907,15 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	return res, nil
 }
 
-// anyNodeCouldFit reports whether the request would fit some node if that
-// node were empty — distinguishing "can never be placed" (a spec error)
-// from "no capacity right now" (retry next round).
+// anyNodeCouldFit reports whether the request would fit some live node if
+// that node were empty — distinguishing "can never be placed" (a spec
+// error) from "no capacity right now" (retry next round). Dead nodes
+// don't count: a fleet whose only capacity-capable nodes are permanently
+// dead can never place the pod, and must surface that instead of retrying
+// forever.
 func anyNodeCouldFit(states []NodeState, req PodRequest) bool {
 	for _, st := range states {
-		if req.Threads <= st.HB.CapacityThreads {
+		if !st.Dead && req.Threads <= st.HB.CapacityThreads {
 			return true
 		}
 	}
@@ -784,8 +924,12 @@ func anyNodeCouldFit(states []NodeState, req PodRequest) bool {
 
 // requeueBackoff is how many rounds an evicted pod waits before its next
 // placement attempt: exponential in its eviction count, capped so a
-// pinning-bound pod cannot be delayed unboundedly.
+// pinning-bound pod cannot be delayed unboundedly. Eviction counts below
+// one take the minimum backoff — shifting by a negative amount panics.
 func requeueBackoff(evictions int) int {
+	if evictions < 1 {
+		return 1
+	}
 	b := 1 << (evictions - 1)
 	if b > maxBackoffRounds {
 		b = maxBackoffRounds
@@ -932,6 +1076,10 @@ func (r *Result) Render() string {
 		100*r.ClusterUtil, r.BatchCompleted, r.PlacedBatch)
 	fmt.Fprintf(&b, "reconciler: %d evictions, %d requeues, %d failed placements, %d pinned pods (peak node VPI %.1f)\n",
 		r.Evictions, r.Requeues, r.FailedPlacements, r.PinnedPods, r.PeakSmoothedVPI)
+	if r.Spec.LoD != "" {
+		fmt.Fprintf(&b, "fidelity: lod=%s, %d node-rounds fast-forwarded of %d\n",
+			r.Spec.LoD, r.LoDSkips, r.Rounds*r.Spec.Nodes)
+	}
 	if r.Traffic != nil {
 		r.Traffic.render(&b)
 	}

@@ -218,6 +218,8 @@ func TestSpecValidate(t *testing.T) {
 		want   string
 	}{
 		{"nodes", func(s *Spec) { s.Nodes = 0 }, "nodes 0 out of range"},
+		{"nodes high", func(s *Spec) { s.Nodes = 1025 }, "nodes 1025 out of range"},
+		{"lod", func(s *Spec) { s.LoD = "adaptive" }, `unknown lod "adaptive"`},
 		{"cores", func(s *Spec) { s.CoresPerNode = 100 }, "cores_per_node 100 out of range"},
 		{"reserved", func(s *Spec) { s.ReservedCPUs = 9 }, "reserved CPUs exceed"},
 		{"placer", func(s *Spec) { s.Placer = "random" }, `unknown placer "random"`},
@@ -244,6 +246,13 @@ func TestSpecValidate(t *testing.T) {
 	}
 	if err := DefaultSpec().Validate(); err != nil {
 		t.Fatalf("default spec invalid: %v", err)
+	}
+	big := DefaultSpec()
+	big.Nodes = 1024
+	big.Placer = PlacerScore
+	big.LoD = LoDAuto
+	if err := big.Validate(); err != nil {
+		t.Fatalf("1024-node score/lod spec invalid: %v", err)
 	}
 }
 

@@ -185,6 +185,11 @@ func bootNode(spec Spec, id, gen int, tel *telemetry.Set, spans *telemetry.SpanR
 // safe to run concurrently.
 func (n *Node) Advance(durNs int64) { n.m.RunFor(durNs) }
 
+// Occupied reports whether the node currently hosts any pod — service,
+// replica or batch. The level-of-detail policy never fast-forwards an
+// occupied node: hosted work must simulate at full fidelity.
+func (n *Node) Occupied() bool { return len(n.services) > 0 || n.kl.Pods() > 0 }
+
 // Heartbeat snapshots the node's telemetry for the control plane.
 func (n *Node) Heartbeat() Heartbeat {
 	d := n.kl.Holmes()

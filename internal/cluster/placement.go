@@ -51,8 +51,19 @@ func NewPlacer(name string) (Placer, error) {
 		return VPIAware{}, nil
 	case PlacerBinPack:
 		return BinPack{}, nil
+	case PlacerScore:
+		return ScoringPlacer{}, nil
 	}
 	return nil, fmt.Errorf("cluster: unknown placer %q", name)
+}
+
+// registryPlacer is the sharded fast path: a placer that can answer the
+// same decision from the Registry's per-shard bounds and candidate orders
+// instead of rescanning the fleet. Implementations must return exactly
+// what their Place would on Registry.States() — the differential tests
+// pin this across chaos schedules and shard sizes.
+type registryPlacer interface {
+	PlaceReg(g *Registry, req PodRequest) int
 }
 
 // fits is the shared capacity rule: a pod fits while the node's declared
@@ -81,6 +92,24 @@ func (BinPack) Place(states []NodeState, req PodRequest) int {
 	return -1
 }
 
+// PlaceReg implements registryPlacer: first fit by node ID, skipping
+// whole shards whose max free capacity cannot hold the request.
+func (BinPack) PlaceReg(g *Registry, req PodRequest) int {
+	for si := range g.shards {
+		sh := &g.shards[si]
+		sh.ensureAgg(g.states)
+		if sh.maxFree < req.Threads {
+			continue
+		}
+		for i := sh.lo; i < sh.hi; i++ {
+			if fits(g.states[i], req) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
 // VPIAware is the interference-aware policy. Guaranteed pods spread away
 // from interference: lowest smoothed VPI first, then fewest service
 // threads, then lowest ID. BestEffort pods backfill lendable capacity:
@@ -92,6 +121,46 @@ type VPIAware struct{}
 // Name implements Placer.
 func (VPIAware) Name() string { return PlacerVPI }
 
+// vpiKey is VPIAware's ranking key for one candidate (minimized
+// lexicographically), plus whether the node sits in the avoid tier.
+func vpiKey(st NodeState, guaranteed bool) (a, b float64, avoid bool) {
+	// Suspect nodes (missed heartbeats, maybe dying) and hot nodes
+	// (the reconciler is draining them) only take new work when
+	// nothing healthy fits — placing beats dropping.
+	avoid = st.Suspect
+	if guaranteed {
+		// Minimize sustained interference, then co-resident service
+		// load, so services land on distinct quiet nodes.
+		a = st.HB.SmoothedVPI
+		b = float64(st.HB.ServiceThreads)
+	} else {
+		// Maximize lendable capacity: free threads plus granted
+		// siblings (negated — we minimize throughout).
+		free := st.HB.CapacityThreads - st.HB.UsedThreads()
+		a = -float64(free + 2*st.HB.Lendable)
+		b = st.HB.SmoothedVPI
+		avoid = avoid || st.Hot > 0
+	}
+	return a, b, avoid
+}
+
+// vpiBetter reports whether candidate (a, b, id) beats the incumbent.
+// The lowest-ID rule is explicit in the key, not an artifact of scan
+// order, so shard-merged selection agrees with the full rescan even when
+// candidates arrive out of ID order.
+func vpiBetter(a, b float64, id int, bestA, bestB float64, bestID int) bool {
+	if bestID < 0 {
+		return true
+	}
+	if a != bestA {
+		return a < bestA
+	}
+	if b != bestB {
+		return b < bestB
+	}
+	return id < bestID
+}
+
 // Place implements Placer.
 func (VPIAware) Place(states []NodeState, req PodRequest) int {
 	best, bestAvoid := -1, -1
@@ -100,32 +169,49 @@ func (VPIAware) Place(states []NodeState, req PodRequest) int {
 		if !fits(st, req) {
 			continue
 		}
-		var a, b float64
-		// Suspect nodes (missed heartbeats, maybe dying) and hot nodes
-		// (the reconciler is draining them) only take new work when
-		// nothing healthy fits — placing beats dropping.
-		avoid := st.Suspect
-		if req.Guaranteed {
-			// Minimize sustained interference, then co-resident service
-			// load, so services land on distinct quiet nodes.
-			a = st.HB.SmoothedVPI
-			b = float64(st.HB.ServiceThreads)
-		} else {
-			// Maximize lendable capacity: free threads plus granted
-			// siblings (negated — we minimize throughout).
-			free := st.HB.CapacityThreads - st.HB.UsedThreads()
-			a = -float64(free + 2*st.HB.Lendable)
-			b = st.HB.SmoothedVPI
-			avoid = avoid || st.Hot > 0
-		}
+		a, b, avoid := vpiKey(st, req.Guaranteed)
 		if avoid {
-			if bestAvoid < 0 || a < avoidA || (a == avoidA && b < avoidB) {
+			if vpiBetter(a, b, st.ID, avoidA, avoidB, bestAvoid) {
 				bestAvoid, avoidA, avoidB = st.ID, a, b
 			}
 			continue
 		}
-		if best < 0 || a < bestA || (a == bestA && b < bestB) {
+		if vpiBetter(a, b, st.ID, bestA, bestB, best) {
 			best, bestA, bestB = st.ID, a, b
+		}
+	}
+	if best < 0 {
+		return bestAvoid
+	}
+	return best
+}
+
+// PlaceReg implements registryPlacer: the same tiered selection, skipping
+// whole shards whose max free capacity cannot hold the request.
+func (VPIAware) PlaceReg(g *Registry, req PodRequest) int {
+	best, bestAvoid := -1, -1
+	var bestA, bestB, avoidA, avoidB float64
+	for si := range g.shards {
+		sh := &g.shards[si]
+		sh.ensureAgg(g.states)
+		if sh.maxFree < req.Threads {
+			continue
+		}
+		for i := sh.lo; i < sh.hi; i++ {
+			st := g.states[i]
+			if !fits(st, req) {
+				continue
+			}
+			a, b, avoid := vpiKey(st, req.Guaranteed)
+			if avoid {
+				if vpiBetter(a, b, st.ID, avoidA, avoidB, bestAvoid) {
+					bestAvoid, avoidA, avoidB = st.ID, a, b
+				}
+				continue
+			}
+			if vpiBetter(a, b, st.ID, bestA, bestB, best) {
+				best, bestA, bestB = st.ID, a, b
+			}
 		}
 	}
 	if best < 0 {

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// defaultShardSize is the node-ID range one registry shard covers. Shards
+// exist for cost, not semantics: every aggregate and every placement
+// decision is defined over the whole fleet, and the differential tests pin
+// that any shard size (including 1 and "whole fleet") produces identical
+// decisions.
+const defaultShardSize = 32
+
+// Registry is the control plane's sharded node-state store. The naive
+// registry was a flat []NodeState that every placement decision and every
+// round-level question ("is anything hot?", "could this pod ever fit?")
+// answered by rescanning the fleet; at 256-1024 nodes with tens of
+// thousands of pods those rescans dominate the round loop. The sharded
+// registry partitions the fleet by node-ID range and keeps two kinds of
+// derived state per shard:
+//
+//   - incremental aggregates (free-thread totals, hot/suspect/dead node
+//     counts) maintained by delta on every mutation — a delivered
+//     heartbeat, a placement booking, a detector verdict — so fleet-wide
+//     questions are O(shards), not O(nodes);
+//   - lazily rebuilt bounds and score orders (max free threads, max
+//     capacity, min VPI trend, per-QoS candidate orders for the scoring
+//     placer), recomputed only when a shard was actually touched since
+//     last read. With the level-of-detail policy skipping quiescent
+//     nodes' heartbeats, most shards stay clean for most rounds.
+//
+// All mutation goes through Reset/Update so the deltas cannot drift from
+// the states; TestRegistryAggregatesDifferential recomputes everything
+// from scratch after every scripted chaos round and asserts equality.
+type Registry struct {
+	states []NodeState
+	shards []shard
+
+	// Fleet-wide delta-maintained aggregates (sums of the shard ones).
+	freeThreads int
+	hot         int
+	suspect     int
+	dead        int
+}
+
+// shard is one node-ID range's derived state.
+type shard struct {
+	lo, hi int // node-ID range [lo, hi)
+
+	// Delta-maintained on every Reset/Update.
+	freeThreads int // sum of free threads over non-dead nodes
+	hot         int // nodes with Hot > 0
+	suspect     int // nodes with Suspect set
+	dead        int // nodes with Dead set
+
+	// Lazily recomputed when aggDirty (cheap bounds).
+	maxFree     int     // max free threads over non-dead nodes
+	maxCapacity int     // max capacity over non-dead nodes
+	minTrendVPI float64 // min VPI trend over non-dead nodes
+	aggDirty    bool
+
+	// Lazily rebuilt when orderDirty: node IDs sorted by (nodeScore, ID)
+	// for each QoS class — the scoring placer's shard-local candidate
+	// ranking (the walk-in-order equivalent of a min-score heap).
+	gOrder, bOrder []int
+	orderDirty     bool
+}
+
+// newRegistry builds a registry for n nodes partitioned into shards of
+// shardSize IDs each (shardSize <= 0 uses the default).
+func newRegistry(n, shardSize int) *Registry {
+	if shardSize <= 0 {
+		shardSize = defaultShardSize
+	}
+	g := &Registry{states: make([]NodeState, n)}
+	for lo := 0; lo < n; lo += shardSize {
+		hi := lo + shardSize
+		if hi > n {
+			hi = n
+		}
+		g.shards = append(g.shards, shard{lo: lo, hi: hi, aggDirty: true, orderDirty: true})
+	}
+	for i := range g.states {
+		g.states[i].ID = i
+	}
+	return g
+}
+
+// States exposes the backing slice for read-only passes (rollups, the
+// reconciler, reference full-rescan placement). Mutating an entry
+// directly desynchronizes the aggregates — use Reset or Update.
+func (g *Registry) States() []NodeState { return g.states }
+
+// shardOf returns the shard containing node i. Shards are equally sized
+// except the last, so this is a division, not a search.
+func (g *Registry) shardOf(i int) *shard {
+	size := g.shards[0].hi - g.shards[0].lo
+	return &g.shards[i/size]
+}
+
+// contribution is the delta-maintained aggregate footprint of one node.
+func contribution(st *NodeState) (free, hot, suspect, dead int) {
+	if st.Dead {
+		return 0, 0, 0, 1
+	}
+	free = st.HB.CapacityThreads - st.HB.UsedThreads()
+	if st.Hot > 0 {
+		hot = 1
+	}
+	if st.Suspect {
+		suspect = 1
+	}
+	return free, hot, suspect, 0
+}
+
+// Reset replaces node i's entry wholesale (boot, reboot, rejoin).
+func (g *Registry) Reset(i int, st NodeState) {
+	g.Update(i, func(cur *NodeState) { *cur = st })
+}
+
+// Update applies fn to node i's entry and folds the resulting aggregate
+// deltas into the node's shard and the fleet totals.
+func (g *Registry) Update(i int, fn func(*NodeState)) {
+	st := &g.states[i]
+	f0, h0, s0, d0 := contribution(st)
+	fn(st)
+	st.ID = i // the ID is the registry's key, not the caller's to change
+	f1, h1, s1, d1 := contribution(st)
+	sh := g.shardOf(i)
+	sh.freeThreads += f1 - f0
+	sh.hot += h1 - h0
+	sh.suspect += s1 - s0
+	sh.dead += d1 - d0
+	sh.aggDirty = true
+	sh.orderDirty = true
+	g.freeThreads += f1 - f0
+	g.hot += h1 - h0
+	g.suspect += s1 - s0
+	g.dead += d1 - d0
+}
+
+// HotNodes returns how many nodes currently have a hot streak — the
+// reconciler's O(1) early-out: no hot nodes, no eviction scan.
+func (g *Registry) HotNodes() int { return g.hot }
+
+// SuspectNodes returns how many nodes the failure detector suspects.
+func (g *Registry) SuspectNodes() int { return g.suspect }
+
+// DeadNodes returns how many nodes are declared dead.
+func (g *Registry) DeadNodes() int { return g.dead }
+
+// FreeThreads returns the fleet's total free thread capacity over
+// non-dead nodes.
+func (g *Registry) FreeThreads() int { return g.freeThreads }
+
+// MinTrendVPI returns the lowest VPI trend among non-dead nodes (+Inf
+// when every node is dead) — a fleet-health diagnostic.
+func (g *Registry) MinTrendVPI() float64 {
+	min := math.Inf(1)
+	for si := range g.shards {
+		sh := &g.shards[si]
+		sh.ensureAgg(g.states)
+		if sh.minTrendVPI < min {
+			min = sh.minTrendVPI
+		}
+	}
+	return min
+}
+
+// AnyNodeCouldFit reports whether the request would fit some live node if
+// that node were empty — the sharded equivalent of anyNodeCouldFit,
+// answered from the per-shard capacity bound.
+func (g *Registry) AnyNodeCouldFit(req PodRequest) bool {
+	for si := range g.shards {
+		sh := &g.shards[si]
+		sh.ensureAgg(g.states)
+		if req.Threads <= sh.maxCapacity {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureAgg recomputes the shard's lazy bounds if anything in the shard
+// changed since they were last read.
+func (s *shard) ensureAgg(states []NodeState) {
+	if !s.aggDirty {
+		return
+	}
+	s.maxFree = math.MinInt32
+	s.maxCapacity = math.MinInt32
+	s.minTrendVPI = math.Inf(1)
+	for i := s.lo; i < s.hi; i++ {
+		st := &states[i]
+		if st.Dead {
+			continue
+		}
+		if free := st.HB.CapacityThreads - st.HB.UsedThreads(); free > s.maxFree {
+			s.maxFree = free
+		}
+		if st.HB.CapacityThreads > s.maxCapacity {
+			s.maxCapacity = st.HB.CapacityThreads
+		}
+		if st.TrendVPI < s.minTrendVPI {
+			s.minTrendVPI = st.TrendVPI
+		}
+	}
+	s.aggDirty = false
+}
+
+// ensureOrders rebuilds the shard's per-QoS candidate orders if dirty:
+// live node IDs sorted by (nodeScore, ID) ascending, so the scoring
+// placer's shard-local best fitting candidate is the first order entry
+// that passes the fit check.
+func (s *shard) ensureOrders(states []NodeState) {
+	if !s.orderDirty {
+		return
+	}
+	s.gOrder = s.gOrder[:0]
+	s.bOrder = s.bOrder[:0]
+	for i := s.lo; i < s.hi; i++ {
+		if states[i].Dead {
+			continue
+		}
+		s.gOrder = append(s.gOrder, i)
+		s.bOrder = append(s.bOrder, i)
+	}
+	sortByScore := func(order []int, guaranteed bool) {
+		sort.Slice(order, func(a, b int) bool {
+			sa := nodeScore(states[order[a]], guaranteed)
+			sb := nodeScore(states[order[b]], guaranteed)
+			if sa != sb {
+				return sa < sb
+			}
+			return order[a] < order[b]
+		})
+	}
+	sortByScore(s.gOrder, true)
+	sortByScore(s.bOrder, false)
+	s.orderDirty = false
+}

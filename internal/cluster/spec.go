@@ -24,9 +24,18 @@ type Spec struct {
 	CoresPerNode int `json:"cores_per_node"`
 	// ReservedCPUs is each node's initial Holmes reserved pool (0 = 4).
 	ReservedCPUs int `json:"reserved_cpus"`
-	// Placer selects the placement policy: "vpi" (interference-aware) or
+	// Placer selects the placement policy: "vpi" (interference-aware),
+	// "score" (predicted post-placement interference score), or
 	// "binpack" (first-fit by thread count, the baseline).
 	Placer string `json:"placer"`
+	// LoD selects node simulation fidelity: "full" (default) advances
+	// every node's machine each round; "auto" fast-forwards quiescent
+	// nodes (no pods, no hot streak, not suspect, VPI trend quiet) and
+	// pays their lag back only when placement targets them. "auto"
+	// silently falls back to full fidelity when a node-fault chaos
+	// schedule is present, whose per-round crash/partition semantics
+	// need every node advanced.
+	LoD string `json:"lod,omitempty"`
 	// HeartbeatMs is the node heartbeat / control-plane round period.
 	HeartbeatMs int64 `json:"heartbeat_ms"`
 	// WarmupSeconds and DurationSeconds are simulated time; measurement
@@ -107,7 +116,14 @@ type BatchStream struct {
 // Placer policy names.
 const (
 	PlacerVPI     = "vpi"
+	PlacerScore   = "score"
 	PlacerBinPack = "binpack"
+)
+
+// Level-of-detail settings.
+const (
+	LoDFull = "full"
+	LoDAuto = "auto"
 )
 
 // DefaultSpec is the 6-node reference cluster: four LC services to
@@ -148,8 +164,8 @@ func Load(r io.Reader) (Spec, error) {
 // Validate checks the spec and returns a descriptive error for the first
 // problem found.
 func (s Spec) Validate() error {
-	if s.Nodes < 1 || s.Nodes > 64 {
-		return fmt.Errorf("cluster: nodes %d out of range [1,64]", s.Nodes)
+	if s.Nodes < 1 || s.Nodes > 1024 {
+		return fmt.Errorf("cluster: nodes %d out of range [1,1024]", s.Nodes)
 	}
 	if s.CoresPerNode < 1 || s.CoresPerNode > 64 {
 		return fmt.Errorf("cluster: cores_per_node %d out of range [1,64]", s.CoresPerNode)
@@ -159,10 +175,16 @@ func (s Spec) Validate() error {
 			s.reservedCPUs(), s.CoresPerNode)
 	}
 	switch s.Placer {
-	case "", PlacerVPI, PlacerBinPack:
+	case "", PlacerVPI, PlacerScore, PlacerBinPack:
 	default:
-		return fmt.Errorf("cluster: unknown placer %q (want %q or %q)",
-			s.Placer, PlacerVPI, PlacerBinPack)
+		return fmt.Errorf("cluster: unknown placer %q (want %q, %q or %q)",
+			s.Placer, PlacerVPI, PlacerScore, PlacerBinPack)
+	}
+	switch s.LoD {
+	case "", LoDFull, LoDAuto:
+	default:
+		return fmt.Errorf("cluster: unknown lod %q (want %q or %q)",
+			s.LoD, LoDFull, LoDAuto)
 	}
 	if s.HeartbeatMs < 0 {
 		return fmt.Errorf("cluster: heartbeat_ms must be positive")
@@ -290,6 +312,13 @@ func (s Spec) placer() string {
 		return PlacerVPI
 	}
 	return s.Placer
+}
+
+// lodAuto reports whether the run should fast-forward quiescent nodes.
+// A node-fault chaos schedule forces full fidelity: crash, partition and
+// slow-node rounds assume every machine advances in lockstep.
+func (s Spec) lodAuto() bool {
+	return s.LoD == LoDAuto && (s.Chaos == nil || !s.Chaos.Nodes.Enabled())
 }
 
 func (s Spec) suspectRounds() int {

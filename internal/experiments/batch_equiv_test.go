@@ -26,7 +26,7 @@ func TestRegistryBatchingEquivalence(t *testing.T) {
 	prev := machine.DefaultIntervalBatching()
 	defer machine.SetDefaultIntervalBatching(prev)
 
-	ids := []string{"fig2", "fig11", "cluster", "chaos", "traffic", "storm"}
+	ids := []string{"fig2", "fig11", "cluster", "chaos", "traffic", "storm", "scale"}
 	if os.Getenv("HOLMES_EQUIV_FULL") != "" {
 		ids = IDs()
 	} else if testing.Short() {

@@ -266,7 +266,7 @@ func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	want := []string{"fig2", "fig3", "table1", "fig4", "fig5", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "table3", "fig14", "table4",
-		"overhead", "cluster", "chaos", "traffic", "storm"}
+		"overhead", "cluster", "chaos", "traffic", "storm", "scale"}
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
 			t.Fatalf("experiment %s missing from registry", id)
@@ -276,7 +276,7 @@ func TestRegistryComplete(t *testing.T) {
 	if len(ids) != len(want)+1 { // +1 for the ablations entry
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want)+1)
 	}
-	if ids[0] != "fig2" || ids[len(ids)-1] != "storm" {
+	if ids[0] != "fig2" || ids[len(ids)-1] != "scale" {
 		t.Fatalf("ordering wrong: %v", ids)
 	}
 }

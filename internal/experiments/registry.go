@@ -202,6 +202,13 @@ func Registry() map[string]Experiment {
 			}
 			return r.Render(), nil
 		}},
+		{"scale", "Datacenter scale: 256-node fleet, scoring vs vpi vs binpack placement under LoD", func(o Options) (string, error) {
+			r, err := RunScale(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 	}
 	// Per-service latency CDF figures.
 	for _, store := range StoreNames() {
@@ -240,7 +247,7 @@ func orderKey(id string) string {
 		"fig7": "07", "fig8": "08", "fig9": "09", "fig10": "10", "fig11": "11",
 		"fig12": "12", "fig13": "13", "table3": "14", "fig14": "15",
 		"table4": "16", "overhead": "17", "ablations": "18", "cluster": "19",
-		"chaos": "20", "traffic": "21", "storm": "22",
+		"chaos": "20", "traffic": "21", "storm": "22", "scale": "23",
 	}
 	if k, ok := order[id]; ok {
 		return k

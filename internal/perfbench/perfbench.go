@@ -116,6 +116,23 @@ type TrafficBenchResult struct {
 	ArrivalsPerSec float64 `json:"arrivals_per_sec"`
 }
 
+// ScaleBenchResult times one control-plane round loop at a given fleet
+// size: a fixed busy set (four services plus a small batch stream) on a
+// fleet that is otherwise quiescent, so rounds/sec vs node count tracks
+// how the sharded registry and level-of-detail fast-forward amortize the
+// idle majority. Mode "sharded-lod" is the production path (scoring
+// placer over shard aggregates, LoD auto); "full-rescan" is the naive
+// baseline (full-fleet placement scans, unconditional reconcile sweeps,
+// every node at full fidelity) that produces identical results.
+type ScaleBenchResult struct {
+	Nodes        int     `json:"nodes"`
+	Mode         string  `json:"mode"`
+	Rounds       int     `json:"rounds"`
+	WallMs       float64 `json:"wall_ms"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	LoDSkips     int     `json:"lod_skips"`
+}
+
 // Report is the full BENCH_tick.json payload.
 type Report struct {
 	Schema     string             `json:"schema"`
@@ -126,7 +143,12 @@ type Report struct {
 	// resilience layer attached; the delta against Traffic is the layer's
 	// bookkeeping cost.
 	TrafficResilience TrafficBenchResult `json:"traffic_resilience"`
-	Experiment        ExperimentResult   `json:"experiment"`
+	// Scale is the rounds/sec-vs-fleet-size trajectory plus the naive
+	// full-rescan baseline at the largest size; ScaleSpeedup is the
+	// sharded+LoD throughput over that baseline at equal node count.
+	Scale        []ScaleBenchResult `json:"scale"`
+	ScaleSpeedup float64            `json:"scale_speedup"`
+	Experiment   ExperimentResult   `json:"experiment"`
 }
 
 // buildIdle constructs the idle-heavy scenario: kernel installed, one
@@ -333,6 +355,55 @@ func runTrafficBench(seed uint64, rz *scenario.ResilienceSpec) (TrafficBenchResu
 	}, nil
 }
 
+// RunScaleBench measures one point of the node-count scaling trajectory:
+// the same busy set at every fleet size, serial workers so the number is
+// per-round control-plane cost. naive selects the full-rescan baseline.
+func RunScaleBench(nodes int, naive bool, seed uint64) (ScaleBenchResult, error) {
+	spec := cluster.DefaultSpec()
+	spec.Name = "scalebench"
+	spec.Nodes = nodes
+	spec.Placer = cluster.PlacerScore
+	spec.LoD = cluster.LoDAuto
+	spec.WarmupSeconds = 0.2
+	spec.DurationSeconds = 0.8
+	spec.Seed = seed
+	// A light busy set: two services and a short batch burst. The point of
+	// the trajectory is the cost of the idle majority, so the busy set must
+	// not dominate the wall clock the way the experiment-grade specs do.
+	spec.Services = []cluster.ServiceSpec{
+		{Name: "redis-a", Store: "redis", Workload: "a", RPS: 5_000},
+		{Name: "memcached-a", Store: "memcached", Workload: "a", RPS: 5_000},
+	}
+	spec.Batch = cluster.BatchStream{Pods: 8, PodsPerRound: 4, Containers: 1,
+		ThreadsPerContainer: 2, WorkUnitsPerThread: 300}
+	mode := "sharded-lod"
+	opt := cluster.RunOptions{Workers: 1}
+	if naive {
+		mode = "full-rescan"
+		spec.LoD = cluster.LoDFull
+		opt.FullRescan = true
+	}
+
+	start := time.Now()
+	res, err := cluster.Run(spec, opt)
+	if err != nil {
+		return ScaleBenchResult{}, fmt.Errorf("perfbench: scale %d/%s: %w", nodes, mode, err)
+	}
+	wall := time.Since(start)
+	wallSec := wall.Seconds()
+	if wallSec <= 0 {
+		wallSec = 1e-9
+	}
+	return ScaleBenchResult{
+		Nodes:        nodes,
+		Mode:         mode,
+		Rounds:       res.Rounds,
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		RoundsPerSec: float64(res.Rounds) / wallSec,
+		LoDSkips:     res.LoDSkips,
+	}, nil
+}
+
 // measure runs m for simNs and returns wall time and allocation rates. A
 // short warmup run first lets queues and caches reach steady state so the
 // allocs/tick number reflects the per-tick path, not setup.
@@ -416,6 +487,22 @@ func Collect(o Options) (*Report, error) {
 	}
 	r.TrafficResilience = resilient
 
+	for _, nodes := range []int{16, 64, 256} {
+		sb, err := RunScaleBench(nodes, false, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r.Scale = append(r.Scale, sb)
+	}
+	naive, err := RunScaleBench(256, true, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.Scale = append(r.Scale, naive)
+	if naive.RoundsPerSec > 0 {
+		r.ScaleSpeedup = r.Scale[2].RoundsPerSec / naive.RoundsPerSec
+	}
+
 	opts := experiments.Options{Seed: o.Seed, Scale: o.ExperimentScale, Parallel: 1}
 	start := time.Now()
 	if _, err := experiments.RunIDs(opts, []string{o.ExperimentID}); err != nil {
@@ -450,6 +537,14 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "  %-18s %8.1f ms wall  %6.1f rounds/s  %8.0f arrivals/s (%d nodes, %dk users)\n",
 		"traffic-resilience", r.TrafficResilience.WallMs, r.TrafficResilience.RoundsPerSec,
 		r.TrafficResilience.ArrivalsPerSec, r.TrafficResilience.Nodes, r.TrafficResilience.Users/1000)
+	for _, s := range r.Scale {
+		fmt.Fprintf(&b, "  %-18s %8.1f ms wall  %6.1f rounds/s  %8d lod skips (%d nodes, %s)\n",
+			"scale-bench", s.WallMs, s.RoundsPerSec, s.LoDSkips, s.Nodes, s.Mode)
+	}
+	if r.ScaleSpeedup > 0 {
+		fmt.Fprintf(&b, "  %-18s %8.1fx rounds/s, sharded-lod vs full-rescan at 256 nodes\n",
+			"scale-speedup", r.ScaleSpeedup)
+	}
 	fmt.Fprintf(&b, "  %-18s %8.1f ms wall (scale %g)\n",
 		"experiment "+r.Experiment.ID, r.Experiment.WallMs, r.Experiment.Scale)
 	return b.String()
